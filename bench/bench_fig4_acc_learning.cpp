@@ -1,0 +1,29 @@
+// Figure 4: learning curves of the geometric metrics (d_u, d_g) per
+// Algorithm-1 iteration on the ACC benchmark. Prints the series that the
+// paper plots: both metrics climbing toward positivity, with convergence
+// when both are positive and the goal is contained.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dwvbench;
+  const auto bench = ode::make_acc_benchmark();
+  const auto verifier = make_verifier(bench, "linear");
+
+  auto opt = acc_learner_options(core::MetricKind::kGeometric, 2);
+  core::Learner learner(verifier, bench.spec, opt);
+  nn::LinearController ctrl(linalg::Mat{{0.0, 0.0}});
+  const core::LearnResult res = learner.learn(ctrl);
+
+  std::printf("=== Fig. 4: learning with the geometric metric (ACC) ===\n");
+  std::printf("# iter  d_u  d_g  feasible\n");
+  for (const auto& rec : res.history) {
+    std::printf("%4zu  %12.4f  %12.4f  %d\n", rec.iter, rec.geo.d_u,
+                rec.geo.d_g, static_cast<int>(rec.feasible));
+  }
+  std::printf("converged=%d at iteration %zu (paper: ~62 iterations; both\n"
+              "metrics rise from negative to positive as in Fig. 4)\n",
+              static_cast<int>(res.success), res.iterations);
+  std::printf("learned K = [%.4f, %.4f]\n", ctrl.gain()(0, 0),
+              ctrl.gain()(0, 1));
+  return res.success ? 0 : 1;
+}

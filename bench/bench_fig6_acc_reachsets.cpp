@@ -1,0 +1,87 @@
+// Figure 6: reachable sets on the ACC for Ours(W), Ours(G), DDPG, and SVG.
+// Prints each flowpipe as a box series (the data behind the paper's plot)
+// plus the formal verdicts and the certified initial set X_I.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dwvbench;
+
+void print_pipe(const char* label, const reach::Flowpipe& fp,
+                const ode::ReachAvoidSpec& spec, std::size_t stride) {
+  std::printf("--- %s: %s, %zu steps ---\n", label,
+              fp.valid ? "valid" : ("FAILED: " + fp.failure).c_str(),
+              fp.steps());
+  std::printf("# t  s_lo  s_hi  v_lo  v_hi\n");
+  for (std::size_t k = 0; k < fp.step_sets.size(); k += stride) {
+    const auto& b = fp.step_sets[k];
+    std::printf("%5.1f  %9.3f %9.3f  %8.3f %8.3f\n",
+                static_cast<double>(k) * spec.delta, b[0].lo(), b[0].hi(),
+                b[1].lo(), b[1].hi());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dwvbench;
+  const auto bench = ode::make_acc_benchmark();
+  const auto linear = make_verifier(bench, "linear");
+  std::printf("=== Fig. 6: ACC reachable sets ===\n");
+  std::printf("goal: s in [145,155], v in [39.5,40.5]; unsafe: s <= 120\n\n");
+
+  // Ours, both metrics.
+  for (auto metric :
+       {core::MetricKind::kWasserstein, core::MetricKind::kGeometric}) {
+    auto opt = acc_learner_options(metric, 0);
+    opt.seed = 1;
+    core::Learner learner(linear, bench.spec, opt);
+    nn::LinearController ctrl(linalg::Mat{{0.0, 0.0}});
+    const core::LearnResult res = learner.learn(ctrl);
+    const std::string label =
+        std::string("Ours(") +
+        (metric == core::MetricKind::kWasserstein ? "W" : "G") + ")";
+    print_pipe(label.c_str(), res.final_flowpipe, bench.spec, 5);
+    const core::InitialSetResult xi =
+        core::search_initial_set(*linear, bench.spec, ctrl);
+    std::printf("verdict: %s, X_I coverage %.0f%% (paper: X_I = X0)\n\n",
+                res.success ? "reach-avoid" : "not converged",
+                100.0 * xi.coverage);
+  }
+
+  // SVG baseline (linear policy).
+  {
+    rl::EnvOptions eo;
+    eo.unsafe_weight = 0.05;
+    rl::ControlEnv env(bench.system, bench.spec, 101, eo);
+    rl::SvgOptions opt;
+    opt.linear_policy = true;
+    opt.lr = 1e-2;
+    opt.terminal_weight = 30.0;
+    opt.max_episodes = 3000;
+    const rl::SvgResult res = rl::train_svg(env, opt);
+    const reach::Flowpipe fp = linear->compute(bench.spec.x0, *res.policy);
+    print_pipe("SVG", fp, bench.spec, 5);
+    const core::VerificationReport rep = core::verify_controller(
+        *linear, *bench.system, *res.policy, bench.spec);
+    std::printf("verdict: %s (paper: Unsafe / cannot be certified)\n\n",
+                core::to_string(rep.verdict).c_str());
+  }
+
+  // DDPG baseline (NN policy, verified with the TM engine).
+  {
+    rl::ControlEnv env(bench.system, bench.spec, 202);
+    rl::DdpgOptions opt;
+    opt.action_scale = 40.0;
+    opt.max_episodes = 1500;
+    const rl::DdpgResult res = rl::train_ddpg(env, opt);
+    const auto polar = make_verifier(bench, "polar");
+    const reach::Flowpipe fp = polar->compute(bench.spec.x0, *res.actor);
+    print_pipe("DDPG", fp, bench.spec, 5);
+    const core::VerificationReport rep = core::verify_controller(
+        *polar, *bench.system, *res.actor, bench.spec);
+    std::printf("verdict: %s (paper: Unknown / over-approximation blows up)\n",
+                core::to_string(rep.verdict).c_str());
+  }
+  return 0;
+}

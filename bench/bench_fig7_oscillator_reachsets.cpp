@@ -1,0 +1,84 @@
+// Figure 7: reachable sets on the Van der Pol oscillator. The learned NN
+// controllers from our framework are formally reach-avoid (with a certified
+// X_I), while DDPG verifies Unknown and SVG typically cannot be certified.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dwvbench;
+
+void print_pipe(const char* label, const reach::Flowpipe& fp,
+                const ode::ReachAvoidSpec& spec, std::size_t stride) {
+  std::printf("--- %s: %s, %zu steps ---\n", label,
+              fp.valid ? "valid" : ("FAILED: " + fp.failure).c_str(),
+              fp.steps());
+  std::printf("# t  x1_lo  x1_hi  x2_lo  x2_hi\n");
+  for (std::size_t k = 0; k < fp.step_sets.size(); k += stride) {
+    const auto& b = fp.step_sets[k];
+    std::printf("%5.1f  %8.4f %8.4f  %8.4f %8.4f\n",
+                static_cast<double>(k) * spec.delta, b[0].lo(), b[0].hi(),
+                b[1].lo(), b[1].hi());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dwvbench;
+  const auto bench = ode::make_oscillator_benchmark();
+  const auto polar = make_verifier(bench, "polar");
+  std::printf("=== Fig. 7: oscillator reachable sets ===\n");
+  std::printf("goal: [-0.05,0.05]^2; unsafe: [-0.3,-0.25]x[0.2,0.35]\n\n");
+
+  for (auto metric :
+       {core::MetricKind::kGeometric, core::MetricKind::kWasserstein}) {
+    auto opt = oscillator_learner_options(metric, 0);
+    opt.seed = metric == core::MetricKind::kWasserstein ? 3 : 1;
+    core::Learner learner(polar, bench.spec, opt);
+    nn::MlpController ctrl = make_nn_controller(bench, opt.seed);
+    const core::LearnResult res = learner.learn(ctrl);
+    const std::string label =
+        std::string("Ours(") +
+        (metric == core::MetricKind::kWasserstein ? "W" : "G") + ")";
+    print_pipe(label.c_str(), res.final_flowpipe, bench.spec, 3);
+    core::InitialSetOptions io;
+    io.max_depth = 3;
+    const core::InitialSetResult xi =
+        core::search_initial_set(*polar, bench.spec, ctrl, io);
+    std::printf(
+        "verdict: %s, X_I coverage %.0f%% (paper: reach-avoid, X_I ~ X0)\n\n",
+        res.success ? "reach-avoid" : "not converged", 100.0 * xi.coverage);
+  }
+
+  // SVG baseline.
+  {
+    rl::ControlEnv env(bench.system, bench.spec, 103);
+    rl::SvgOptions opt;
+    opt.hidden = {8, 8};
+    opt.action_scale = 2.0;
+    opt.max_episodes = 3000;
+    const rl::SvgResult res = rl::train_svg(env, opt);
+    const reach::Flowpipe fp = polar->compute(bench.spec.x0, *res.policy);
+    print_pipe("SVG", fp, bench.spec, 3);
+    const core::VerificationReport rep = core::verify_controller(
+        *polar, *bench.system, *res.policy, bench.spec);
+    std::printf("verdict: %s (paper: Unsafe)\n\n",
+                core::to_string(rep.verdict).c_str());
+  }
+
+  // DDPG baseline.
+  {
+    rl::ControlEnv env(bench.system, bench.spec, 204);
+    rl::DdpgOptions opt;
+    opt.action_scale = 2.0;
+    opt.max_episodes = 2000;
+    const rl::DdpgResult res = rl::train_ddpg(env, opt);
+    const reach::Flowpipe fp = polar->compute(bench.spec.x0, *res.actor);
+    print_pipe("DDPG", fp, bench.spec, 3);
+    const core::VerificationReport rep = core::verify_controller(
+        *polar, *bench.system, *res.actor, bench.spec);
+    std::printf("verdict: %s (paper: Unknown, over-approximation diverges)\n",
+                core::to_string(rep.verdict).c_str());
+  }
+  return 0;
+}

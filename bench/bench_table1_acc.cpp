@@ -1,0 +1,99 @@
+// Table 1 (ACC rows): SVG, DDPG, Ours(W, Flow*-lite), Ours(G, Flow*-lite)
+// on the linear adaptive cruise control system with linear controllers
+// (the baselines use the paper's NN policies where applicable).
+//
+// Columns: convergence iterations CI (episodes for the baselines,
+// Algorithm-1 iterations for ours), experimental safe-control (SC) and
+// goal-reaching (GR) rates over 500 random simulations, and the formal
+// "Verified result".
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dwvbench;
+
+RowResult run_svg_acc(const ode::Benchmark& bench) {
+  RowResult row;
+  row.label = "SVG";
+  std::vector<double> cis;
+  std::vector<std::unique_ptr<nn::Controller>> policies;
+  for (std::uint64_t s = 1; s <= seed_count(); ++s) {
+    rl::EnvOptions eo;
+    eo.unsafe_weight = 0.05;  // best setting found for this baseline
+    rl::ControlEnv env(bench.system, bench.spec, 100 + s, eo);
+    rl::SvgOptions opt;
+    opt.linear_policy = true;  // the paper learns a linear ACC controller
+    opt.lr = 1e-2;
+    opt.terminal_weight = 30.0;
+    opt.max_episodes = 3000;
+    opt.seed = s;
+    const rl::SvgResult res = rl::train_svg(env, opt);
+    cis.push_back(static_cast<double>(res.episodes));
+    policies.push_back(res.policy->clone());
+    ++row.runs;
+    if (res.converged) ++row.successes;
+  }
+  row.ci = mean_std(cis);
+  return finish_baseline_row(bench, std::move(row), policies,
+                             make_verifier(bench, "linear"));
+}
+
+RowResult run_ddpg_acc(const ode::Benchmark& bench) {
+  RowResult row;
+  row.label = "DDPG";
+  std::vector<double> cis;
+  std::vector<std::unique_ptr<nn::Controller>> policies;
+  for (std::uint64_t s = 1; s <= seed_count(); ++s) {
+    rl::ControlEnv env(bench.system, bench.spec, 200 + s);
+    rl::DdpgOptions opt;
+    opt.action_scale = 40.0;  // the ACC needs strong braking authority
+    opt.max_episodes = 2000;
+    opt.seed = s;
+    const rl::DdpgResult res = rl::train_ddpg(env, opt);
+    cis.push_back(static_cast<double>(res.episodes));
+    policies.push_back(res.actor->clone());
+    ++row.runs;
+    if (res.converged) ++row.successes;
+  }
+  row.ci = mean_std(cis);
+  // DDPG's ReLU actor on the (affine) ACC is verified with the TM engine.
+  return finish_baseline_row(bench, std::move(row), policies,
+                             make_verifier(bench, "polar"));
+}
+
+}  // namespace
+
+int main() {
+  using namespace dwvbench;
+  const auto bench = ode::make_acc_benchmark();
+  std::printf("=== Table 1: ACC, linear controller (%zu seeds, %zu MC) ===\n",
+              seed_count(), mc_samples());
+
+  const auto linear = make_verifier(bench, "linear");
+  const auto make_lin_ctrl = [](std::uint64_t) {
+    return std::make_unique<nn::LinearController>(linalg::Mat{{0.0, 0.0}});
+  };
+
+  RowResult svg = run_svg_acc(bench);
+  print_row(svg, "401(+-51)", "91%", "91%", "Unsafe");
+
+  RowResult ddpg = run_ddpg_acc(bench);
+  print_row(ddpg, "13.6(+-2.1)K", "99.8%", "99.8%", "Unknown");
+
+  RowResult ours_w = run_ours(
+      bench, linear,
+      acc_learner_options(core::MetricKind::kWasserstein, 0),
+      "Ours(W, Flow*-lite)", make_lin_ctrl);
+  print_row(ours_w, "64(+-31.6)", "100%", "100%", "reach-avoid");
+
+  RowResult ours_g = run_ours(
+      bench, linear, acc_learner_options(core::MetricKind::kGeometric, 0),
+      "Ours(G, Flow*-lite)", make_lin_ctrl);
+  print_row(ours_g, "62(+-6.1)", "100%", "100%", "reach-avoid");
+
+  std::printf(
+      "\nshape check: ours converges in tens of verifier iterations with a\n"
+      "formal reach-avoid certificate and 100%% SC/GR; SVG needs hundreds\n"
+      "of episodes, DDPG thousands, and neither yields a certificate.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Table 1 (Oscillator rows): SVG, DDPG, and Ours with both metrics under
+// both NN verifiers (ReachNN-lite and POLAR-lite) on the Van der Pol
+// oscillator with neural-network controllers.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dwvbench;
+
+RowResult run_svg(const ode::Benchmark& bench,
+                  const reach::VerifierPtr& verifier) {
+  RowResult row;
+  row.label = "SVG";
+  std::vector<double> cis;
+  std::vector<std::unique_ptr<nn::Controller>> policies;
+  for (std::uint64_t s = 1; s <= seed_count(); ++s) {
+    rl::ControlEnv env(bench.system, bench.spec, 100 + s);
+    rl::SvgOptions opt;
+    opt.hidden = {8, 8};
+    opt.action_scale = 2.0;
+    opt.max_episodes = 3000;
+    opt.seed = s;
+    const rl::SvgResult res = rl::train_svg(env, opt);
+    cis.push_back(static_cast<double>(res.episodes));
+    policies.push_back(res.policy->clone());
+    ++row.runs;
+    if (res.converged) ++row.successes;
+  }
+  row.ci = mean_std(cis);
+  return finish_baseline_row(bench, std::move(row), policies, verifier);
+}
+
+RowResult run_ddpg(const ode::Benchmark& bench,
+                   const reach::VerifierPtr& verifier) {
+  RowResult row;
+  row.label = "DDPG";
+  std::vector<double> cis;
+  std::vector<std::unique_ptr<nn::Controller>> policies;
+  for (std::uint64_t s = 1; s <= seed_count(); ++s) {
+    rl::ControlEnv env(bench.system, bench.spec, 200 + s);
+    rl::DdpgOptions opt;
+    opt.action_scale = 2.0;
+    opt.max_episodes = 3000;
+    opt.seed = s;
+    const rl::DdpgResult res = rl::train_ddpg(env, opt);
+    cis.push_back(static_cast<double>(res.episodes));
+    policies.push_back(res.actor->clone());
+    ++row.runs;
+    if (res.converged) ++row.successes;
+  }
+  row.ci = mean_std(cis);
+  return finish_baseline_row(bench, std::move(row), policies, verifier);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dwvbench;
+  const auto bench = ode::make_oscillator_benchmark();
+  std::printf(
+      "=== Table 1: Van der Pol oscillator, NN controller (%zu seeds) ===\n",
+      seed_count());
+
+  const auto polar = make_verifier(bench, "polar");
+  const auto reachnn = make_verifier(bench, "reachnn");
+  const auto make_ctrl = [&](std::uint64_t s) {
+    return std::make_unique<nn::MlpController>(make_nn_controller(bench, s));
+  };
+
+  RowResult svg = run_svg(bench, polar);
+  print_row(svg, "388(+-15)", "98.2%", "98.2%", "Unsafe");
+
+  RowResult ddpg = run_ddpg(bench, polar);
+  print_row(ddpg, "13.7(+-6.2)K", "100%", "79.2%", "Unknown");
+
+  {
+    auto opt = oscillator_learner_options(core::MetricKind::kWasserstein, 0);
+    RowResult r = run_ours(bench, reachnn, opt, "Ours(W, ReachNN-lite)",
+                           make_ctrl);
+    print_row(r, "9(+-2)", "100%", "100%", "reach-avoid");
+  }
+  {
+    auto opt = oscillator_learner_options(core::MetricKind::kGeometric, 0);
+    RowResult r = run_ours(bench, reachnn, opt, "Ours(G, ReachNN-lite)",
+                           make_ctrl);
+    print_row(r, "11(+-1)", "100%", "100%", "reach-avoid");
+  }
+  {
+    auto opt = oscillator_learner_options(core::MetricKind::kWasserstein, 0);
+    RowResult r = run_ours(bench, polar, opt, "Ours(W, POLAR-lite)",
+                           make_ctrl);
+    print_row(r, "9(+-2)", "100%", "100%", "reach-avoid");
+  }
+  {
+    auto opt = oscillator_learner_options(core::MetricKind::kGeometric, 0);
+    RowResult r = run_ours(bench, polar, opt, "Ours(G, POLAR-lite)",
+                           make_ctrl);
+    print_row(r, "12(+-1)", "100%", "100%", "reach-avoid");
+  }
+
+  std::printf(
+      "\nshape check: verification-in-the-loop needs 1-2 orders of\n"
+      "magnitude fewer iterations than the baselines and is the only\n"
+      "method returning a formal reach-avoid certificate.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "core/falsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace dwv::core {
+
+using linalg::Vec;
+
+namespace {
+
+// Signed distance of a point to a box over the given dims: positive
+// outside (Euclidean gap), negative inside (containment depth).
+double signed_distance(const Vec& x, const geom::Box& box,
+                       const std::vector<std::size_t>& dims) {
+  bool inside = true;
+  double gap2 = 0.0;
+  double depth = std::numeric_limits<double>::infinity();
+  for (std::size_t d : dims) {
+    const double lo = box[d].lo();
+    const double hi = box[d].hi();
+    if (x[d] < lo) {
+      inside = false;
+      gap2 += (lo - x[d]) * (lo - x[d]);
+    } else if (x[d] > hi) {
+      inside = false;
+      gap2 += (x[d] - hi) * (x[d] - hi);
+    } else {
+      const double margin_lo =
+          std::isfinite(lo) ? x[d] - lo
+                            : std::numeric_limits<double>::infinity();
+      const double margin_hi =
+          std::isfinite(hi) ? hi - x[d]
+                            : std::numeric_limits<double>::infinity();
+      depth = std::min({depth, margin_lo, margin_hi});
+    }
+  }
+  if (!inside) return std::sqrt(gap2);
+  return std::isfinite(depth) ? -depth : -1.0;
+}
+
+FalsifyResult minimize(
+    const ode::System& sys, const nn::Controller& ctrl,
+    const ode::ReachAvoidSpec& spec, const FalsifyOptions& opt,
+    const std::function<double(const sim::Trace&)>& objective) {
+  std::mt19937_64 rng(opt.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  FalsifyResult best;
+  best.robustness = std::numeric_limits<double>::infinity();
+
+  const Vec radius = spec.x0.radius();
+  const auto clamp_into_x0 = [&](Vec x) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = std::clamp(x[i], spec.x0[i].lo(), spec.x0[i].hi());
+    }
+    return x;
+  };
+  const auto evaluate = [&](const Vec& x0) {
+    const sim::Trace tr =
+        sim::simulate(sys, ctrl, x0, spec.delta, spec.steps, opt.sim);
+    ++best.evaluations;
+    return objective(tr);
+  };
+
+  for (std::size_t r = 0; r < opt.restarts; ++r) {
+    Vec x = spec.x0.sample(rng);
+    double fx = evaluate(x);
+    double step = opt.initial_step;
+    for (std::size_t it = 0; it < opt.iters_per_restart; ++it) {
+      if (fx < best.robustness) {
+        best.robustness = fx;
+        best.witness = x;
+      }
+      if (fx < 0.0) {
+        best.falsified = true;
+        return best;
+      }
+      Vec cand(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        cand[i] = x[i] + step * radius[i] * gauss(rng);
+      }
+      cand = clamp_into_x0(cand);
+      const double fc = evaluate(cand);
+      if (fc < fx) {
+        x = std::move(cand);
+        fx = fc;
+      } else {
+        step *= opt.step_decay;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double safety_robustness(const sim::Trace& trace,
+                         const ode::ReachAvoidSpec& spec) {
+  if (trace.diverged) return -1.0;  // treated as a violation
+
+  // Under stop-at-goal semantics only the pre-reach prefix matters.
+  std::size_t fine_limit = trace.fine_states.size();
+  if (spec.stop_at_goal && trace.states.size() > 1) {
+    for (std::size_t i = 0; i < trace.states.size(); ++i) {
+      if (spec.goal.contains(trace.states[i])) {
+        const std::size_t substeps =
+            (trace.fine_states.size() - 1) / (trace.states.size() - 1);
+        fine_limit = std::min(fine_limit, i * substeps + 1);
+        break;
+      }
+    }
+  }
+  double rob = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < fine_limit; ++i) {
+    rob = std::min(rob, signed_distance(trace.fine_states[i], spec.unsafe,
+                                        spec.unsafe_dims));
+  }
+  return rob;
+}
+
+double goal_robustness(const sim::Trace& trace,
+                       const ode::ReachAvoidSpec& spec) {
+  if (trace.diverged) return 1.0;  // certainly never reaches
+  double rob = std::numeric_limits<double>::infinity();
+  for (const auto& x : trace.states) {
+    rob = std::min(rob, signed_distance(x, spec.goal, spec.goal_dims));
+  }
+  return rob;
+}
+
+FalsifyResult falsify_safety(const ode::System& sys,
+                             const nn::Controller& ctrl,
+                             const ode::ReachAvoidSpec& spec,
+                             const FalsifyOptions& opt) {
+  return minimize(sys, ctrl, spec, opt, [&](const sim::Trace& tr) {
+    return safety_robustness(tr, spec);
+  });
+}
+
+FalsifyResult falsify_goal(const ode::System& sys,
+                           const nn::Controller& ctrl,
+                           const ode::ReachAvoidSpec& spec,
+                           const FalsifyOptions& opt) {
+  // Violation = the trace NEVER reaches the goal, i.e. goal robustness
+  // stays positive; minimize its negation so "falsified" means f < 0.
+  return minimize(sys, ctrl, spec, opt, [&](const sim::Trace& tr) {
+    return -goal_robustness(tr, spec);
+  });
+}
+
+}  // namespace dwv::core

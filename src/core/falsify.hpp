@@ -1,0 +1,62 @@
+// Falsification: search for concrete counterexample initial states by
+// minimizing a trace-robustness function with restarted local search
+// ((1+1)-evolution strategy over X0). The paper discusses falsification
+// (VerifAI-style) as the closed-loop alternative that lacks guarantees —
+// here it serves two roles:
+//  * sharpening the design-then-verify baselines' verdicts (a found
+//    counterexample turns Unknown into Unsafe),
+//  * sanity-checking certificates (a falsifier must FAIL on a controller
+//    that carries a reach-avoid certificate — tested in the suite).
+#pragma once
+
+#include <random>
+
+#include "nn/controller.hpp"
+#include "ode/spec.hpp"
+#include "ode/system.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::core {
+
+struct FalsifyOptions {
+  std::size_t restarts = 8;          ///< independent local searches
+  std::size_t iters_per_restart = 60;
+  /// Initial mutation radius as a fraction of X0's half-width.
+  double initial_step = 0.5;
+  double step_decay = 0.97;
+  std::uint64_t seed = 1;
+  sim::SimOptions sim;
+};
+
+struct FalsifyResult {
+  bool falsified = false;   ///< a violating initial state was found
+  linalg::Vec witness;      ///< the counterexample (valid when falsified)
+  double robustness = 0.0;  ///< best (lowest) robustness value reached
+  std::size_t evaluations = 0;
+};
+
+/// Safety robustness of one trace: the minimum over time of the distance
+/// to the unsafe set (negative depth when inside). Negative => violation.
+double safety_robustness(const sim::Trace& trace,
+                         const ode::ReachAvoidSpec& spec);
+
+/// Goal robustness: negative iff the trace reaches the goal (we search for
+/// initial states that do NOT reach, i.e. maximize distance-to-goal), so a
+/// POSITIVE value is the violation here. Concretely: min over control
+/// instants of the distance to the goal box; > 0 => never reached.
+double goal_robustness(const sim::Trace& trace,
+                       const ode::ReachAvoidSpec& spec);
+
+/// Searches X0 for an initial state whose trace enters Xu.
+FalsifyResult falsify_safety(const ode::System& sys,
+                             const nn::Controller& ctrl,
+                             const ode::ReachAvoidSpec& spec,
+                             const FalsifyOptions& opt = {});
+
+/// Searches X0 for an initial state whose trace never reaches Xg.
+FalsifyResult falsify_goal(const ode::System& sys,
+                           const nn::Controller& ctrl,
+                           const ode::ReachAvoidSpec& spec,
+                           const FalsifyOptions& opt = {});
+
+}  // namespace dwv::core

@@ -1,0 +1,49 @@
+#include "core/initial_set.hpp"
+
+#include "core/verdict.hpp"
+
+namespace dwv::core {
+
+InitialSetResult search_initial_set(const reach::Verifier& verifier,
+                                    const ode::ReachAvoidSpec& spec,
+                                    const nn::Controller& ctrl,
+                                    const InitialSetOptions& opt) {
+  InitialSetResult res;
+
+  struct Cell {
+    geom::Box box;
+    std::size_t depth;
+  };
+  std::vector<Cell> work{{spec.x0, 0}};
+
+  double certified_volume = 0.0;
+  const double total_volume = spec.x0.volume();
+
+  while (!work.empty()) {
+    const Cell cell = work.back();
+    work.pop_back();
+
+    const reach::Flowpipe fp = verifier.compute(cell.box, ctrl);
+    ++res.verifier_calls;
+    const FlowpipeFacts facts = analyze_flowpipe(fp, spec);
+
+    const bool safe_ok = !opt.check_safety || facts.safe_certified;
+    if (fp.valid && safe_ok && facts.goal_certified) {
+      certified_volume += cell.box.volume();
+      res.certified.push_back(cell.box);
+      continue;
+    }
+    if (cell.depth < opt.max_depth) {
+      auto [lo, hi] = cell.box.bisect();
+      work.push_back({lo, cell.depth + 1});
+      work.push_back({hi, cell.depth + 1});
+    } else {
+      res.rejected.push_back(cell.box);
+    }
+  }
+
+  res.coverage = total_volume > 0.0 ? certified_volume / total_volume : 0.0;
+  return res;
+}
+
+}  // namespace dwv::core

@@ -1,0 +1,43 @@
+// Algorithm 2: reach-avoid initial set searching.
+//
+// After Algorithm 1 certifies safety from the whole X0, goal-reaching may
+// still only hold for part of X0 (intersection semantics + reachable-set
+// over-approximation). This branch-and-refine search partitions X0 and
+// keeps the cells X_p whose reachable set is, at some control instant,
+// provably inside the goal: their union is the certified X_I.
+#pragma once
+
+#include <vector>
+
+#include "nn/controller.hpp"
+#include "ode/spec.hpp"
+#include "reach/verifier.hpp"
+
+namespace dwv::core {
+
+struct InitialSetOptions {
+  /// Maximum bisection depth (a cell at depth d has volume |X0| / 2^d).
+  std::size_t max_depth = 4;
+  /// Also require per-cell safety certification (safety already holds for
+  /// all of X0 when Algorithm 1 succeeded, so this is usually redundant).
+  bool check_safety = true;
+};
+
+struct InitialSetResult {
+  /// Disjoint certified cells; their union is X_I.
+  std::vector<geom::Box> certified;
+  /// Cells that could not be certified at max depth.
+  std::vector<geom::Box> rejected;
+  /// |X_I| / |X0|.
+  double coverage = 0.0;
+  std::size_t verifier_calls = 0;
+  /// X_I == X0 (goal-reaching certified for every initial state).
+  bool full() const { return coverage >= 1.0 - 1e-12; }
+};
+
+InitialSetResult search_initial_set(const reach::Verifier& verifier,
+                                    const ode::ReachAvoidSpec& spec,
+                                    const nn::Controller& ctrl,
+                                    const InitialSetOptions& opt = {});
+
+}  // namespace dwv::core

@@ -1,0 +1,213 @@
+#include "core/learner.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "nn/adam.hpp"
+
+namespace dwv::core {
+
+using linalg::Vec;
+
+std::string to_string(MetricKind m) {
+  return m == MetricKind::kGeometric ? "geometric" : "wasserstein";
+}
+
+Learner::Learner(reach::VerifierPtr verifier, ode::ReachAvoidSpec spec,
+                 LearnerOptions opt)
+    : verifier_(std::move(verifier)), spec_(std::move(spec)), opt_(opt) {}
+
+Learner::MetricPair Learner::measure(const reach::Flowpipe& fp) const {
+  MetricPair m;
+  if (!fp.valid) {
+    if (opt_.metric == MetricKind::kGeometric) {
+      const GeometricMetrics p = geometric_penalty(spec_, fp);
+      m.d_u = p.d_u;
+      m.d_g = p.d_g;
+    } else {
+      const WassersteinMetrics p = wasserstein_penalty(spec_, fp);
+      m.d_u = p.w_unsafe;
+      m.d_g = -p.w_goal;
+    }
+    m.feasible = false;
+    return m;
+  }
+
+  if (opt_.metric == MetricKind::kGeometric) {
+    const GeometricMetrics g = geometric_metrics(fp, spec_);
+    m.d_u = g.d_u;
+    m.d_g = g.d_g;
+    m.feasible = g.feasible();
+  } else {
+    const WassersteinMetrics w = wasserstein_metrics(fp, spec_, opt_.wopt);
+    // Larger-is-better orientation: repel from Xu, attract to Xg.
+    m.d_u = w.w_unsafe;
+    m.d_g = -w.w_goal;
+    const FlowpipeFacts facts = analyze_flowpipe(fp, spec_);
+    m.feasible = facts.touches_goal && facts.safe_certified;
+  }
+  return m;
+}
+
+IterationRecord Learner::evaluate(const nn::Controller& ctrl) const {
+  const reach::Flowpipe fp = verifier_->compute(spec_.x0, ctrl);
+  IterationRecord rec;
+  if (fp.valid) {
+    rec.geo = geometric_metrics(fp, spec_);
+    rec.wass = wasserstein_metrics(fp, spec_, opt_.wopt);
+  } else {
+    rec.geo = geometric_penalty(spec_, fp);
+    rec.wass = wasserstein_penalty(spec_, fp);
+  }
+  rec.feasible = measure(fp).feasible;
+  return rec;
+}
+
+LearnResult Learner::learn(nn::Controller& ctrl) const {
+  std::mt19937_64 rng(opt_.seed);
+  std::bernoulli_distribution coin(0.5);
+  std::normal_distribution<double> reinit(0.0, opt_.restart_scale);
+
+  LearnResult res;
+  const std::size_t d = ctrl.param_count();
+  nn::Adam adam(d, opt_.adam_lr);
+
+  const auto timed_compute = [&](const nn::Controller& c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    reach::Flowpipe fp = verifier_->compute(spec_.x0, c);
+    const auto t1 = std::chrono::steady_clock::now();
+    res.verifier_seconds +=
+        std::chrono::duration<double>(t1 - t0).count();
+    ++res.verifier_calls;
+    return fp;
+  };
+
+  const auto measure_at = [&](const Vec& theta) {
+    auto probe = ctrl.clone();
+    probe->set_params(theta);
+    return measure(timed_compute(*probe));
+  };
+
+  const auto objective = [&](const MetricPair& m) {
+    return opt_.alpha * m.d_u + opt_.beta * m.d_g;
+  };
+
+  const std::size_t attempts = std::max<std::size_t>(1, opt_.restarts);
+  const std::size_t budget_per_attempt =
+      std::max<std::size_t>(1, opt_.max_iters / attempts);
+
+  Vec theta = ctrl.params();
+  std::size_t global_iter = 0;
+
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Random re-initialization (Algorithm 1 line 1).
+      for (std::size_t i = 0; i < d; ++i) theta[i] = reinit(rng);
+      ctrl.set_params(theta);
+      adam.reset();
+    }
+    const std::size_t last_of_attempt =
+        (attempt + 1 == attempts) ? opt_.max_iters
+                                  : (attempt + 1) * budget_per_attempt;
+
+    for (; global_iter <= last_of_attempt; ++global_iter) {
+      const reach::Flowpipe fp = timed_compute(ctrl);
+
+      IterationRecord rec;
+      rec.iter = global_iter;
+      if (fp.valid) {
+        rec.geo = geometric_metrics(fp, spec_);
+        rec.wass = wasserstein_metrics(fp, spec_, opt_.wopt);
+      } else {
+        rec.geo = geometric_penalty(spec_, fp);
+        rec.wass = wasserstein_penalty(spec_, fp);
+      }
+      const MetricPair m = measure(fp);
+      rec.feasible = m.feasible;
+      if (m.feasible && opt_.require_containment) {
+        rec.feasible = analyze_flowpipe(fp, spec_).goal_certified;
+      }
+      res.history.push_back(rec);
+
+      if (rec.feasible) {
+        res.success = true;
+        res.iterations = global_iter;
+        res.final_flowpipe = fp;
+        return res;
+      }
+      if (global_iter == opt_.max_iters) {
+        res.iterations = global_iter;
+        res.final_flowpipe = fp;
+        return res;
+      }
+      if (global_iter == last_of_attempt) break;  // restart
+
+      // --- Difference-method gradient approximation (Eq. 5) ---
+      // With a shared perturbation p, Algorithm 1's line-6 update
+      // theta += alpha grad(d_u) + beta grad(d_g) equals SPSA ascent on
+      // the combined objective J = alpha d_u + beta d_g.
+      Vec grad(d);
+      const auto accumulate_spsa = [&]() {
+        Vec delta(d);
+        for (std::size_t i = 0; i < d; ++i)
+          delta[i] = coin(rng) ? 1.0 : -1.0;
+        const double p = opt_.perturbation;
+        Vec tp = theta;
+        Vec tm = theta;
+        for (std::size_t i = 0; i < d; ++i) {
+          tp[i] += p * delta[i];
+          tm[i] -= p * delta[i];
+        }
+        const double jp = objective(measure_at(tp));
+        const double jm = objective(measure_at(tm));
+        for (std::size_t i = 0; i < d; ++i) {
+          grad[i] += (jp - jm) / (2.0 * p * delta[i]);
+        }
+      };
+
+      switch (opt_.gradient) {
+        case GradientMode::kSpsa:
+          accumulate_spsa();
+          break;
+        case GradientMode::kSpsaAveraged: {
+          for (std::size_t s2 = 0; s2 < opt_.spsa_samples; ++s2)
+            accumulate_spsa();
+          grad /= static_cast<double>(opt_.spsa_samples);
+          break;
+        }
+        case GradientMode::kCoordinate: {
+          const double p = opt_.perturbation;
+          for (std::size_t i = 0; i < d; ++i) {
+            Vec tp = theta;
+            Vec tm = theta;
+            tp[i] += p;
+            tm[i] -= p;
+            const double jp = objective(measure_at(tp));
+            const double jm = objective(measure_at(tm));
+            grad[i] = (jp - jm) / (2.0 * p);
+          }
+          break;
+        }
+      }
+
+      // Ascent step (Algorithm 1 line 6).
+      if (opt_.use_adam) {
+        theta += adam.step(-1.0 * grad);  // Adam descends; negate.
+      } else {
+        const double gn = grad.norm_inf();
+        if (gn > 0.0) {
+          const double step =
+              opt_.step_size /
+              (1.0 + opt_.step_decay * static_cast<double>(global_iter));
+          theta += (step / gn) * grad;
+        }
+      }
+      ctrl.set_params(theta);
+    }
+  }
+  res.iterations = std::min(global_iter, opt_.max_iters);
+  if (!res.history.empty()) res.final_flowpipe = reach::Flowpipe{};
+  return res;
+}
+
+}  // namespace dwv::core

@@ -1,0 +1,98 @@
+// Algorithm 1: verification-in-the-loop control learning.
+//
+// Each iteration queries the verifier for the reachable set under SPSA
+// perturbations of the controller parameters, approximates the metric
+// gradients with the paper's difference method (Eq. 5, Fig. 2), and ascends
+// until the reach-avoid feedback metrics certify feasibility or the
+// iteration budget is exhausted.
+#pragma once
+
+#include <functional>
+#include <random>
+
+#include "core/metrics.hpp"
+#include "core/verdict.hpp"
+#include "nn/controller.hpp"
+#include "reach/verifier.hpp"
+
+namespace dwv::core {
+
+enum class MetricKind { kGeometric, kWasserstein };
+std::string to_string(MetricKind m);
+
+enum class GradientMode {
+  kSpsa,           ///< one Bernoulli +-1 simultaneous perturbation (Fig. 2)
+  kSpsaAveraged,   ///< average of several SPSA estimates
+  kCoordinate,     ///< full central differences, one coordinate at a time
+};
+
+struct LearnerOptions {
+  MetricKind metric = MetricKind::kGeometric;
+  GradientMode gradient = GradientMode::kSpsa;
+  std::size_t spsa_samples = 2;    ///< for kSpsaAveraged
+  std::size_t max_iters = 100;     ///< N in Algorithm 1
+  /// Weights of the combined ascent objective J = alpha d_u + beta d_g
+  /// (Algorithm 1 line 6; with a shared perturbation the two-gradient
+  /// update is exactly SPSA on this weighted sum).
+  double alpha = 1.0;
+  double beta = 1.0;
+  double perturbation = 0.02;      ///< SPSA perturbation magnitude p
+  /// Step: theta += step_size * g / |g|_inf, decayed by 1/(1 + decay * t).
+  double step_size = 0.1;
+  double step_decay = 0.0;
+  /// Use Adam on the (raw) SPSA gradient instead of the normalized step.
+  bool use_adam = false;
+  double adam_lr = 0.05;
+  /// Stop only when, additionally, some step set is fully inside the goal
+  /// (full-X0 certification instead of metric positivity).
+  bool require_containment = false;
+  /// Random re-initializations when a run stalls (Algorithm 1's "randomly
+  /// initialize theta"); iterations keep accumulating across restarts.
+  std::size_t restarts = 3;
+  double restart_scale = 1.0;  ///< stddev of the random re-initialization
+  std::uint64_t seed = 42;
+  WassersteinOptions wopt;
+};
+
+/// One entry of the learning curve (Figs. 4 and 5).
+struct IterationRecord {
+  std::size_t iter = 0;
+  GeometricMetrics geo;
+  WassersteinMetrics wass;
+  bool feasible = false;
+};
+
+struct LearnResult {
+  bool success = false;            ///< feasibility reached within budget
+  std::size_t iterations = 0;      ///< convergence iterations (CI)
+  std::vector<IterationRecord> history;
+  std::size_t verifier_calls = 0;
+  double verifier_seconds = 0.0;   ///< wall time inside the verifier
+  reach::Flowpipe final_flowpipe;
+};
+
+class Learner {
+ public:
+  Learner(reach::VerifierPtr verifier, ode::ReachAvoidSpec spec,
+          LearnerOptions opt = {});
+
+  /// Runs Algorithm 1 starting from (and mutating) `ctrl`'s parameters.
+  LearnResult learn(nn::Controller& ctrl) const;
+
+  /// Evaluates the current controller once (no update); used by benches.
+  IterationRecord evaluate(const nn::Controller& ctrl) const;
+
+ private:
+  struct MetricPair {
+    double d_u = 0.0;  ///< "stay away from unsafe" score (larger better)
+    double d_g = 0.0;  ///< "approach goal" score (larger better)
+    bool feasible = false;
+  };
+  MetricPair measure(const reach::Flowpipe& fp) const;
+
+  reach::VerifierPtr verifier_;
+  ode::ReachAvoidSpec spec_;
+  LearnerOptions opt_;
+};
+
+}  // namespace dwv::core

@@ -1,0 +1,95 @@
+#include "core/verdict.hpp"
+
+#include <random>
+#include <sstream>
+
+#include "core/falsify.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::core {
+
+FlowpipeFacts analyze_flowpipe(const reach::Flowpipe& fp,
+                               const ode::ReachAvoidSpec& spec) {
+  FlowpipeFacts facts;
+  if (!fp.valid) return facts;
+
+  facts.touches_unsafe = false;
+  for (const auto& hull : fp.interval_hulls) {
+    if (hull.intersects(spec.unsafe)) {
+      facts.touches_unsafe = true;
+      break;
+    }
+  }
+  facts.safe_certified = !facts.touches_unsafe;
+
+  for (std::size_t k = 0; k < fp.step_sets.size(); ++k) {
+    if (!facts.touches_goal && fp.step_sets[k].intersects(spec.goal))
+      facts.touches_goal = true;
+    if (spec.goal.contains(fp.step_sets[k])) {
+      facts.goal_certified = true;
+      facts.goal_step = k;
+      break;
+    }
+  }
+  return facts;
+}
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kReachAvoid:
+      return "reach-avoid";
+    case Verdict::kUnsafe:
+      return "Unsafe";
+    case Verdict::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+VerificationReport verify_controller(const reach::Verifier& verifier,
+                                     const ode::System& sys,
+                                     const nn::Controller& ctrl,
+                                     const ode::ReachAvoidSpec& spec,
+                                     std::size_t counterexample_samples,
+                                     std::uint64_t seed) {
+  VerificationReport rep;
+  const reach::Flowpipe fp = verifier.compute(spec.x0, ctrl);
+  rep.flowpipe_valid = fp.valid;
+  rep.facts = analyze_flowpipe(fp, spec);
+
+  if (fp.valid && rep.facts.safe_certified && rep.facts.goal_certified) {
+    rep.verdict = Verdict::kReachAvoid;
+    std::ostringstream os;
+    os << "safety certified for X0; goal containment at step "
+       << rep.facts.goal_step;
+    rep.detail = os.str();
+    return rep;
+  }
+
+  // Over-approximation inconclusive: hunt for a concrete counterexample to
+  // distinguish Unsafe from Unknown (this mirrors how the paper labels the
+  // unverifiable baselines). Falsification = random restarts + local
+  // robustness descent, much sharper than blind sampling.
+  FalsifyOptions fo;
+  fo.seed = seed;
+  fo.restarts = std::max<std::size_t>(2, counterexample_samples / 50);
+  fo.iters_per_restart = 50;
+  const FalsifyResult fr = falsify_safety(sys, ctrl, spec, fo);
+  if (fr.falsified) {
+    rep.verdict = Verdict::kUnsafe;
+    std::ostringstream os;
+    os << "falsified: trace from x0=" << fr.witness
+       << " enters the unsafe set (robustness " << fr.robustness << ")";
+    rep.detail = os.str();
+    return rep;
+  }
+
+  rep.verdict = Verdict::kUnknown;
+  rep.detail = fp.valid
+                   ? "over-approximation touches Xu or misses goal "
+                     "containment; no counterexample found"
+                   : ("verifier failed: " + fp.failure);
+  return rep;
+}
+
+}  // namespace dwv::core

@@ -1,0 +1,57 @@
+// Formal verdicts from a flowpipe, and the combined "Verified result"
+// column of the paper's Table 1 (reach-avoid / Unsafe / Unknown).
+#pragma once
+
+#include <string>
+
+#include "nn/controller.hpp"
+#include "ode/spec.hpp"
+#include "ode/system.hpp"
+#include "reach/flowpipe.hpp"
+#include "reach/verifier.hpp"
+
+namespace dwv::core {
+
+/// Sound facts extractable from an over-approximated flowpipe.
+struct FlowpipeFacts {
+  /// The tube provably never meets Xu (=> system is safe from this X0).
+  bool safe_certified = false;
+  /// Some step set is provably contained in Xg (=> goal-reaching from the
+  /// WHOLE analyzed initial box; Algorithm 2 searches sub-boxes otherwise).
+  bool goal_certified = false;
+  std::size_t goal_step = 0;
+  /// The over-approximation touches Xu (safety cannot be concluded).
+  bool touches_unsafe = false;
+  /// The over-approximation touches Xg at some control instant.
+  bool touches_goal = false;
+};
+
+FlowpipeFacts analyze_flowpipe(const reach::Flowpipe& fp,
+                               const ode::ReachAvoidSpec& spec);
+
+/// Table-1 style verdict.
+enum class Verdict {
+  kReachAvoid,  ///< formally verified reach-avoid
+  kUnsafe,      ///< violation demonstrated (simulation counterexample)
+  kUnknown,     ///< over-approximation inconclusive (or verifier failed)
+};
+std::string to_string(Verdict v);
+
+/// Design-then-verify evaluation of a fixed controller: run the verifier;
+/// if safety can't be certified, look for a concrete counterexample by
+/// simulation to separate Unsafe from Unknown (the paper's treatment of
+/// the DDPG/SVG baselines).
+struct VerificationReport {
+  Verdict verdict = Verdict::kUnknown;
+  FlowpipeFacts facts;
+  bool flowpipe_valid = false;
+  std::string detail;
+};
+VerificationReport verify_controller(const reach::Verifier& verifier,
+                                     const ode::System& sys,
+                                     const nn::Controller& ctrl,
+                                     const ode::ReachAvoidSpec& spec,
+                                     std::size_t counterexample_samples = 200,
+                                     std::uint64_t seed = 1234);
+
+}  // namespace dwv::core

@@ -1,0 +1,112 @@
+#include "geom/box.hpp"
+
+#include <cmath>
+
+namespace dwv::geom {
+
+Box Box::from_bounds(const std::vector<std::pair<double, double>>& b) {
+  interval::IVec v(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    v[i] = interval::Interval(b[i].first, b[i].second);
+  return Box(v);
+}
+
+double Box::volume() const {
+  double v = 1.0;
+  for (const auto& iv : bounds_) v *= iv.width();
+  return v;
+}
+
+double Box::volume_in(const std::vector<std::size_t>& dims) const {
+  double v = 1.0;
+  for (std::size_t d : dims) v *= bounds_[d].width();
+  return v;
+}
+
+bool Box::intersects(const Box& o) const {
+  assert(dim() == o.dim());
+  for (std::size_t i = 0; i < dim(); ++i)
+    if (!bounds_[i].intersects(o.bounds_[i])) return false;
+  return true;
+}
+
+std::optional<Box> Box::intersection(const Box& o) const {
+  assert(dim() == o.dim());
+  interval::IVec v(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const auto r = interval::intersect(bounds_[i], o.bounds_[i]);
+    if (!r.ok) return std::nullopt;
+    v[i] = r.value;
+  }
+  return Box(v);
+}
+
+double Box::distance_to(const Box& o) const {
+  assert(dim() == o.dim());
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double gap =
+        std::max({0.0, bounds_[i].lo() - o.bounds_[i].hi(),
+                  o.bounds_[i].lo() - bounds_[i].hi()});
+    s += gap * gap;
+  }
+  return std::sqrt(s);
+}
+
+double Box::distance_to_in(const Box& o,
+                           const std::vector<std::size_t>& dims) const {
+  double s = 0.0;
+  for (std::size_t i : dims) {
+    const double gap =
+        std::max({0.0, bounds_[i].lo() - o.bounds_[i].hi(),
+                  o.bounds_[i].lo() - bounds_[i].hi()});
+    s += gap * gap;
+  }
+  return std::sqrt(s);
+}
+
+std::pair<Box, Box> Box::bisect() const {
+  std::size_t widest = 0;
+  for (std::size_t i = 1; i < dim(); ++i)
+    if (bounds_[i].width() > bounds_[widest].width()) widest = i;
+  return bisect(widest);
+}
+
+std::pair<Box, Box> Box::bisect(std::size_t d) const {
+  assert(d < dim());
+  Box lo = *this;
+  Box hi = *this;
+  const double m = bounds_[d].mid();
+  lo.bounds_[d] = interval::Interval(bounds_[d].lo(), m);
+  hi.bounds_[d] = interval::Interval(m, bounds_[d].hi());
+  return {lo, hi};
+}
+
+std::vector<Box> Box::grid(const std::vector<std::size_t>& per_dim) const {
+  assert(per_dim.size() == dim());
+  std::vector<Box> cells;
+  std::size_t total = 1;
+  for (std::size_t k : per_dim) {
+    assert(k >= 1);
+    total *= k;
+  }
+  cells.reserve(total);
+  std::vector<std::size_t> idx(dim(), 0);
+  for (std::size_t c = 0; c < total; ++c) {
+    interval::IVec v(dim());
+    for (std::size_t i = 0; i < dim(); ++i) {
+      const double w = bounds_[i].width() / static_cast<double>(per_dim[i]);
+      const double lo = bounds_[i].lo() + w * static_cast<double>(idx[i]);
+      v[i] = interval::Interval(lo, lo + w);
+    }
+    cells.emplace_back(v);
+    // Odometer increment.
+    for (std::size_t i = 0; i < dim(); ++i) {
+      if (++idx[i] < per_dim[i]) break;
+      idx[i] = 0;
+    }
+  }
+  return cells;
+}
+
+}  // namespace dwv::geom

@@ -1,0 +1,90 @@
+// Axis-aligned boxes in R^n: the workhorse set representation for initial
+// sets, goal/unsafe regions, and box hulls of flowpipe segments.
+#pragma once
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "interval/ivec.hpp"
+#include "linalg/vec.hpp"
+
+namespace dwv::geom {
+
+/// Axis-aligned box, i.e. a product of closed intervals.
+class Box {
+ public:
+  Box() = default;
+  explicit Box(interval::IVec bounds) : bounds_(std::move(bounds)) {}
+  Box(std::initializer_list<interval::Interval> xs) : bounds_(xs) {}
+
+  /// Box from per-dimension [lo, hi] pairs.
+  static Box from_bounds(const std::vector<std::pair<double, double>>& b);
+  /// Degenerate box at a point.
+  static Box point(const linalg::Vec& x) {
+    return Box(interval::IVec::point(x));
+  }
+
+  std::size_t dim() const { return bounds_.size(); }
+  const interval::IVec& bounds() const { return bounds_; }
+  interval::Interval& operator[](std::size_t i) { return bounds_[i]; }
+  const interval::Interval& operator[](std::size_t i) const {
+    return bounds_[i];
+  }
+
+  linalg::Vec center() const { return bounds_.mid(); }
+  linalg::Vec radius() const { return bounds_.rad(); }
+  double max_width() const { return bounds_.max_width(); }
+
+  /// Lebesgue volume (product of widths). Zero-width dimensions give 0.
+  double volume() const;
+
+  /// Volume computed only over the listed dimensions; used when goal/unsafe
+  /// sets constrain a subspace (e.g. the 3-D system's x1-x2 constraints).
+  double volume_in(const std::vector<std::size_t>& dims) const;
+
+  bool contains(const linalg::Vec& x) const { return bounds_.contains(x); }
+  bool contains(const Box& o) const { return bounds_.contains(o.bounds_); }
+  bool intersects(const Box& o) const;
+
+  /// Intersection, or nullopt when disjoint.
+  std::optional<Box> intersection(const Box& o) const;
+
+  /// Smallest box containing both.
+  Box hull_with(const Box& o) const {
+    return Box(interval::hull(bounds_, o.bounds_));
+  }
+
+  /// Euclidean distance between the two boxes (0 when they intersect).
+  double distance_to(const Box& o) const;
+  /// Distance restricted to a subset of the dimensions.
+  double distance_to_in(const Box& o,
+                        const std::vector<std::size_t>& dims) const;
+
+  /// Splits along the widest dimension into two halves.
+  std::pair<Box, Box> bisect() const;
+  /// Splits along a specific dimension.
+  std::pair<Box, Box> bisect(std::size_t dim) const;
+
+  /// Uniform grid of 'per_dim[i]' cells per dimension; returns all cells.
+  std::vector<Box> grid(const std::vector<std::size_t>& per_dim) const;
+
+  /// Uniformly sampled point (for Monte-Carlo evaluation).
+  template <class Rng>
+  linalg::Vec sample(Rng& rng) const {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    linalg::Vec x(dim());
+    for (std::size_t i = 0; i < dim(); ++i)
+      x[i] = bounds_[i].lo() + u(rng) * bounds_[i].width();
+    return x;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << b.bounds_;
+  }
+
+ private:
+  interval::IVec bounds_;
+};
+
+}  // namespace dwv::geom

@@ -1,0 +1,78 @@
+// Convex polygons in the plane. Used for exact reachable-set geometry of
+// 2-D systems (ACC, oscillator projections): the image of a polytope under
+// an affine map is again a polytope, so linear flowpipes stay exact.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace dwv::geom {
+
+/// Point in the plane.
+struct P2 {
+  double x = 0.0;
+  double y = 0.0;
+  friend P2 operator+(P2 a, P2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend P2 operator-(P2 a, P2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend P2 operator*(double s, P2 a) { return {s * a.x, s * a.y}; }
+  friend bool operator==(P2 a, P2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double cross(P2 o, P2 a, P2 b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+/// Convex polygon, vertices in counter-clockwise order, no repeats.
+/// An empty vertex list denotes the empty set.
+class Polygon2d {
+ public:
+  Polygon2d() = default;
+  /// Takes arbitrary points; stores their convex hull (CCW).
+  explicit Polygon2d(std::vector<P2> points);
+
+  static Polygon2d from_box(const Box& b);
+  /// Rectangle [x0,x1] x [y0,y1].
+  static Polygon2d rect(double x0, double x1, double y0, double y1);
+
+  bool empty() const { return vs_.empty(); }
+  std::size_t size() const { return vs_.size(); }
+  const std::vector<P2>& vertices() const { return vs_; }
+
+  /// Shoelace area (0 for degenerate polygons).
+  double area() const;
+
+  P2 centroid() const;
+
+  /// Smallest axis-aligned bounding box.
+  Box bounding_box() const;
+
+  /// Image under the affine map p -> M p + c (M is 2x2, c in R^2).
+  /// Convexity is preserved; the image hull of the vertices is exact.
+  Polygon2d affine(const linalg::Mat& m, const linalg::Vec& c) const;
+
+  /// Intersection with another convex polygon (Sutherland-Hodgman).
+  Polygon2d clip(const Polygon2d& clip_region) const;
+
+  bool contains(P2 p) const;
+
+  /// Euclidean distance between this polygon and another (0 if they touch
+  /// or overlap). Exact for convex polygons: realized between edges.
+  double distance_to(const Polygon2d& o) const;
+
+  /// Distance from a point to the polygon boundary/interior (0 inside).
+  double distance_to_point(P2 p) const;
+
+ private:
+  std::vector<P2> vs_;
+};
+
+/// Distance between segment ab and point p.
+double segment_point_distance(P2 a, P2 b, P2 p);
+/// Distance between segments ab and cd.
+double segment_segment_distance(P2 a, P2 b, P2 c, P2 d);
+
+}  // namespace dwv::geom

@@ -1,0 +1,114 @@
+#include "geom/zonotope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dwv::geom {
+
+Zonotope Zonotope::from_box(const Box& b) {
+  const std::size_t n = b.dim();
+  linalg::Vec c = b.center();
+  const linalg::Vec r = b.radius();
+  linalg::Mat g(n, n);
+  for (std::size_t i = 0; i < n; ++i) g(i, i) = r[i];
+  return Zonotope(std::move(c), std::move(g));
+}
+
+Zonotope Zonotope::affine(const linalg::Mat& m, const linalg::Vec& v) const {
+  linalg::Vec c = m * c_ + v;
+  linalg::Mat g = g_.empty() ? linalg::Mat(m.rows(), 0) : m * g_;
+  return Zonotope(std::move(c), std::move(g));
+}
+
+Zonotope Zonotope::minkowski_sum(const Zonotope& o) const {
+  assert(dim() == o.dim());
+  linalg::Vec c = c_ + o.c_;
+  if (g_.empty()) return Zonotope(std::move(c), o.g_);
+  if (o.g_.empty()) return Zonotope(std::move(c), g_);
+  return Zonotope(std::move(c), linalg::Mat::hcat(g_, o.g_));
+}
+
+Box Zonotope::bounding_box() const {
+  interval::IVec v(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    double r = 0.0;
+    for (std::size_t j = 0; j < order(); ++j) r += std::abs(g_(i, j));
+    v[i] = interval::Interval(c_[i] - r, c_[i] + r);
+  }
+  return Box(v);
+}
+
+double Zonotope::support(const linalg::Vec& dir) const {
+  assert(dir.size() == dim());
+  double s = dot(dir, c_);
+  for (std::size_t j = 0; j < order(); ++j)
+    s += std::abs(dot(dir, g_.col(j)));
+  return s;
+}
+
+Polygon2d Zonotope::to_polygon() const {
+  assert(dim() == 2);
+  const std::size_t k = order();
+  if (k == 0) return Polygon2d({{c_[0], c_[1]}});
+
+  // Standard zonogon construction: orient all generators into the upper
+  // half-plane, sort by angle, then walk the boundary.
+  std::vector<P2> gens;
+  gens.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    P2 g{g_(0, j), g_(1, j)};
+    if (g.y < 0.0 || (g.y == 0.0 && g.x < 0.0)) g = {-g.x, -g.y};
+    gens.push_back(g);
+  }
+  std::sort(gens.begin(), gens.end(), [](P2 a, P2 b) {
+    return std::atan2(a.y, a.x) < std::atan2(b.y, b.x);
+  });
+
+  // Start from the vertex minimizing every generator contribution.
+  P2 v{c_[0], c_[1]};
+  for (const P2& g : gens) v = v - g;
+
+  std::vector<P2> verts;
+  verts.reserve(2 * k);
+  verts.push_back(v);
+  for (const P2& g : gens) {
+    v = v + 2.0 * g;
+    verts.push_back(v);
+  }
+  for (const P2& g : gens) {
+    v = v - 2.0 * g;
+    verts.push_back(v);
+  }
+  return Polygon2d(std::move(verts));
+}
+
+Zonotope Zonotope::reduce_order(std::size_t max_gens) const {
+  const std::size_t k = order();
+  if (k <= max_gens || max_gens < dim()) return *this;
+
+  // Keep the (max_gens - dim) largest generators by 1-norm; box the rest.
+  std::vector<std::size_t> idx(k);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto len1 = [this](std::size_t j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) s += std::abs(g_(i, j));
+    return s;
+  };
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return len1(a) > len1(b); });
+
+  const std::size_t keep = max_gens - dim();
+  linalg::Mat g(dim(), max_gens);
+  for (std::size_t j = 0; j < keep; ++j)
+    for (std::size_t i = 0; i < dim(); ++i) g(i, j) = g_(i, idx[j]);
+  // Enclose the remainder in an axis-aligned box of generators.
+  for (std::size_t i = 0; i < dim(); ++i) {
+    double r = 0.0;
+    for (std::size_t j = keep; j < k; ++j) r += std::abs(g_(i, idx[j]));
+    g(i, keep + i) = r;
+  }
+  return Zonotope(c_, std::move(g));
+}
+
+}  // namespace dwv::geom

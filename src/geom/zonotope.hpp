@@ -1,0 +1,51 @@
+// Zonotopes: centrally symmetric polytopes Z = { c + G b : b in [-1,1]^k }.
+// Closed under affine maps and Minkowski sums, which makes them the natural
+// exact representation for linear flowpipes in any dimension.
+#pragma once
+
+#include "geom/box.hpp"
+#include "geom/polygon2d.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dwv::geom {
+
+class Zonotope {
+ public:
+  Zonotope() = default;
+  /// c: center (n), g: generator matrix (n x k).
+  Zonotope(linalg::Vec c, linalg::Mat g) : c_(std::move(c)), g_(std::move(g)) {
+    assert(g_.empty() || g_.rows() == c_.size());
+  }
+
+  static Zonotope from_box(const Box& b);
+
+  std::size_t dim() const { return c_.size(); }
+  std::size_t order() const { return g_.empty() ? 0 : g_.cols(); }
+  const linalg::Vec& center() const { return c_; }
+  const linalg::Mat& generators() const { return g_; }
+
+  /// Image under x -> M x + v.
+  Zonotope affine(const linalg::Mat& m, const linalg::Vec& v) const;
+
+  /// Minkowski sum with another zonotope (generator concatenation).
+  Zonotope minkowski_sum(const Zonotope& o) const;
+
+  /// Tight axis-aligned bounding box.
+  Box bounding_box() const;
+
+  /// Support function: max over the zonotope of <dir, x>.
+  double support(const linalg::Vec& dir) const;
+
+  /// Exact conversion to a convex polygon; requires dim() == 2.
+  Polygon2d to_polygon() const;
+
+  /// Reduces the generator count to at most `max_gens` by replacing the
+  /// smallest generators with an enclosing box (sound over-approximation).
+  Zonotope reduce_order(std::size_t max_gens) const;
+
+ private:
+  linalg::Vec c_;
+  linalg::Mat g_;
+};
+
+}  // namespace dwv::geom

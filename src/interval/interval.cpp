@@ -1,0 +1,150 @@
+#include "interval/interval.hpp"
+
+#include <limits>
+
+namespace dwv::interval {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double down(double x) {
+  return std::isfinite(x) ? std::nextafter(x, -kInf) : x;
+}
+double up(double x) { return std::isfinite(x) ? std::nextafter(x, kInf) : x; }
+
+}  // namespace
+
+Interval outward(const Interval& v) {
+  return Interval(down(v.lo()), up(v.hi()));
+}
+
+Interval& Interval::operator+=(const Interval& o) {
+  *this = outward(Interval(lo_ + o.lo_, hi_ + o.hi_));
+  return *this;
+}
+
+Interval& Interval::operator-=(const Interval& o) {
+  *this = outward(Interval(lo_ - o.hi_, hi_ - o.lo_));
+  return *this;
+}
+
+Interval& Interval::operator*=(const Interval& o) {
+  const double p1 = lo_ * o.lo_;
+  const double p2 = lo_ * o.hi_;
+  const double p3 = hi_ * o.lo_;
+  const double p4 = hi_ * o.hi_;
+  *this = outward(Interval(std::min({p1, p2, p3, p4}),
+                           std::max({p1, p2, p3, p4})));
+  return *this;
+}
+
+Interval& Interval::operator/=(const Interval& o) {
+  if (o.contains(0.0)) {
+    // Division by an interval containing zero: the result is unbounded.
+    *this = Interval::entire();
+    return *this;
+  }
+  const double p1 = lo_ / o.lo_;
+  const double p2 = lo_ / o.hi_;
+  const double p3 = hi_ / o.lo_;
+  const double p4 = hi_ / o.hi_;
+  *this = outward(Interval(std::min({p1, p2, p3, p4}),
+                           std::max({p1, p2, p3, p4})));
+  return *this;
+}
+
+IntersectResult intersect(const Interval& a, const Interval& b) {
+  const double lo = std::max(a.lo(), b.lo());
+  const double hi = std::min(a.hi(), b.hi());
+  if (lo > hi) return {Interval(), false};
+  return {Interval(lo, hi), true};
+}
+
+Interval hull(const Interval& a, const Interval& b) {
+  return Interval(std::min(a.lo(), b.lo()), std::max(a.hi(), b.hi()));
+}
+
+Interval sqr(const Interval& v) {
+  const double m = v.mag();
+  const double lo = v.mig();
+  return outward(Interval(lo * lo, m * m));
+}
+
+Interval pow_n(const Interval& v, unsigned n) {
+  if (n == 0) return Interval(1.0);
+  if (n % 2 == 1) {
+    // Odd powers are monotone.
+    return outward(Interval(std::pow(v.lo(), n), std::pow(v.hi(), n)));
+  }
+  const double m = std::pow(v.mag(), n);
+  const double lo = std::pow(v.mig(), n);
+  return outward(Interval(lo, m));
+}
+
+Interval exp(const Interval& v) {
+  return outward(Interval(std::exp(v.lo()), std::exp(v.hi())));
+}
+
+Interval sqrt(const Interval& v) {
+  assert(v.lo() >= 0.0);
+  return outward(Interval(std::sqrt(v.lo()), std::sqrt(v.hi())));
+}
+
+Interval tanh(const Interval& v) {
+  return outward(Interval(std::tanh(v.lo()), std::tanh(v.hi())));
+}
+
+Interval sigmoid(const Interval& v) {
+  const auto sig = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  return outward(Interval(sig(v.lo()), sig(v.hi())));
+}
+
+Interval relu(const Interval& v) {
+  return Interval(std::max(0.0, v.lo()), std::max(0.0, v.hi()));
+}
+
+namespace {
+// True when [lo, hi] contains a point equal to k (mod 2*pi) for integer k
+// offsets of `target`.
+bool contains_multiple(double lo, double hi, double target) {
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  const double k = std::ceil((lo - target) / two_pi);
+  return target + k * two_pi <= hi;
+}
+}  // namespace
+
+namespace {
+// libm's sin/cos are accurate to ~1 ulp but not correctly rounded; widen
+// endpoint evaluations by a safe absolute margin before clamping to the
+// function range.
+constexpr double kTrigSlack = 4e-15;
+}  // namespace
+
+Interval sin(const Interval& v) {
+  constexpr double pi = 3.1415926535897932384626433832795;
+  if (v.width() >= 2.0 * pi) return Interval(-1.0, 1.0);
+  const double lo = v.lo();
+  const double hi = v.hi();
+  double out_lo = std::min(std::sin(lo), std::sin(hi)) - kTrigSlack;
+  double out_hi = std::max(std::sin(lo), std::sin(hi)) + kTrigSlack;
+  if (contains_multiple(lo, hi, pi / 2.0)) out_hi = 1.0;
+  if (contains_multiple(lo, hi, -pi / 2.0)) out_lo = -1.0;
+  return Interval(std::max(-1.0, out_lo), std::min(1.0, out_hi));
+}
+
+Interval cos(const Interval& v) {
+  constexpr double pi = 3.1415926535897932384626433832795;
+  if (v.width() >= 2.0 * pi) return Interval(-1.0, 1.0);
+  const double lo = v.lo();
+  const double hi = v.hi();
+  double out_lo = std::min(std::cos(lo), std::cos(hi)) - kTrigSlack;
+  double out_hi = std::max(std::cos(lo), std::cos(hi)) + kTrigSlack;
+  if (contains_multiple(lo, hi, 0.0)) out_hi = 1.0;
+  if (contains_multiple(lo, hi, pi)) out_lo = -1.0;
+  return Interval(std::max(-1.0, out_lo), std::min(1.0, out_hi));
+}
+
+Interval abs(const Interval& v) { return Interval(v.mig(), v.mag()); }
+
+}  // namespace dwv::interval

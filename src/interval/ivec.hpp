@@ -1,0 +1,120 @@
+// Interval vectors (axis-aligned boxes viewed componentwise) and
+// interval-matrix/vector products used by the reachability engines.
+#pragma once
+
+#include <vector>
+
+#include "interval/interval.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace dwv::interval {
+
+/// Vector of intervals.
+class IVec {
+ public:
+  IVec() = default;
+  explicit IVec(std::size_t n, Interval fill = Interval())
+      : data_(n, fill) {}
+  IVec(std::initializer_list<Interval> xs) : data_(xs) {}
+
+  /// Degenerate box around a point.
+  static IVec point(const linalg::Vec& x) {
+    IVec v(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) v[i] = Interval(x[i]);
+    return v;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  Interval& operator[](std::size_t i) { return data_[i]; }
+  const Interval& operator[](std::size_t i) const { return data_[i]; }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  linalg::Vec mid() const {
+    linalg::Vec m(size());
+    for (std::size_t i = 0; i < size(); ++i) m[i] = data_[i].mid();
+    return m;
+  }
+  linalg::Vec rad() const {
+    linalg::Vec r(size());
+    for (std::size_t i = 0; i < size(); ++i) r[i] = data_[i].rad();
+    return r;
+  }
+  double max_width() const {
+    double w = 0.0;
+    for (const auto& v : data_) w = std::max(w, v.width());
+    return w;
+  }
+  double max_mag() const {
+    double m = 0.0;
+    for (const auto& v : data_) m = std::max(m, v.mag());
+    return m;
+  }
+
+  bool contains(const linalg::Vec& x) const {
+    if (x.size() != size()) return false;
+    for (std::size_t i = 0; i < size(); ++i)
+      if (!data_[i].contains(x[i])) return false;
+    return true;
+  }
+  bool contains(const IVec& o) const {
+    if (o.size() != size()) return false;
+    for (std::size_t i = 0; i < size(); ++i)
+      if (!data_[i].contains(o[i])) return false;
+    return true;
+  }
+
+  IVec& operator+=(const IVec& o) {
+    assert(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i) data_[i] += o[i];
+    return *this;
+  }
+  IVec& operator-=(const IVec& o) {
+    assert(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i) data_[i] -= o[i];
+    return *this;
+  }
+  friend IVec operator+(IVec a, const IVec& b) { return a += b; }
+  friend IVec operator-(IVec a, const IVec& b) { return a -= b; }
+  friend IVec operator*(const Interval& s, IVec a) {
+    for (auto& v : a.data_) v *= s;
+    return a;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const IVec& v) {
+    os << '{';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) os << " x ";
+      os << v[i];
+    }
+    return os << '}';
+  }
+
+ private:
+  std::vector<Interval> data_;
+};
+
+/// Interval hull of two boxes.
+inline IVec hull(const IVec& a, const IVec& b) {
+  assert(a.size() == b.size());
+  IVec h(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) h[i] = hull(a[i], b[i]);
+  return h;
+}
+
+/// Sound enclosure of A * x for a point matrix and interval vector.
+inline IVec mat_ivec(const linalg::Mat& a, const IVec& x) {
+  assert(a.cols() == x.size());
+  IVec y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    Interval s(0.0);
+    for (std::size_t j = 0; j < a.cols(); ++j) s += Interval(a(i, j)) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+}  // namespace dwv::interval

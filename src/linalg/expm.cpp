@@ -1,0 +1,61 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+namespace dwv::linalg {
+
+Mat expm(const Mat& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+
+  // Scale so the norm is below 0.5, apply Padé(6,6), square back up.
+  const double nrm = a.norm_inf();
+  int s = 0;
+  if (nrm > 0.5) s = static_cast<int>(std::ceil(std::log2(nrm / 0.5)));
+  const double scale = std::ldexp(1.0, -s);
+
+  Mat x = a;
+  x *= scale;
+
+  // Padé(6,6) coefficients for exp (numerator p; denominator is p(-x)):
+  // c_j = (12-j)! 6! / (12! j! (6-j)!).
+  static constexpr double b[] = {1.0,
+                                 1.0 / 2.0,
+                                 5.0 / 44.0,
+                                 1.0 / 66.0,
+                                 1.0 / 792.0,
+                                 1.0 / 15840.0,
+                                 1.0 / 665280.0};
+
+  const Mat x2 = x * x;
+  const Mat x4 = x2 * x2;
+  const Mat x6 = x4 * x2;
+  const Mat ident = Mat::identity(n);
+
+  Mat even = ident * b[0] + x2 * b[2] + x4 * b[4] + x6 * b[6];
+  Mat odd_core = ident * b[1] + x2 * b[3] + x4 * b[5];
+  Mat odd = x * odd_core;
+
+  Mat num = even + odd;
+  Mat den = even - odd;
+
+  Mat r = lu_solve(lu_factor(den), num);
+  for (int i = 0; i < s; ++i) r = r * r;
+  return r;
+}
+
+ZohDiscretization discretize_zoh(const Mat& a, const Mat& b, double delta) {
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  assert(a.cols() == n && b.rows() == n);
+
+  Mat aug(n + m, n + m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug(i, j) = a(i, j) * delta;
+    for (std::size_t j = 0; j < m; ++j) aug(i, n + j) = b(i, j) * delta;
+  }
+  const Mat e = expm(aug);
+  return {e.block(0, 0, n, n), e.block(0, n, n, m)};
+}
+
+}  // namespace dwv::linalg

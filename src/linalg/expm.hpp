@@ -1,0 +1,23 @@
+// Matrix exponential and zero-order-hold discretization of LTI systems.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace dwv::linalg {
+
+/// Matrix exponential via Padé(6) approximation with scaling and squaring.
+/// Accurate to ~1e-12 for the small, well-scaled matrices used here.
+Mat expm(const Mat& a);
+
+/// Zero-order-hold discretization of the continuous LTI system
+/// x' = A x + B u with sampling period delta:
+///   Ad = e^{A delta},   Bd = integral_0^delta e^{A t} B dt.
+/// Computed exactly via the augmented-matrix exponential
+///   exp([[A, B], [0, 0]] * delta) = [[Ad, Bd], [0, I]].
+struct ZohDiscretization {
+  Mat ad;
+  Mat bd;
+};
+ZohDiscretization discretize_zoh(const Mat& a, const Mat& b, double delta);
+
+}  // namespace dwv::linalg

@@ -1,0 +1,242 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dwv::linalg {
+
+Mat::Mat(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    assert(r.size() == cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Mat Mat::identity(std::size_t n) {
+  Mat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Mat Mat::diag(const Vec& d) {
+  Mat m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Mat& Mat::operator+=(const Mat& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator-=(const Mat& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Mat operator*(const Mat& a, const Mat& b) {
+  assert(a.cols_ == b.rows_);
+  Mat c(a.rows_, b.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Vec operator*(const Mat& a, const Vec& x) {
+  assert(a.cols_ == x.size());
+  Vec y(a.rows_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols_; ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Mat Mat::transpose() const {
+  Mat t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Vec Mat::row(std::size_t r) const {
+  Vec v(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) v[j] = (*this)(r, j);
+  return v;
+}
+
+Vec Mat::col(std::size_t c) const {
+  Vec v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, c);
+  return v;
+}
+
+void Mat::set_row(std::size_t r, const Vec& v) {
+  assert(v.size() == cols_);
+  for (std::size_t j = 0; j < cols_; ++j) (*this)(r, j) = v[j];
+}
+
+void Mat::set_col(std::size_t c, const Vec& v) {
+  assert(v.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, c) = v[i];
+}
+
+Mat Mat::hcat(const Mat& a, const Mat& b) {
+  assert(a.rows_ == b.rows_);
+  Mat m(a.rows_, a.cols_ + b.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t j = 0; j < a.cols_; ++j) m(i, j) = a(i, j);
+    for (std::size_t j = 0; j < b.cols_; ++j) m(i, a.cols_ + j) = b(i, j);
+  }
+  return m;
+}
+
+Mat Mat::vcat(const Mat& a, const Mat& b) {
+  assert(a.cols_ == b.cols_);
+  Mat m(a.rows_ + b.rows_, a.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i)
+    for (std::size_t j = 0; j < a.cols_; ++j) m(i, j) = a(i, j);
+  for (std::size_t i = 0; i < b.rows_; ++i)
+    for (std::size_t j = 0; j < b.cols_; ++j) m(a.rows_ + i, j) = b(i, j);
+  return m;
+}
+
+Mat Mat::block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const {
+  assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Mat m(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nc; ++j) m(i, j) = (*this)(r0 + i, c0 + j);
+  return m;
+}
+
+double Mat::norm_inf() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += std::abs((*this)(i, j));
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+double Mat::norm_fro() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Mat::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+bool Mat::all_finite() const {
+  for (double x : data_)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Mat& m) {
+  os << '[';
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    if (i) os << "; ";
+    for (std::size_t j = 0; j < m.cols_; ++j) {
+      if (j) os << ", ";
+      os << m(i, j);
+    }
+  }
+  return os << ']';
+}
+
+Lu lu_factor(const Mat& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Lu f{a, std::vector<std::size_t>(n), false};
+  std::iota(f.perm.begin(), f.perm.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::abs(f.lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(f.lu(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-14) {
+      f.singular = true;
+      continue;
+    }
+    if (piv != k) {
+      std::swap(f.perm[piv], f.perm[k]);
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(f.lu(piv, j), f.lu(k, j));
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = f.lu(i, k) / f.lu(k, k);
+      f.lu(i, k) = m;
+      for (std::size_t j = k + 1; j < n; ++j) f.lu(i, j) -= m * f.lu(k, j);
+    }
+  }
+  return f;
+}
+
+Vec lu_solve(const Lu& f, const Vec& b) {
+  const std::size_t n = f.lu.rows();
+  assert(b.size() == n);
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[f.perm[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= f.lu(i, j) * y[j];
+    y[i] = s;
+  }
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= f.lu(ii, j) * x[j];
+    x[ii] = s / f.lu(ii, ii);
+  }
+  return x;
+}
+
+Mat lu_solve(const Lu& f, const Mat& b) {
+  Mat x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c)
+    x.set_col(c, lu_solve(f, b.col(c)));
+  return x;
+}
+
+Mat inverse(const Mat& a) {
+  const Lu f = lu_factor(a);
+  if (f.singular) throw std::domain_error("inverse: singular matrix");
+  return lu_solve(f, Mat::identity(a.rows()));
+}
+
+Mat outer(const Vec& x, const Vec& y) {
+  Mat m(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = 0; j < y.size(); ++j) m(i, j) = x[i] * y[j];
+  return m;
+}
+
+}  // namespace dwv::linalg

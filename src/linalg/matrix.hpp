@@ -1,0 +1,114 @@
+// Dense dynamically-sized real matrix (row-major) with the operations the
+// library needs: arithmetic, products, transpose, LU solve/inverse, and a
+// handful of norms. Sized for control problems (n, m small).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace dwv::linalg {
+
+/// Dense row-major real matrix with value semantics.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-of-rows initializer: Mat{{1,2},{3,4}}.
+  Mat(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Mat identity(std::size_t n);
+  static Mat diag(const Vec& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Mat& operator+=(const Mat& o);
+  Mat& operator-=(const Mat& o);
+  Mat& operator*=(double s);
+
+  friend Mat operator+(Mat a, const Mat& b) { return a += b; }
+  friend Mat operator-(Mat a, const Mat& b) { return a -= b; }
+  friend Mat operator*(Mat a, double s) { return a *= s; }
+  friend Mat operator*(double s, Mat a) { return a *= s; }
+  friend bool operator==(const Mat& a, const Mat& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  friend Mat operator*(const Mat& a, const Mat& b);
+  friend Vec operator*(const Mat& a, const Vec& x);
+
+  Mat transpose() const;
+
+  Vec row(std::size_t r) const;
+  Vec col(std::size_t c) const;
+  void set_row(std::size_t r, const Vec& v);
+  void set_col(std::size_t c, const Vec& v);
+
+  /// Horizontal concatenation [a | b] (equal row counts required).
+  static Mat hcat(const Mat& a, const Mat& b);
+  /// Vertical concatenation [a ; b] (equal column counts required).
+  static Mat vcat(const Mat& a, const Mat& b);
+  /// Extracts the block with top-left (r0, c0) and shape (nr, nc).
+  Mat block(std::size_t r0, std::size_t c0, std::size_t nr,
+            std::size_t nc) const;
+
+  /// Induced infinity norm (max absolute row sum).
+  double norm_inf() const;
+  /// Frobenius norm.
+  double norm_fro() const;
+  /// Largest absolute entry.
+  double max_abs() const;
+
+  bool all_finite() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Mat& m);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Result of an LU factorization with partial pivoting.
+struct Lu {
+  Mat lu;                     ///< packed L (unit diagonal) and U factors
+  std::vector<std::size_t> perm;  ///< row permutation
+  bool singular = false;
+};
+
+/// Factors a square matrix; `singular` is set when a pivot underflows.
+Lu lu_factor(const Mat& a);
+
+/// Solves a x = b given a factorization.
+Vec lu_solve(const Lu& f, const Vec& b);
+
+/// Solves a X = B column by column.
+Mat lu_solve(const Lu& f, const Mat& b);
+
+/// Matrix inverse via LU; asserts on singular input.
+Mat inverse(const Mat& a);
+
+/// Outer product x y^T.
+Mat outer(const Vec& x, const Vec& y);
+
+}  // namespace dwv::linalg

@@ -1,0 +1,128 @@
+// Dense dynamically-sized real vector used throughout the library.
+//
+// The library deals with small state/parameter spaces (n <= a few hundred),
+// so a simple std::vector<double>-backed value type is the right tool: no
+// expression templates, no allocator games, just clear value semantics.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+namespace dwv::linalg {
+
+/// Dense real vector with value semantics.
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vec(std::initializer_list<double> xs) : data_(xs) {}
+  explicit Vec(std::vector<double> xs) : data_(std::move(xs)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+  const std::vector<double>& raw() const { return data_; }
+
+  Vec& operator+=(const Vec& o) {
+    assert(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Vec& operator-=(const Vec& o) {
+    assert(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Vec& operator*=(double s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+  Vec& operator/=(double s) { return (*this) *= (1.0 / s); }
+
+  friend Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend Vec operator*(Vec a, double s) { return a *= s; }
+  friend Vec operator*(double s, Vec a) { return a *= s; }
+  friend Vec operator/(Vec a, double s) { return a /= s; }
+  friend Vec operator-(Vec a) { return a *= -1.0; }
+
+  friend bool operator==(const Vec& a, const Vec& b) {
+    return a.data_ == b.data_;
+  }
+
+  /// Euclidean inner product.
+  friend double dot(const Vec& a, const Vec& b) {
+    assert(a.size() == b.size());
+    return std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+  }
+
+  double norm2() const { return std::sqrt(dot(*this, *this)); }
+  double norm_inf() const {
+    double m = 0.0;
+    for (double x : data_) m = std::max(m, std::abs(x));
+    return m;
+  }
+  double norm1() const {
+    double m = 0.0;
+    for (double x : data_) m += std::abs(x);
+    return m;
+  }
+
+  /// Appends an element (used when stacking state/input vectors).
+  void push_back(double x) { data_.push_back(x); }
+
+  /// Elementwise absolute value.
+  Vec abs() const {
+    Vec r(size());
+    for (std::size_t i = 0; i < size(); ++i) r[i] = std::abs(data_[i]);
+    return r;
+  }
+
+  bool all_finite() const {
+    return std::all_of(begin(), end(),
+                       [](double x) { return std::isfinite(x); });
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec& v) {
+    os << '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) os << ", ";
+      os << v[i];
+    }
+    return os << ']';
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Concatenation [a; b].
+inline Vec concat(const Vec& a, const Vec& b) {
+  Vec r(a.size() + b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) r[a.size() + i] = b[i];
+  return r;
+}
+
+}  // namespace dwv::linalg

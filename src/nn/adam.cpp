@@ -1,0 +1,33 @@
+#include "nn/adam.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dwv::nn {
+
+Adam::Adam(std::size_t n, double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), m_(n), v_(n) {}
+
+linalg::Vec Adam::step(const linalg::Vec& grad) {
+  assert(grad.size() == m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  linalg::Vec upd(grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    upd[i] = -lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+  return upd;
+}
+
+void Adam::reset() {
+  t_ = 0;
+  m_ = linalg::Vec(m_.size());
+  v_ = linalg::Vec(v_.size());
+}
+
+}  // namespace dwv::nn

@@ -1,0 +1,32 @@
+// Adam optimizer over flat parameter vectors.
+#pragma once
+
+#include "linalg/vec.hpp"
+
+namespace dwv::nn {
+
+/// Standard Adam (Kingma & Ba) on a flattened parameter vector.
+class Adam {
+ public:
+  explicit Adam(std::size_t n, double lr = 1e-3, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  /// Returns the update to *add* to the parameters for gradient-descent on
+  /// the given gradient (i.e. already negated and scaled by the step size).
+  linalg::Vec step(const linalg::Vec& grad);
+
+  void reset();
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  linalg::Vec m_;
+  linalg::Vec v_;
+};
+
+}  // namespace dwv::nn

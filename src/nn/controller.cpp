@@ -1,0 +1,58 @@
+#include "nn/controller.hpp"
+
+#include <sstream>
+
+namespace dwv::nn {
+
+using linalg::Mat;
+using linalg::Vec;
+
+LinearController::LinearController(std::size_t state_dim,
+                                   std::size_t input_dim)
+    : k_(input_dim, state_dim) {}
+
+LinearController::LinearController(Mat k) : k_(std::move(k)) {}
+
+std::string LinearController::describe() const {
+  std::ostringstream os;
+  os << "linear(" << k_.rows() << 'x' << k_.cols() << ')';
+  return os.str();
+}
+
+Vec LinearController::params() const {
+  Vec p(k_.rows() * k_.cols());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < k_.rows(); ++i)
+    for (std::size_t j = 0; j < k_.cols(); ++j) p[off++] = k_(i, j);
+  return p;
+}
+
+void LinearController::set_params(const Vec& theta) {
+  assert(theta.size() == k_.rows() * k_.cols());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < k_.rows(); ++i)
+    for (std::size_t j = 0; j < k_.cols(); ++j) k_(i, j) = theta[off++];
+}
+
+MlpController::MlpController(std::vector<std::size_t> dims, double scale,
+                             Activation hidden, Activation output)
+    : mlp_(dims, hidden, output), scale_(scale) {}
+
+MlpController::MlpController(Mlp mlp, double scale)
+    : mlp_(std::move(mlp)), scale_(scale) {}
+
+std::string MlpController::describe() const {
+  std::ostringstream os;
+  os << "mlp(";
+  os << mlp_.in_dim();
+  for (const auto& l : mlp_.layers()) os << '-' << l.out_dim();
+  os << ", scale=" << scale_ << ')';
+  return os.str();
+}
+
+Vec MlpController::act(const Vec& x) const {
+  Vec u = mlp_.forward(x);
+  return u * scale_;
+}
+
+}  // namespace dwv::nn

@@ -1,0 +1,94 @@
+// Feedback controller interface kappa_theta : X -> U, and the two concrete
+// families the paper studies: linear state feedback and MLP controllers.
+//
+// Controllers expose their parameters as a flat vector so the
+// verification-in-the-loop learner can apply SPSA perturbations uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "linalg/vec.hpp"
+#include "nn/mlp.hpp"
+
+namespace dwv::nn {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  virtual std::string describe() const = 0;
+  virtual std::size_t state_dim() const = 0;
+  virtual std::size_t input_dim() const = 0;
+
+  /// Control action u = kappa_theta(x).
+  virtual linalg::Vec act(const linalg::Vec& x) const = 0;
+
+  /// Flat parameter vector theta.
+  virtual linalg::Vec params() const = 0;
+  virtual void set_params(const linalg::Vec& theta) = 0;
+  std::size_t param_count() const { return params().size(); }
+
+  virtual std::unique_ptr<Controller> clone() const = 0;
+};
+
+using ControllerPtr = std::unique_ptr<Controller>;
+
+/// Linear state feedback u = K x (K is m x n, theta = vec(K)).
+class LinearController final : public Controller {
+ public:
+  LinearController(std::size_t state_dim, std::size_t input_dim);
+  explicit LinearController(linalg::Mat k);
+
+  std::string describe() const override;
+  std::size_t state_dim() const override { return k_.cols(); }
+  std::size_t input_dim() const override { return k_.rows(); }
+  linalg::Vec act(const linalg::Vec& x) const override { return k_ * x; }
+  linalg::Vec params() const override;
+  void set_params(const linalg::Vec& theta) override;
+  std::unique_ptr<Controller> clone() const override {
+    return std::make_unique<LinearController>(k_);
+  }
+
+  const linalg::Mat& gain() const { return k_; }
+
+ private:
+  linalg::Mat k_;
+};
+
+/// Neural-network controller u = scale * mlp(x). The paper's architecture:
+/// ReLU hidden layers, Tanh output; `scale` maps the bounded Tanh output to
+/// the actuator range.
+class MlpController final : public Controller {
+ public:
+  MlpController(std::vector<std::size_t> dims, double scale,
+                Activation hidden = Activation::kRelu,
+                Activation output = Activation::kTanh);
+  MlpController(Mlp mlp, double scale);
+
+  std::string describe() const override;
+  std::size_t state_dim() const override { return mlp_.in_dim(); }
+  std::size_t input_dim() const override { return mlp_.out_dim(); }
+  linalg::Vec act(const linalg::Vec& x) const override;
+  linalg::Vec params() const override { return mlp_.params(); }
+  void set_params(const linalg::Vec& theta) override {
+    mlp_.set_params(theta);
+  }
+  std::unique_ptr<Controller> clone() const override {
+    return std::make_unique<MlpController>(mlp_, scale_);
+  }
+
+  void init_random(std::mt19937_64& rng, double weight_scale = 1.0) {
+    mlp_.init_random(rng, weight_scale);
+  }
+
+  const Mlp& mlp() const { return mlp_; }
+  Mlp& mutable_mlp() { return mlp_; }
+  double scale() const { return scale_; }
+
+ private:
+  Mlp mlp_;
+  double scale_;
+};
+
+}  // namespace dwv::nn

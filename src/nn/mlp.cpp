@@ -1,0 +1,207 @@
+#include "nn/mlp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dwv::nn {
+
+using linalg::Mat;
+using linalg::Vec;
+
+double activate(Activation a, double x) {
+  switch (a) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+double activate_grad(Activation a, double x) {
+  switch (a) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return x > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case Activation::kSigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+  }
+  return 1.0;
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden_act,
+         Activation output_act) {
+  assert(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    DenseLayer layer;
+    layer.w = Mat(dims[l + 1], dims[l]);
+    layer.b = Vec(dims[l + 1]);
+    layer.act = (l + 2 == dims.size()) ? output_act : hidden_act;
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::size_t Mlp::in_dim() const {
+  return layers_.empty() ? 0 : layers_.front().in_dim();
+}
+std::size_t Mlp::out_dim() const {
+  return layers_.empty() ? 0 : layers_.back().out_dim();
+}
+
+std::size_t Mlp::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.param_count();
+  return n;
+}
+
+void Mlp::init_random(std::mt19937_64& rng, double scale) {
+  for (auto& l : layers_) {
+    const double std_dev =
+        scale * std::sqrt(2.0 / static_cast<double>(l.in_dim()));
+    std::normal_distribution<double> dist(0.0, std_dev);
+    for (std::size_t i = 0; i < l.w.rows(); ++i)
+      for (std::size_t j = 0; j < l.w.cols(); ++j) l.w(i, j) = dist(rng);
+    for (std::size_t i = 0; i < l.b.size(); ++i) l.b[i] = 0.0;
+  }
+}
+
+Vec Mlp::forward(const Vec& x) const {
+  Vec h = x;
+  for (const auto& l : layers_) {
+    Vec z = l.w * h + l.b;
+    for (auto& v : z) v = activate(l.act, v);
+    h = std::move(z);
+  }
+  return h;
+}
+
+ForwardCache Mlp::forward_cached(const Vec& x) const {
+  ForwardCache c;
+  c.inputs.reserve(layers_.size());
+  c.preacts.reserve(layers_.size());
+  Vec h = x;
+  for (const auto& l : layers_) {
+    c.inputs.push_back(h);
+    Vec z = l.w * h + l.b;
+    c.preacts.push_back(z);
+    for (auto& v : z) v = activate(l.act, v);
+    h = std::move(z);
+  }
+  c.output = std::move(h);
+  return c;
+}
+
+Gradients Mlp::backward(const ForwardCache& cache,
+                        const Vec& dloss_dy) const {
+  assert(cache.inputs.size() == layers_.size());
+  Gradients g;
+  g.dparams = Vec(param_count());
+
+  // Offsets of each layer's parameters in the flat vector.
+  std::vector<std::size_t> offs(layers_.size());
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    offs[l] = off;
+    off += layers_[l].param_count();
+  }
+
+  Vec delta = dloss_dy;  // dL/d(layer output)
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const DenseLayer& l = layers_[li];
+    // Through the activation: dL/dz.
+    Vec dz(delta.size());
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      dz[i] = delta[i] * activate_grad(l.act, cache.preacts[li][i]);
+    // Parameter gradients.
+    const Vec& in = cache.inputs[li];
+    double* wp = g.dparams.data() + offs[li];
+    for (std::size_t i = 0; i < l.w.rows(); ++i)
+      for (std::size_t j = 0; j < l.w.cols(); ++j)
+        wp[i * l.w.cols() + j] = dz[i] * in[j];
+    double* bp = wp + l.w.rows() * l.w.cols();
+    for (std::size_t i = 0; i < l.b.size(); ++i) bp[i] = dz[i];
+    // Through the weights: dL/d(input).
+    Vec din(l.in_dim());
+    for (std::size_t j = 0; j < l.in_dim(); ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < l.w.rows(); ++i) s += l.w(i, j) * dz[i];
+      din[j] = s;
+    }
+    delta = std::move(din);
+  }
+  g.dinput = std::move(delta);
+  return g;
+}
+
+Vec Mlp::params() const {
+  Vec p(param_count());
+  std::size_t off = 0;
+  for (const auto& l : layers_) {
+    for (std::size_t i = 0; i < l.w.rows(); ++i)
+      for (std::size_t j = 0; j < l.w.cols(); ++j)
+        p[off++] = l.w(i, j);
+    for (std::size_t i = 0; i < l.b.size(); ++i) p[off++] = l.b[i];
+  }
+  return p;
+}
+
+void Mlp::set_params(const Vec& p) {
+  assert(p.size() == param_count());
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (std::size_t i = 0; i < l.w.rows(); ++i)
+      for (std::size_t j = 0; j < l.w.cols(); ++j)
+        l.w(i, j) = p[off++];
+    for (std::size_t i = 0; i < l.b.size(); ++i) l.b[i] = p[off++];
+  }
+}
+
+void Mlp::add_scaled(const Vec& d, double s) {
+  assert(d.size() == param_count());
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (std::size_t i = 0; i < l.w.rows(); ++i)
+      for (std::size_t j = 0; j < l.w.cols(); ++j)
+        l.w(i, j) += s * d[off++];
+    for (std::size_t i = 0; i < l.b.size(); ++i) l.b[i] += s * d[off++];
+  }
+}
+
+Vec Mlp::lipschitz_per_input() const {
+  // Propagate the per-input sensitivity vector through |W| products;
+  // activation slopes are within [0, 1] for ReLU/tanh/sigmoid/identity.
+  const std::size_t n = in_dim();
+  Vec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec c(n);
+    c[i] = 1.0;
+    for (const auto& l : layers_) {
+      Vec nc(l.out_dim());
+      for (std::size_t r = 0; r < l.out_dim(); ++r) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < l.in_dim(); ++j)
+          s += std::abs(l.w(r, j)) * c[j];
+        nc[r] = s;
+      }
+      c = std::move(nc);
+    }
+    double m = 0.0;
+    for (double v : c) m = std::max(m, v);
+    out[i] = m;
+  }
+  return out;
+}
+
+}  // namespace dwv::nn

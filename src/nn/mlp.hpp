@@ -1,0 +1,85 @@
+// Fully-connected feed-forward network with manual backpropagation.
+//
+// This is the controller family the paper targets ("ReLU for the hidden
+// layers and Tanh as the output layer") and also powers the DDPG/SVG
+// baselines (actor and critic networks). No autodiff framework: layers are
+// small and the explicit backward pass keeps the dependency footprint zero.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace dwv::nn {
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+double activate(Activation a, double x);
+/// Derivative expressed via the pre-activation input x.
+double activate_grad(Activation a, double x);
+
+/// One dense layer y = act(W x + b).
+struct DenseLayer {
+  linalg::Mat w;  // out x in
+  linalg::Vec b;  // out
+  Activation act = Activation::kIdentity;
+
+  std::size_t in_dim() const { return w.cols(); }
+  std::size_t out_dim() const { return w.rows(); }
+  std::size_t param_count() const { return w.rows() * w.cols() + b.size(); }
+};
+
+/// Cache of intermediate values from a forward pass, consumed by backward().
+struct ForwardCache {
+  std::vector<linalg::Vec> inputs;   // input to each layer
+  std::vector<linalg::Vec> preacts;  // W x + b per layer
+  linalg::Vec output;
+};
+
+/// Gradient bundle produced by a backward pass.
+struct Gradients {
+  linalg::Vec dparams;  // flattened, same layout as Mlp::params()
+  linalg::Vec dinput;   // dL/dx
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+  /// dims = {in, h1, ..., out}; hidden activation applied to all but the
+  /// last layer, which gets `output_act`.
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden_act,
+      Activation output_act);
+
+  std::size_t in_dim() const;
+  std::size_t out_dim() const;
+  std::size_t param_count() const;
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+  /// He/Xavier-style random initialization.
+  void init_random(std::mt19937_64& rng, double scale = 1.0);
+
+  linalg::Vec forward(const linalg::Vec& x) const;
+  ForwardCache forward_cached(const linalg::Vec& x) const;
+
+  /// Backpropagates dL/dy through the cached forward pass.
+  Gradients backward(const ForwardCache& cache,
+                     const linalg::Vec& dloss_dy) const;
+
+  /// Flattened parameter vector (row-major weights then biases, per layer).
+  linalg::Vec params() const;
+  void set_params(const linalg::Vec& p);
+  /// In-place axpy on the flattened parameters: theta += s * d.
+  void add_scaled(const linalg::Vec& d, double s);
+
+  /// Sound per-input-coordinate Lipschitz bound |d out_k / d x_i| <= L[i]
+  /// (max over outputs), assuming every activation slope is within [0, 1].
+  linalg::Vec lipschitz_per_input() const;
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace dwv::nn

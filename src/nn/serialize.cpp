@@ -1,0 +1,145 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dwv::nn {
+
+namespace {
+
+constexpr const char* kMagic = "dwv-controller v1";
+
+const char* act_name(Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "identity";
+}
+
+Activation act_from(const std::string& s) {
+  if (s == "identity") return Activation::kIdentity;
+  if (s == "relu") return Activation::kRelu;
+  if (s == "tanh") return Activation::kTanh;
+  if (s == "sigmoid") return Activation::kSigmoid;
+  throw std::runtime_error("unknown activation: " + s);
+}
+
+void write_params(std::ostream& os, const linalg::Vec& p) {
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    os << p[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  }
+  os << '\n';
+}
+
+linalg::Vec read_params(std::istream& is, std::size_t n) {
+  linalg::Vec p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> p[i])) {
+      throw std::runtime_error("controller file truncated");
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+void save_controller(std::ostream& os, const Controller& ctrl) {
+  os << kMagic << '\n';
+  if (const auto* lin = dynamic_cast<const LinearController*>(&ctrl)) {
+    os << "linear\n";
+    os << lin->input_dim() << ' ' << lin->state_dim() << '\n';
+    write_params(os, lin->params());
+  } else if (const auto* mc = dynamic_cast<const MlpController*>(&ctrl)) {
+    os << "mlp\n";
+    const Mlp& net = mc->mlp();
+    os << net.in_dim();
+    for (const auto& layer : net.layers()) os << ' ' << layer.out_dim();
+    os << '\n';
+    os << act_name(net.layers().front().act) << ' '
+       << act_name(net.layers().back().act) << '\n';
+    os << std::setprecision(17) << mc->scale() << '\n';
+    write_params(os, net.params());
+  } else if (const auto* pc =
+                 dynamic_cast<const PolynomialController*>(&ctrl)) {
+    os << "poly\n";
+    os << pc->state_dim() << ' ' << pc->input_dim() << ' ' << pc->degree()
+       << '\n';
+    write_params(os, pc->params());
+  } else {
+    throw std::runtime_error("save_controller: unsupported controller type");
+  }
+  if (!os) throw std::runtime_error("save_controller: stream failure");
+}
+
+ControllerPtr load_controller(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("not a dwv controller file");
+  }
+  std::string type;
+  if (!(is >> type)) throw std::runtime_error("missing controller type");
+
+  if (type == "linear") {
+    std::size_t m = 0;
+    std::size_t n = 0;
+    if (!(is >> m >> n)) throw std::runtime_error("bad linear header");
+    auto ctrl = std::make_unique<LinearController>(n, m);
+    ctrl->set_params(read_params(is, m * n));
+    return ctrl;
+  }
+  if (type == "mlp") {
+    // Dims are on the rest of the current line.
+    std::getline(is, line);  // consume end of type line
+    std::getline(is, line);
+    std::istringstream dims_line(line);
+    std::vector<std::size_t> dims;
+    std::size_t d = 0;
+    while (dims_line >> d) dims.push_back(d);
+    if (dims.size() < 2) throw std::runtime_error("bad mlp dims");
+    std::string hidden;
+    std::string output;
+    double scale = 1.0;
+    if (!(is >> hidden >> output >> scale)) {
+      throw std::runtime_error("bad mlp header");
+    }
+    auto ctrl = std::make_unique<MlpController>(dims, scale,
+                                                act_from(hidden),
+                                                act_from(output));
+    ctrl->set_params(read_params(is, ctrl->mlp().param_count()));
+    return ctrl;
+  }
+  if (type == "poly") {
+    std::size_t n = 0;
+    std::size_t m = 0;
+    std::uint32_t deg = 0;
+    if (!(is >> n >> m >> deg)) throw std::runtime_error("bad poly header");
+    auto ctrl = std::make_unique<PolynomialController>(n, m, deg);
+    ctrl->set_params(read_params(is, ctrl->param_count()));
+    return ctrl;
+  }
+  throw std::runtime_error("unknown controller type: " + type);
+}
+
+void save_controller_file(const std::string& path, const Controller& ctrl) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  save_controller(os, ctrl);
+}
+
+ControllerPtr load_controller_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return load_controller(is);
+}
+
+}  // namespace dwv::nn

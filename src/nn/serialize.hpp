@@ -1,0 +1,30 @@
+// Plain-text (de)serialization of controllers, so learned (and formally
+// certified) controllers can be persisted and reloaded for deployment or
+// re-verification. The format is a line-oriented, versioned text format:
+//
+//   dwv-controller v1
+//   <type>            # linear | mlp | poly
+//   ...type-specific header...
+//   <parameters, whitespace-separated>
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "nn/controller.hpp"
+#include "nn/poly_controller.hpp"
+
+namespace dwv::nn {
+
+/// Writes any supported controller. Throws std::runtime_error on
+/// unsupported controller types or stream failure.
+void save_controller(std::ostream& os, const Controller& ctrl);
+void save_controller_file(const std::string& path, const Controller& ctrl);
+
+/// Reads a controller previously written by save_controller. Throws
+/// std::runtime_error on malformed input.
+ControllerPtr load_controller(std::istream& is);
+ControllerPtr load_controller_file(const std::string& path);
+
+}  // namespace dwv::nn

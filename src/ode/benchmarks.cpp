@@ -1,0 +1,76 @@
+#include "ode/benchmarks.hpp"
+
+#include <limits>
+
+#include "ode/systems.hpp"
+
+namespace dwv::ode {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+using interval::Interval;
+}  // namespace
+
+Benchmark make_acc_benchmark() {
+  Benchmark b;
+  b.name = "acc";
+  b.system = std::make_shared<AccSystem>();
+
+  ReachAvoidSpec s;
+  s.x0 = geom::Box{Interval(122.0, 124.0), Interval(48.0, 52.0)};
+  s.goal = geom::Box{Interval(145.0, 155.0), Interval(39.5, 40.5)};
+  s.goal_dims = {0, 1};
+  // Xu = { (s, v) : s <= 120 }: a half-space in the distance coordinate.
+  s.unsafe = geom::Box{Interval(-kInf, 120.0), Interval(-kInf, kInf)};
+  s.unsafe_dims = {0};
+  s.delta = 0.1;
+  s.steps = 100;  // T = 10 s.
+  // Generous: any trajectory within the horizon stays inside (|s'| <= 40
+  // from X0 over 10 s), so the Wasserstein metric keeps its gradient even
+  // for poor intermediate controllers.
+  s.state_bounds = geom::Box{Interval(40.0, 600.0), Interval(-20.0, 100.0)};
+  b.spec = std::move(s);
+  return b;
+}
+
+Benchmark make_oscillator_benchmark() {
+  Benchmark b;
+  b.name = "oscillator";
+  b.system = std::make_shared<VanDerPolSystem>();
+
+  ReachAvoidSpec s;
+  s.x0 = geom::Box{Interval(-0.51, -0.49), Interval(0.49, 0.51)};
+  s.goal = geom::Box{Interval(-0.05, 0.05), Interval(-0.05, 0.05)};
+  s.goal_dims = {0, 1};
+  s.unsafe = geom::Box{Interval(-0.3, -0.25), Interval(0.2, 0.35)};
+  s.unsafe_dims = {0, 1};
+  s.delta = 0.1;
+  s.steps = 35;  // T = 3.5 s.
+  s.state_bounds = geom::Box{Interval(-3.0, 3.0), Interval(-3.0, 3.0)};
+  b.spec = std::move(s);
+  return b;
+}
+
+Benchmark make_3d_benchmark() {
+  Benchmark b;
+  b.name = "sys3d";
+  b.system = std::make_shared<Sys3d>();
+
+  ReachAvoidSpec s;
+  s.x0 = geom::Box{Interval(0.38, 0.40), Interval(0.45, 0.47),
+                   Interval(0.25, 0.27)};
+  s.goal = geom::Box{Interval(-0.5, -0.28), Interval(0.0, 0.28),
+                     Interval(-kInf, kInf)};
+  s.goal_dims = {0, 1};
+  s.unsafe = geom::Box{Interval(-0.1, 0.2), Interval(0.55, 0.6),
+                       Interval(-kInf, kInf)};
+  s.unsafe_dims = {0, 1};
+  s.delta = 0.2;
+  s.steps = 30;  // T = 6 s.
+  s.state_bounds = geom::Box{Interval(-3.0, 3.0), Interval(-3.0, 3.0),
+                             Interval(-3.0, 3.0)};
+  b.spec = std::move(s);
+  return b;
+}
+
+}  // namespace dwv::ode

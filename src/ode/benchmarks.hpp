@@ -1,0 +1,30 @@
+// The paper's three benchmark instances (Section 4): system dynamics plus
+// the reach-avoid sets, sampling periods, and horizons.
+#pragma once
+
+#include "ode/spec.hpp"
+#include "ode/system.hpp"
+
+namespace dwv::ode {
+
+/// A fully-specified benchmark: dynamics plus reach-avoid problem.
+struct Benchmark {
+  SystemPtr system;
+  ReachAvoidSpec spec;
+  std::string name;
+};
+
+/// ACC: X0 = [122,124]x[48,52], Xu = {s <= 120}, Xg = [145,155]x[39.5,40.5],
+/// delta = 0.1. (Linear system, linear controller in the paper.)
+Benchmark make_acc_benchmark();
+
+/// Van der Pol oscillator: X0 = [-0.51,-0.49]x[0.49,0.51],
+/// Xg = [-0.05,0.05]^2, Xu = [-0.3,-0.25]x[0.2,0.35], delta = 0.1.
+Benchmark make_oscillator_benchmark();
+
+/// 3-D system: X0 = [0.38,0.4]x[0.45,0.47]x[0.25,0.27],
+/// Xg = {x1 in [-0.5,-0.28], x2 in [0,0.28]},
+/// Xu = {x1 in [-0.1,0.2], x2 in [0.55,0.6]}, delta = 0.2.
+Benchmark make_3d_benchmark();
+
+}  // namespace dwv::ode

@@ -1,0 +1,49 @@
+// Reach-avoid problem specification (Definition 1 of the paper): initial
+// set X0, goal set Xg, unsafe set Xu, sampling period and horizon.
+#pragma once
+
+#include <vector>
+
+#include "geom/box.hpp"
+
+namespace dwv::ode {
+
+/// A reach-avoid control problem over a sampled-data system.
+struct ReachAvoidSpec {
+  /// Initial state set X0 (bounded box).
+  geom::Box x0;
+  /// Goal set Xg. May constrain only a subset of dimensions; the
+  /// unconstrained ones carry infinite bounds.
+  geom::Box goal;
+  /// Unsafe set Xu (same convention; e.g. the ACC half-space s <= 120).
+  geom::Box unsafe;
+  /// Dimensions the goal/unsafe sets meaningfully constrain. Geometric
+  /// measures and distances (Eq. 2/3) are evaluated in these subspaces.
+  std::vector<std::size_t> goal_dims;
+  std::vector<std::size_t> unsafe_dims;
+  /// Controller sampling period delta.
+  double delta = 0.1;
+  /// Number of control periods in the horizon (T = steps * delta).
+  std::size_t steps = 50;
+  /// A bounded region the analysis may assume the state stays within; used
+  /// to clip unbounded sets for Wasserstein sampling and to flag divergence.
+  geom::Box state_bounds;
+  /// Reach-avoid semantics: once the goal is (provably) reached the run is
+  /// over — verifiers stop the flowpipe at goal containment and simulation
+  /// checks safety only up to the reach time.
+  bool stop_at_goal = true;
+
+  double horizon() const { return delta * static_cast<double>(steps); }
+
+  /// Unsafe set clipped to state_bounds (bounded proxy for sampling).
+  geom::Box bounded_unsafe() const {
+    auto r = unsafe.intersection(state_bounds);
+    return r ? *r : unsafe;
+  }
+  geom::Box bounded_goal() const {
+    auto r = goal.intersection(state_bounds);
+    return r ? *r : goal;
+  }
+};
+
+}  // namespace dwv::ode

@@ -1,0 +1,56 @@
+// Continuous-time control system interface: x' = f(x, u).
+//
+// Every system exposes three faces of the same dynamics:
+//  * numeric f (simulation),
+//  * analytic Jacobians df/dx, df/du (model-based baselines, SVG),
+//  * polynomial form (symbolic reachability with Taylor models).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+#include "poly/poly.hpp"
+
+namespace dwv::ode {
+
+/// Affine-time-invariant face of a system, when it has one:
+/// x' = A x + B u + c (c covers constant drift such as the ACC's v_f).
+struct LtiForm {
+  linalg::Mat a;
+  linalg::Mat b;
+  linalg::Vec c;
+};
+
+class System {
+ public:
+  virtual ~System() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t state_dim() const = 0;
+  virtual std::size_t input_dim() const = 0;
+
+  /// Vector field f(x, u).
+  virtual linalg::Vec f(const linalg::Vec& x, const linalg::Vec& u) const = 0;
+
+  /// Jacobian of f with respect to the state (n x n).
+  virtual linalg::Mat dfdx(const linalg::Vec& x,
+                           const linalg::Vec& u) const = 0;
+  /// Jacobian of f with respect to the input (n x m).
+  virtual linalg::Mat dfdu(const linalg::Vec& x,
+                           const linalg::Vec& u) const = 0;
+
+  /// Dynamics as polynomials over (x_0..x_{n-1}, u_0..u_{m-1}); all paper
+  /// systems are polynomial, which the TM flowpipe exploits directly.
+  virtual std::vector<poly::Poly> poly_dynamics() const = 0;
+
+  /// The (A, B) pair when the system is exactly linear.
+  virtual std::optional<LtiForm> lti() const { return std::nullopt; }
+};
+
+using SystemPtr = std::shared_ptr<const System>;
+
+}  // namespace dwv::ode

@@ -1,0 +1,210 @@
+#include "poly/bernstein.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dwv::poly {
+
+double binomial(std::uint32_t n, std::uint32_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return r;
+}
+
+interval::Interval bernstein_range_1d(const Poly& p, double lo, double hi) {
+  assert(p.nvars() == 1);
+  const std::uint32_t d = p.degree();
+  // Power-basis coefficients of q(t) = p(lo + (hi - lo) t), t in [0, 1].
+  std::vector<double> a(d + 1, 0.0);
+  const double w = hi - lo;
+  for (const auto& [e, c] : p.terms()) {
+    const std::uint32_t k = e[0];
+    // (lo + w t)^k = sum_j C(k, j) lo^(k-j) w^j t^j.
+    for (std::uint32_t j = 0; j <= k; ++j) {
+      a[j] += c * binomial(k, j) * std::pow(lo, static_cast<int>(k - j)) *
+              std::pow(w, static_cast<int>(j));
+    }
+  }
+  // Bernstein coefficients b_i = sum_j (C(i,j)/C(d,j)) a_j.
+  double bmin = a[0];
+  double bmax = a[0];
+  for (std::uint32_t i = 0; i <= d; ++i) {
+    double b = 0.0;
+    for (std::uint32_t j = 0; j <= std::min(i, d); ++j) {
+      b += binomial(i, j) / binomial(d, j) * a[j];
+    }
+    bmin = std::min(bmin, b);
+    bmax = std::max(bmax, b);
+  }
+  return interval::outward(interval::Interval(bmin, bmax));
+}
+
+namespace {
+
+// 1-D Bernstein basis polynomial C(d,k) t^k (1-t)^(d-k) expanded in the
+// power basis as a univariate Poly.
+Poly bernstein_basis_1d(std::uint32_t d, std::uint32_t k) {
+  Poly p(1);
+  const double cdk = binomial(d, k);
+  for (std::uint32_t j = 0; j <= d - k; ++j) {
+    Exponents e{k + j};
+    const double sign = (j % 2 == 0) ? 1.0 : -1.0;
+    p.add_term(e, cdk * binomial(d - k, j) * sign);
+  }
+  return p;
+}
+
+}  // namespace
+
+BernsteinApprox bernstein_approximate(
+    const std::function<double(const linalg::Vec&)>& f, const geom::Box& dom,
+    const std::vector<std::uint32_t>& deg,
+    const std::vector<double>& lipschitz) {
+  const std::size_t n = dom.dim();
+  assert(deg.size() == n && lipschitz.size() == n);
+
+  // Pre-expand each dimension's basis polynomials as n-variate polynomials.
+  std::vector<std::vector<Poly>> basis(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    basis[i].reserve(deg[i] + 1);
+    for (std::uint32_t k = 0; k <= deg[i]; ++k) {
+      const Poly b1 = bernstein_basis_1d(deg[i], k);
+      // Lift x0 -> x_i in n variables.
+      Poly lift(n);
+      for (const auto& [e, c] : b1.terms()) {
+        Exponents en(n, 0);
+        en[i] = e[0];
+        lift.add_term(en, c);
+      }
+      basis[i].push_back(std::move(lift));
+    }
+  }
+
+  // Iterate over the sample grid k in prod(deg_i + 1).
+  Poly result(n);
+  std::vector<std::uint32_t> k(n, 0);
+  while (true) {
+    linalg::Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = deg[i] == 0
+                           ? 0.5
+                           : static_cast<double>(k[i]) /
+                                 static_cast<double>(deg[i]);
+      x[i] = dom[i].lo() + t * dom[i].width();
+    }
+    Poly term = Poly::constant(n, f(x));
+    for (std::size_t i = 0; i < n; ++i) term = term * basis[i][k[i]];
+    result += term;
+
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+      if (++k[i] <= deg[i]) break;
+      k[i] = 0;
+    }
+    if (i == n) break;
+  }
+
+  // ReachNN-style Lipschitz remainder: in normalized coordinates the
+  // per-dimension Lipschitz constant is L_i * width_i, and
+  // |B_d(f) - f| <= 0.5 * sqrt(sum_i (L_i w_i)^2 / d_i).
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (deg[i] == 0) {
+      // Constant in this dimension: full variation enters the remainder.
+      s += std::pow(lipschitz[i] * dom[i].width(), 2);
+    } else {
+      s += std::pow(lipschitz[i] * dom[i].width(), 2) /
+           static_cast<double>(deg[i]);
+    }
+  }
+  return {std::move(result), 0.5 * std::sqrt(s)};
+}
+
+double bernstein_sampled_error(
+    const std::function<double(const linalg::Vec&)>& f, const geom::Box& dom,
+    const BernsteinApprox& approx, std::size_t samples_per_dim) {
+  const std::size_t n = dom.dim();
+  std::vector<std::size_t> k(n, 0);
+  double worst = 0.0;
+  while (true) {
+    linalg::Vec x(n);
+    linalg::Vec t(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      t[i] = static_cast<double>(k[i]) /
+             static_cast<double>(samples_per_dim - 1);
+      x[i] = dom[i].lo() + t[i] * dom[i].width();
+    }
+    worst = std::max(worst, std::abs(approx.poly_unit.eval(t) - f(x)));
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+      if (++k[i] < samples_per_dim) break;
+      k[i] = 0;
+    }
+    if (i == n) break;
+  }
+  return worst;
+}
+
+}  // namespace dwv::poly
+
+namespace dwv::poly {
+
+double bernstein_sampled_remainder(
+    const std::function<double(const linalg::Vec&)>& f, const geom::Box& dom,
+    const Poly& poly_centered,
+    const std::vector<interval::Interval>& df_range,
+    std::size_t samples_per_dim) {
+  const std::size_t n = dom.dim();
+  assert(df_range.size() == n && samples_per_dim >= 2);
+
+  // (a) Max deviation on the sample grid (c = t - 1/2 coordinates).
+  double eps_grid = 0.0;
+  {
+    std::vector<std::size_t> k(n, 0);
+    while (true) {
+      linalg::Vec x(n);
+      linalg::Vec c(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(k[i]) /
+                         static_cast<double>(samples_per_dim - 1);
+        c[i] = t - 0.5;
+        x[i] = dom[i].lo() + t * dom[i].width();
+      }
+      eps_grid = std::max(eps_grid, std::abs(poly_centered.eval(c) - f(x)));
+      std::size_t i = 0;
+      for (; i < n; ++i) {
+        if (++k[i] < samples_per_dim) break;
+        k[i] = 0;
+      }
+      if (i == n) break;
+    }
+  }
+
+  // (b) Derivative-gap correction: between grid points, |B - f| can grow by
+  // at most sum_i sup|d(B - f)/dx_i| * cell_radius_i. The Bernstein side is
+  // an exact polynomial-range bound (well-conditioned in the centered
+  // basis); the network side comes from df_range.
+  const interval::IVec half(n, interval::Interval(-0.5, 0.5));
+  double correction = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = dom[i].width();
+    if (w <= 0.0) continue;
+    // dB/dx_i = (1/w_i) dB/dc_i.
+    const interval::Interval db =
+        poly_centered.derivative(i).eval_range(half) * (1.0 / w);
+    const interval::Interval df = df_range[i];
+    // sup |u - v| over u in db, v in df.
+    const double gap =
+        std::max(db.hi() - df.lo(), df.hi() - db.lo());
+    const double cell_radius =
+        0.5 * w / static_cast<double>(samples_per_dim - 1);
+    correction += std::max(0.0, gap) * cell_radius;
+  }
+  return eps_grid + correction;
+}
+
+}  // namespace dwv::poly

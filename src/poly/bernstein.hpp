@@ -1,0 +1,60 @@
+// Bernstein-polynomial machinery:
+//  * range bounding of univariate polynomials via Bernstein coefficients,
+//  * multivariate Bernstein approximation of black-box Lipschitz functions
+//    (the core of the ReachNN-style neural-network abstraction).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "poly/poly.hpp"
+
+namespace dwv::poly {
+
+/// Binomial coefficient C(n, k) as double (exact for the small n used).
+double binomial(std::uint32_t n, std::uint32_t k);
+
+/// Sound range enclosure of a univariate polynomial over [lo, hi] using the
+/// Bernstein coefficient enclosure property (tighter than naive interval
+/// evaluation for high-degree terms).
+interval::Interval bernstein_range_1d(const Poly& p, double lo, double hi);
+
+/// Result of approximating f on a box by a Bernstein polynomial.
+struct BernsteinApprox {
+  /// Polynomial in normalized variables t in [0,1]^n (power basis).
+  Poly poly_unit;
+  /// Sound remainder bound: |poly(t(x)) - f(x)| <= remainder for x in box.
+  double remainder = 0.0;
+};
+
+/// Degree-`deg[i]`-per-dimension Bernstein approximation of a scalar
+/// function `f` over `dom`. `lipschitz[i]` must bound |df/dx_i| over `dom`;
+/// the Lipschitz-based remainder makes the enclosure sound (the ReachNN
+/// error bound). Samples f at the (deg+1)^n grid points.
+BernsteinApprox bernstein_approximate(
+    const std::function<double(const linalg::Vec&)>& f, const geom::Box& dom,
+    const std::vector<std::uint32_t>& deg,
+    const std::vector<double>& lipschitz);
+
+/// Empirical (unsound) remainder estimate by dense sampling; used in tests
+/// to check the Lipschitz bound is indeed conservative.
+double bernstein_sampled_error(
+    const std::function<double(const linalg::Vec&)>& f, const geom::Box& dom,
+    const BernsteinApprox& approx, std::size_t samples_per_dim);
+
+/// SOUND sampled remainder (the ReachNN-style "novel sampling method"):
+///   |B - f| <= max_{grid} |B - f|  +  sum_i  L_i^diff * cell_radius_i,
+/// where L_i^diff bounds |d(B - f)/dx_i| from (a) the exact interval range
+/// of dB/dx_i and (b) a caller-provided interval enclosure of df/dx_i over
+/// the box. Scales as O(width^2) for smooth f, vastly tighter than the
+/// pure Lipschitz bound. `df_range[i]` must enclose df/dx_i over `dom`.
+/// `poly_centered` is the fit expressed in centered coordinates
+/// c = (x - mid) / width in [-1/2, 1/2]^n (well-conditioned basis).
+double bernstein_sampled_remainder(
+    const std::function<double(const linalg::Vec&)>& f, const geom::Box& dom,
+    const Poly& poly_centered,
+    const std::vector<interval::Interval>& df_range,
+    std::size_t samples_per_dim);
+
+}  // namespace dwv::poly

@@ -1,0 +1,94 @@
+// Sparse multivariate polynomials over a fixed number of variables.
+//
+// These are the symbolic backbone of the Taylor-model arithmetic: a Taylor
+// model is a Poly plus an interval remainder. Terms are kept in a sorted
+// map keyed by exponent vector, which keeps every operation deterministic
+// (important for reproducible benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "interval/ivec.hpp"
+#include "linalg/vec.hpp"
+
+namespace dwv::poly {
+
+/// Exponent vector of a monomial; exps.size() == number of variables.
+using Exponents = std::vector<std::uint32_t>;
+
+/// Total degree of an exponent vector.
+std::uint32_t total_degree(const Exponents& e);
+
+/// Sparse polynomial in `nvars` real variables.
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::size_t nvars) : nvars_(nvars) {}
+
+  /// The constant polynomial c.
+  static Poly constant(std::size_t nvars, double c);
+  /// The coordinate polynomial x_i.
+  static Poly variable(std::size_t nvars, std::size_t i);
+
+  std::size_t nvars() const { return nvars_; }
+  bool is_zero() const { return terms_.empty(); }
+  std::size_t term_count() const { return terms_.size(); }
+  std::uint32_t degree() const;
+
+  /// Coefficient of a monomial (0 when absent).
+  double coeff(const Exponents& e) const;
+  /// Adds `c` to the coefficient of monomial `e`; drops resulting zeros.
+  void add_term(const Exponents& e, double c);
+  /// The constant term.
+  double constant_term() const;
+
+  const std::map<Exponents, double>& terms() const { return terms_; }
+
+  Poly& operator+=(const Poly& o);
+  Poly& operator-=(const Poly& o);
+  Poly& operator*=(double s);
+  friend Poly operator+(Poly a, const Poly& b) { return a += b; }
+  friend Poly operator-(Poly a, const Poly& b) { return a -= b; }
+  friend Poly operator*(Poly a, double s) { return a *= s; }
+  friend Poly operator*(double s, Poly a) { return a *= s; }
+  friend Poly operator-(Poly a) { return a *= -1.0; }
+  friend Poly operator*(const Poly& a, const Poly& b);
+
+  /// Point evaluation.
+  double eval(const linalg::Vec& x) const;
+
+  /// Sound interval enclosure of the range over box `dom` (naive interval
+  /// extension; adequate for the short, low-degree polynomials used here).
+  interval::Interval eval_range(const interval::IVec& dom) const;
+
+  /// Substitutes polynomial `subs[i]` for variable i (composition). All
+  /// substituted polynomials must share a variable count, which becomes the
+  /// variable count of the result.
+  Poly compose(const std::vector<Poly>& subs) const;
+
+  /// Partial derivative with respect to variable i.
+  Poly derivative(std::size_t i) const;
+
+  /// Splits into (kept, dropped): kept has total degree <= max_degree,
+  /// dropped contains the rest. Used for TM truncation.
+  std::pair<Poly, Poly> split_by_degree(std::uint32_t max_degree) const;
+
+  /// Removes terms with |coeff| <= tol, returning the dropped part.
+  Poly prune_small(double tol);
+
+  double max_abs_coeff() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Poly& p);
+
+ private:
+  std::size_t nvars_ = 0;
+  std::map<Exponents, double> terms_;
+};
+
+/// Power of a polynomial by repeated squaring.
+Poly pow(const Poly& base, std::uint32_t n);
+
+}  // namespace dwv::poly

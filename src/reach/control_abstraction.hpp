@@ -1,0 +1,113 @@
+// Controller abstractions: sound Taylor-model enclosures of the control
+// input u = kappa_theta(x) given a Taylor-model enclosure of the state.
+// These are the pluggable "NN verifier front-ends" of Section 3.1:
+//  * LinearAbstraction — u = K x exactly (the Flow* linear case),
+//  * PolarAbstraction  — POLAR-style layer-by-layer TM propagation through
+//    the network (affine layers exact, activations via 1-D TM expansions),
+//  * ReachNnAbstraction — ReachNN-style Bernstein polynomial fit of the
+//    whole network over the current state box with a Lipschitz remainder.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/controller.hpp"
+#include "taylor/activations.hpp"
+#include "taylor/taylor_model.hpp"
+
+namespace dwv::reach {
+
+class ControlAbstraction {
+ public:
+  virtual ~ControlAbstraction() = default;
+  virtual std::string name() const = 0;
+
+  /// Returns Taylor models (one per input dimension) over env's variables
+  /// that enclose kappa(x) for every x enclosed by `state`.
+  virtual taylor::TmVec abstract(const taylor::TmEnv& env,
+                                 const taylor::TmVec& state,
+                                 const nn::Controller& ctrl) const = 0;
+};
+
+using ControlAbstractionPtr = std::shared_ptr<const ControlAbstraction>;
+
+/// Exact abstraction of linear feedback u = K x.
+class LinearAbstraction final : public ControlAbstraction {
+ public:
+  std::string name() const override { return "linear"; }
+  taylor::TmVec abstract(const taylor::TmEnv& env, const taylor::TmVec& state,
+                         const nn::Controller& ctrl) const override;
+};
+
+struct PolarOptions {
+  /// Taylor order for smooth activations (1 = linear, 2 = quadratic).
+  taylor::ActOrder act_order = taylor::ActOrder::kQuadratic;
+};
+
+/// POLAR-style: push the state TMs through every layer symbolically.
+class PolarAbstraction final : public ControlAbstraction {
+ public:
+  explicit PolarAbstraction(PolarOptions opt = {}) : opt_(opt) {}
+  std::string name() const override { return "polar-lite"; }
+  taylor::TmVec abstract(const taylor::TmEnv& env, const taylor::TmVec& state,
+                         const nn::Controller& ctrl) const override;
+
+ private:
+  PolarOptions opt_;
+};
+
+struct ReachNnOptions {
+  /// Bernstein degree per input dimension.
+  std::uint32_t degree = 3;
+  /// Use the sampling-based remainder (ReachNN's method; O(width^2)) in
+  /// addition to the Lipschitz bound, taking the tighter of the two.
+  bool sampled_remainder = true;
+  /// Grid resolution per dimension for the sampled remainder.
+  std::size_t remainder_samples = 7;
+};
+
+/// ReachNN-style: fit a Bernstein polynomial to the whole network over the
+/// box range of the state TMs; remainder from the network Lipschitz bound.
+class ReachNnAbstraction final : public ControlAbstraction {
+ public:
+  explicit ReachNnAbstraction(ReachNnOptions opt = {}) : opt_(opt) {}
+  std::string name() const override { return "reachnn-lite"; }
+  taylor::TmVec abstract(const taylor::TmEnv& env, const taylor::TmVec& state,
+                         const nn::Controller& ctrl) const override;
+
+ private:
+  ReachNnOptions opt_;
+};
+
+/// Sound interval enclosure of the network Jacobian over the box `in`:
+/// result[k][i] contains d mlp_k / d x_i for every x in the box, computed
+/// by propagating interval derivative ranges through the layers.
+std::vector<interval::IVec> interval_jacobian(const nn::Mlp& mlp,
+                                              const interval::IVec& in);
+
+/// Sound per-input bound on |d mlp_k / d x_i| over the box `in` (max over
+/// outputs). Far tighter than the global product-of-norms bound.
+linalg::Vec interval_gradient_bound(const nn::Mlp& mlp,
+                                    const interval::IVec& in);
+
+/// Exact abstraction of polynomial state feedback u_k = p_k(x): compose
+/// the controller polynomials with the state Taylor models; the only
+/// over-approximation is the shared TM truncation.
+class PolynomialAbstraction final : public ControlAbstraction {
+ public:
+  std::string name() const override { return "polynomial"; }
+  taylor::TmVec abstract(const taylor::TmEnv& env, const taylor::TmVec& state,
+                         const nn::Controller& ctrl) const override;
+};
+
+/// Coarsest abstraction: collapse the state to its box range and bound the
+/// network output by interval propagation. Used as the "loose" setting in
+/// the verification-tightness ablation.
+class IntervalAbstraction final : public ControlAbstraction {
+ public:
+  std::string name() const override { return "interval"; }
+  taylor::TmVec abstract(const taylor::TmEnv& env, const taylor::TmVec& state,
+                         const nn::Controller& ctrl) const override;
+};
+
+}  // namespace dwv::reach

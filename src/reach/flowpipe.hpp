@@ -1,0 +1,45 @@
+// Flowpipe: the verifier's output. A sound over-approximation of the
+// reachable set, step-indexed to support both the safety check (hulls over
+// whole sampling intervals) and goal-reaching (sets at control instants).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/polygon2d.hpp"
+
+namespace dwv::reach {
+
+struct Flowpipe {
+  /// Over-approximation of the reachable set at control instants
+  /// t = 0, delta, ..., steps*delta (size steps + 1).
+  std::vector<geom::Box> step_sets;
+
+  /// Over-approximation of the reachable tube over each sampling interval
+  /// [k delta, (k+1) delta] (size steps). Drives the safety check.
+  std::vector<geom::Box> interval_hulls;
+
+  /// Exact convex polygons at control instants for 2-D linear systems
+  /// (empty otherwise); lets the geometric metric be exact for the ACC.
+  std::vector<geom::Polygon2d> step_polys;
+
+  /// False when the computation blew up (remainder validation failed or the
+  /// enclosure left the assumed state bounds); the verdict is then Unknown.
+  bool valid = true;
+  std::string failure;
+
+  std::size_t steps() const {
+    return step_sets.empty() ? 0 : step_sets.size() - 1;
+  }
+
+  /// Box hull of the full reachable tube X_r^T.
+  geom::Box total_hull() const {
+    geom::Box h = step_sets.at(0);
+    for (const auto& b : interval_hulls) h = h.hull_with(b);
+    for (const auto& b : step_sets) h = h.hull_with(b);
+    return h;
+  }
+};
+
+}  // namespace dwv::reach

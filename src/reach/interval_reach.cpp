@@ -1,0 +1,124 @@
+#include "reach/interval_reach.hpp"
+
+#include <cassert>
+
+namespace dwv::reach {
+
+using interval::Interval;
+using interval::IVec;
+
+IntervalVerifier::IntervalVerifier(ode::SystemPtr sys,
+                                   ode::ReachAvoidSpec spec,
+                                   IntervalReachOptions opt)
+    : sys_(std::move(sys)),
+      spec_(std::move(spec)),
+      opt_(opt),
+      f_polys_(sys_->poly_dynamics()) {}
+
+namespace {
+
+// Interval image of the polynomial vector field at boxes (x, u).
+IVec f_range(const std::vector<poly::Poly>& f, const IVec& x, const IVec& u) {
+  IVec xu(x.size() + u.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xu[i] = x[i];
+  for (std::size_t j = 0; j < u.size(); ++j) xu[x.size() + j] = u[j];
+  IVec out(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) out[i] = f[i].eval_range(xu);
+  return out;
+}
+
+// Interval output range of a controller on a state box.
+IVec control_range(const nn::Controller& ctrl, const IVec& x) {
+  // Reuse the coarse abstraction machinery via a degenerate TM environment.
+  taylor::TmEnv env;
+  env.dom = x;
+  env.order = 1;
+  taylor::TmVec state(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    state[i] = taylor::TaylorModel::variable(env, i);
+  IntervalAbstraction abs;
+  const taylor::TmVec u = abs.abstract(env, state, ctrl);
+  return taylor::tm_vec_range(env, u);
+}
+
+}  // namespace
+
+Flowpipe IntervalVerifier::compute(const geom::Box& x0,
+                                   const nn::Controller& ctrl) const {
+  const std::size_t n = sys_->state_dim();
+  assert(x0.dim() == n);
+
+  Flowpipe fp;
+  fp.step_sets.reserve(spec_.steps + 1);
+  fp.interval_hulls.reserve(spec_.steps);
+  fp.step_sets.push_back(x0);
+
+  IVec x = x0.bounds();
+  const double h = spec_.delta / static_cast<double>(opt_.substeps);
+
+  for (std::size_t step = 0; step < spec_.steps; ++step) {
+    const IVec u = control_range(ctrl, x);
+    IVec period_hull = x;
+
+    for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
+      // A-priori enclosure B: inflate until x + [0,h] f(B,u) stays inside.
+      IVec b = x;
+      bool ok = false;
+      for (std::size_t it = 0; it < opt_.max_inflations; ++it) {
+        // Inflate b.
+        IVec binf(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double r =
+              b[i].rad() * opt_.inflation + 1e-9 + 0.01 * h;
+          binf[i] = Interval(b[i].mid() - r, b[i].mid() + r);
+        }
+        const IVec fb = f_range(f_polys_, binf, u);
+        IVec trial(n);
+        bool inside = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          trial[i] = x[i] + interval::hull(Interval(0.0),
+                                           fb[i] * Interval(h));
+          if (!binf[i].contains(trial[i])) inside = false;
+        }
+        if (inside) {
+          b = binf;
+          ok = true;
+          break;
+        }
+        b = trial;  // grow towards the needed enclosure
+      }
+      if (!ok) {
+        fp.valid = false;
+        fp.failure = "interval a-priori enclosure not found";
+        return fp;
+      }
+
+      // Tube over the sub-step and the end set x(h) = x + h f(B, u).
+      const IVec fb = f_range(f_polys_, b, u);
+      IVec tube(n);
+      IVec xe(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        tube[i] = x[i] + interval::hull(Interval(0.0), fb[i] * Interval(h));
+        xe[i] = x[i] + fb[i] * Interval(h);
+      }
+      period_hull = interval::hull(period_hull, tube);
+      x = xe;
+    }
+
+    fp.interval_hulls.emplace_back(period_hull);
+    fp.step_sets.emplace_back(x);
+
+    if (spec_.stop_at_goal && spec_.goal.contains(fp.step_sets.back())) {
+      return fp;
+    }
+
+    if (x.max_mag() > opt_.divergence_bound) {
+      fp.valid = false;
+      fp.failure = "interval flowpipe diverged";
+      return fp;
+    }
+  }
+  return fp;
+}
+
+}  // namespace dwv::reach

@@ -1,0 +1,38 @@
+// Coarse pure-interval reachability: first-order interval integration with
+// an a-priori box enclosure per sub-step. Much cheaper and much looser than
+// the Taylor-model flowpipe — the "loose verifier" end of the tightness
+// ablation (Section 4, Discussion on Verification Tightness).
+#pragma once
+
+#include "ode/spec.hpp"
+#include "ode/system.hpp"
+#include "reach/control_abstraction.hpp"
+#include "reach/verifier.hpp"
+
+namespace dwv::reach {
+
+struct IntervalReachOptions {
+  std::size_t substeps = 4;         ///< integration sub-steps per period
+  double inflation = 1.1;           ///< a-priori enclosure inflation factor
+  std::size_t max_inflations = 30;
+  double divergence_bound = 1e4;
+};
+
+class IntervalVerifier final : public Verifier {
+ public:
+  IntervalVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
+                   IntervalReachOptions opt = {});
+
+  std::string name() const override { return "interval-euler"; }
+
+  Flowpipe compute(const geom::Box& x0,
+                   const nn::Controller& ctrl) const override;
+
+ private:
+  ode::SystemPtr sys_;
+  ode::ReachAvoidSpec spec_;
+  IntervalReachOptions opt_;
+  std::vector<poly::Poly> f_polys_;
+};
+
+}  // namespace dwv::reach

@@ -1,0 +1,55 @@
+#include "reach/subdivide.hpp"
+
+#include <algorithm>
+
+namespace dwv::reach {
+
+Flowpipe SubdividingVerifier::compute(const geom::Box& x0,
+                                      const nn::Controller& ctrl) const {
+  const std::vector<std::size_t> per_dim(x0.dim(), opt_.cells_per_dim);
+  const std::vector<geom::Box> cells = x0.grid(per_dim);
+
+  std::vector<Flowpipe> pipes;
+  pipes.reserve(cells.size());
+  for (const geom::Box& cell : cells) {
+    Flowpipe fp = inner_->compute(cell, ctrl);
+    if (!fp.valid) return fp;  // propagate the failure verbatim
+    pipes.push_back(std::move(fp));
+  }
+
+  // Align to the LONGEST pipe. A cell that stopped early (goal containment
+  // under stop-at-goal semantics: its run has ended) is padded by repeating
+  // its final — goal-contained — set, so the merged pipe still certifies
+  // goal containment once every cell has stopped.
+  std::size_t steps = 0;
+  for (const Flowpipe& fp : pipes) steps = std::max(steps, fp.steps());
+
+  const auto step_set = [](const Flowpipe& fp, std::size_t k) {
+    return k < fp.step_sets.size() ? fp.step_sets[k] : fp.step_sets.back();
+  };
+  const auto hull_at = [](const Flowpipe& fp, std::size_t k) {
+    return k < fp.interval_hulls.size() ? fp.interval_hulls[k]
+                                        : fp.step_sets.back();
+  };
+
+  Flowpipe merged;
+  merged.step_sets.reserve(steps + 1);
+  merged.interval_hulls.reserve(steps);
+  for (std::size_t k = 0; k <= steps; ++k) {
+    geom::Box hull = step_set(pipes.front(), k);
+    for (std::size_t c = 1; c < pipes.size(); ++c) {
+      hull = hull.hull_with(step_set(pipes[c], k));
+    }
+    merged.step_sets.push_back(hull);
+  }
+  for (std::size_t k = 0; k < steps; ++k) {
+    geom::Box hull = hull_at(pipes.front(), k);
+    for (std::size_t c = 1; c < pipes.size(); ++c) {
+      hull = hull.hull_with(hull_at(pipes[c], k));
+    }
+    merged.interval_hulls.push_back(hull);
+  }
+  return merged;
+}
+
+}  // namespace dwv::reach

@@ -1,0 +1,39 @@
+// Initial-set subdivision wrapper: splits X0 into a grid of cells, runs the
+// inner verifier per cell, and merges the per-step sets. Because each cell
+// starts smaller, every nonlinear over-approximation step (TM truncation,
+// activation remainders, Bernstein fits) is tighter, at k^n times the cost.
+// This is the classic accuracy/effort knob of reachability tools and the
+// "extra tight" end of the verification-tightness ablation.
+#pragma once
+
+#include "reach/verifier.hpp"
+
+namespace dwv::reach {
+
+struct SubdivideOptions {
+  /// Cells per dimension of the initial box.
+  std::size_t cells_per_dim = 2;
+};
+
+class SubdividingVerifier final : public Verifier {
+ public:
+  SubdividingVerifier(VerifierPtr inner, SubdivideOptions opt = {})
+      : inner_(std::move(inner)), opt_(opt) {}
+
+  std::string name() const override {
+    return "subdivide(" + inner_->name() + ")";
+  }
+
+  /// Merges the cell flowpipes by per-step box hull. The merged pipe is
+  /// valid only if EVERY cell pipe is valid; step counts are aligned to the
+  /// shortest cell pipe (stop-at-goal may truncate some cells earlier —
+  /// goal containment of the merged pipe then still holds per cell).
+  Flowpipe compute(const geom::Box& x0,
+                   const nn::Controller& ctrl) const override;
+
+ private:
+  VerifierPtr inner_;
+  SubdivideOptions opt_;
+};
+
+}  // namespace dwv::reach

@@ -1,0 +1,60 @@
+#include "reach/tm_dynamics.hpp"
+
+#include <cassert>
+
+#include "taylor/activations.hpp"
+
+namespace dwv::reach {
+
+using taylor::TaylorModel;
+using taylor::TmEnv;
+using taylor::TmVec;
+
+TmVec PolyTmDynamics::eval(const TmEnv& env, const TmVec& args) const {
+  TmVec out(f_.size());
+  for (std::size_t i = 0; i < f_.size(); ++i) {
+    out[i] = taylor::tm_eval_poly(env, f_[i], args);
+  }
+  return out;
+}
+
+TaylorModel ExprTmDynamics::eval_expr(const TmEnv& env, const ode::Expr& e,
+                                      const TmVec& args) {
+  using ode::ExprOp;
+  switch (e.op) {
+    case ExprOp::kConst:
+      return TaylorModel::constant(env, e.value);
+    case ExprOp::kVar:
+      assert(e.var < args.size());
+      return args[e.var];
+    case ExprOp::kAdd:
+      return taylor::tm_add(eval_expr(env, *e.a, args),
+                            eval_expr(env, *e.b, args));
+    case ExprOp::kMul:
+      return taylor::tm_mul(env, eval_expr(env, *e.a, args),
+                            eval_expr(env, *e.b, args));
+    case ExprOp::kNeg:
+      return taylor::tm_scale(eval_expr(env, *e.a, args), -1.0);
+    case ExprOp::kPow:
+      return taylor::tm_pow(env, eval_expr(env, *e.a, args), e.power);
+    case ExprOp::kSin:
+      return taylor::tm_sin(env, eval_expr(env, *e.a, args));
+    case ExprOp::kCos:
+      return taylor::tm_cos(env, eval_expr(env, *e.a, args));
+    case ExprOp::kTanh:
+      return taylor::tm_tanh(env, eval_expr(env, *e.a, args));
+    case ExprOp::kExp:
+      return taylor::tm_exp(env, eval_expr(env, *e.a, args));
+  }
+  return TaylorModel::constant(env, 0.0);
+}
+
+TmVec ExprTmDynamics::eval(const TmEnv& env, const TmVec& args) const {
+  TmVec out(f_.size());
+  for (std::size_t i = 0; i < f_.size(); ++i) {
+    out[i] = eval_expr(env, *f_[i], args);
+  }
+  return out;
+}
+
+}  // namespace dwv::reach

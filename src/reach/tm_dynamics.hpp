@@ -1,0 +1,55 @@
+// Pluggable Taylor-model evaluation of the vector field: the TM flowpipe
+// only needs "evaluate f at Taylor-model arguments", so polynomial systems
+// (exact monomial composition) and expression-tree systems (sin/cos/...
+// via the activation-style 1-D abstractions) share one integrator.
+#pragma once
+
+#include <memory>
+
+#include "ode/expr.hpp"
+#include "poly/poly.hpp"
+#include "taylor/taylor_model.hpp"
+
+namespace dwv::reach {
+
+class TmDynamics {
+ public:
+  virtual ~TmDynamics() = default;
+  virtual std::size_t state_dim() const = 0;
+  /// args = (state TMs..., control TMs...); returns the n derivative TMs.
+  virtual taylor::TmVec eval(const taylor::TmEnv& env,
+                             const taylor::TmVec& args) const = 0;
+};
+
+using TmDynamicsPtr = std::shared_ptr<const TmDynamics>;
+
+/// Polynomial vector field (the paper's systems).
+class PolyTmDynamics final : public TmDynamics {
+ public:
+  explicit PolyTmDynamics(std::vector<poly::Poly> f) : f_(std::move(f)) {}
+  std::size_t state_dim() const override { return f_.size(); }
+  taylor::TmVec eval(const taylor::TmEnv& env,
+                     const taylor::TmVec& args) const override;
+
+ private:
+  std::vector<poly::Poly> f_;
+};
+
+/// Expression-tree vector field (sin/cos/tanh/exp nodes supported).
+class ExprTmDynamics final : public TmDynamics {
+ public:
+  explicit ExprTmDynamics(std::vector<ode::ExprPtr> f) : f_(std::move(f)) {}
+  std::size_t state_dim() const override { return f_.size(); }
+  taylor::TmVec eval(const taylor::TmEnv& env,
+                     const taylor::TmVec& args) const override;
+
+  /// Sound TM enclosure of a single expression at TM arguments.
+  static taylor::TaylorModel eval_expr(const taylor::TmEnv& env,
+                                       const ode::Expr& e,
+                                       const taylor::TmVec& args);
+
+ private:
+  std::vector<ode::ExprPtr> f_;
+};
+
+}  // namespace dwv::reach

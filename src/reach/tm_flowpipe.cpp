@@ -1,0 +1,361 @@
+#include "reach/tm_flowpipe.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "ode/expr_system.hpp"
+
+namespace dwv::reach {
+
+using interval::Interval;
+using interval::IVec;
+using poly::Poly;
+using taylor::TaylorModel;
+using taylor::TmEnv;
+using taylor::TmVec;
+
+namespace {
+
+// Lifts a polynomial over k variables to k+1 (appending the new variable
+// with exponent zero).
+Poly lift_poly(const Poly& p, std::size_t new_nvars) {
+  assert(new_nvars >= p.nvars());
+  Poly q(new_nvars);
+  for (const auto& [e, c] : p.terms()) {
+    poly::Exponents e2 = e;
+    e2.resize(new_nvars, 0);
+    q.add_term(e2, c);
+  }
+  return q;
+}
+
+// Drops the last variable (must have exponent 0 everywhere).
+Poly drop_last_var(const Poly& p) {
+  assert(p.nvars() >= 1);
+  Poly q(p.nvars() - 1);
+  for (const auto& [e, c] : p.terms()) {
+    assert(e.back() == 0 && "cannot drop a live variable");
+    poly::Exponents e2(e.begin(), e.end() - 1);
+    q.add_term(e2, c);
+  }
+  return q;
+}
+
+TaylorModel lift_tm(const TaylorModel& tm, std::size_t new_nvars) {
+  return {lift_poly(tm.poly, new_nvars), tm.rem};
+}
+
+Interval widen(const Interval& v, double factor, double bump) {
+  const double r = v.rad() * factor + bump;
+  const double m = v.mid();
+  return Interval(m - r, m + r);
+}
+
+// Fresh affine parameterization absorbing remainders. Tries to keep the
+// current linear shape (parallelotope, preconditioning the wrapping away on
+// rotating flows); falls back to the box hull when the shape matrix is
+// near singular or the parallelotope hull would be looser than the box.
+TmVec reinitialize(const TmVec& x, const IVec& end_range) {
+  const std::size_t n = x.size();
+  const IVec unit(n, Interval(-1.0, 1.0));
+
+  const auto box_reinit = [&]() {
+    TmVec fresh(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Poly p = Poly::constant(n, end_range[i].mid()) +
+               Poly::variable(n, i) * end_range[i].rad();
+      fresh[i] = {std::move(p), Interval(0.0)};
+    }
+    return fresh;
+  };
+
+  // Split each component into constant + linear + (nonlinear, remainder).
+  linalg::Mat a(n, n);
+  linalg::Vec c(n);
+  linalg::Vec r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Poly nonlin(n);
+    for (const auto& [e, coeff] : x[i].poly.terms()) {
+      const std::uint32_t deg = poly::total_degree(e);
+      if (deg == 0) {
+        c[i] = coeff;
+      } else if (deg == 1) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (e[j] == 1) a(i, j) = coeff;
+        }
+      } else {
+        nonlin.add_term(e, coeff);
+      }
+    }
+    const Interval resid = nonlin.eval_range(unit) + x[i].rem;
+    c[i] += resid.mid();
+    r[i] = resid.rad();
+  }
+
+  const linalg::Lu lu = linalg::lu_factor(a);
+  if (lu.singular) return box_reinit();
+  linalg::Mat ainv;
+  try {
+    ainv = linalg::inverse(a);
+  } catch (const std::domain_error&) {
+    return box_reinit();
+  }
+
+  // Column scaling absorbing the residual box: s + A^-1 diag(r) u stays in
+  // diag(1 + M) [-1,1]^n with M_j = sum_k |Ainv_jk| r_k.
+  linalg::Vec m(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < n; ++k) s += std::abs(ainv(j, k)) * r[k];
+    m[j] = s;
+  }
+  for (double mj : m) {
+    if (!std::isfinite(mj) || mj > 10.0) return box_reinit();
+  }
+
+  linalg::Mat ap = a;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) ap(i, j) *= (1.0 + m[j]);
+
+  // Reject if the parallelotope's box hull is looser than the plain box.
+  for (std::size_t i = 0; i < n; ++i) {
+    double hull = 0.0;
+    for (std::size_t j = 0; j < n; ++j) hull += std::abs(ap(i, j));
+    if (hull > 1.2 * end_range[i].rad() + 1e-12) return box_reinit();
+  }
+
+  TmVec fresh(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Poly p = Poly::constant(n, c[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (ap(i, j) != 0.0) p += Poly::variable(n, j) * ap(i, j);
+    }
+    fresh[i] = {std::move(p), Interval(0.0)};
+  }
+  return fresh;
+}
+
+}  // namespace
+
+TmStepResult tm_integrate_step(const TmEnv& env_set, const TmVec& state,
+                               const TmVec& control,
+                               const std::vector<Poly>& f_polys, double h,
+                               const TmReachOptions& opt) {
+  return tm_integrate_step(env_set, state, control,
+                           PolyTmDynamics(f_polys), h, opt);
+}
+
+TmStepResult tm_integrate_step(const TmEnv& env_set, const TmVec& state,
+                               const TmVec& control, const TmDynamics& f,
+                               double h, const TmReachOptions& opt) {
+  const std::size_t n = state.size();
+  const std::size_t m = control.size();
+  const std::size_t nv = env_set.nvars();
+  assert(f.state_dim() == n);
+
+  // Time-extended environment: variables (set vars..., tau in [0, h]).
+  TmEnv env;
+  env.dom = IVec(nv + 1);
+  for (std::size_t i = 0; i < nv; ++i) env.dom[i] = env_set.dom[i];
+  env.dom[nv] = Interval(0.0, h);
+  env.order = env_set.order;
+  env.cutoff = env_set.cutoff;
+  const std::size_t tau = nv;
+
+  TmVec x0(n);
+  for (std::size_t i = 0; i < n; ++i) x0[i] = lift_tm(state[i], nv + 1);
+  TmVec u(m);
+  for (std::size_t j = 0; j < m; ++j) u[j] = lift_tm(control[j], nv + 1);
+
+  const auto picard = [&](const TmVec& phi) {
+    TmVec args = phi;
+    args.insert(args.end(), u.begin(), u.end());
+    const TmVec g = f.eval(env, args);
+    TmVec out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] =
+          taylor::tm_add(x0[i], taylor::tm_integrate_time(env, g[i], tau));
+    }
+    return out;
+  };
+
+  // Polynomial fixpoint by iteration (tau-degree grows by one per pass).
+  // Remainders are zeroed between passes: this phase only constructs the
+  // polynomial part, and letting interval remainders compound across the
+  // passes would inflate the validated remainder by (1 + hL)^iters instead
+  // of (1 + hL) per step.
+  TmVec phi = x0;
+  for (std::size_t it = 0; it < opt.picard_iters; ++it) {
+    phi = picard(phi);
+    for (auto& tm : phi) tm.rem = Interval(0.0);
+  }
+
+  // Remainder validation: find J with P(poly + J) inside poly + J.
+  std::vector<Interval> j(n);
+  for (std::size_t i = 0; i < n; ++i)
+    j[i] = interval::hull(x0[i].rem, Interval::symmetric(opt.rem_init));
+
+  TmStepResult res;
+  for (std::size_t attempt = 0; attempt <= opt.max_inflations; ++attempt) {
+    TmVec cand(n);
+    for (std::size_t i = 0; i < n; ++i) cand[i] = {phi[i].poly, j[i]};
+    const TmVec p = picard(cand);
+
+    bool contained = true;
+    std::vector<Interval> d_range(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TaylorModel d =
+          taylor::tm_sub(p[i], TaylorModel{cand[i].poly, Interval(0.0)});
+      d_range[i] = taylor::tm_range(env, d);
+      if (!j[i].contains(d_range[i])) contained = false;
+    }
+
+    if (contained) {
+      // P(cand) encloses the flow and is at least as tight as cand.
+      TmVec validated(n);
+      for (std::size_t i = 0; i < n; ++i)
+        validated[i] = {cand[i].poly, d_range[i]};
+
+      res.tube_range = IVec(n);
+      res.at_end.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        res.tube_range[i] = taylor::tm_range(env, validated[i]);
+        TaylorModel end = taylor::tm_subst_var(env, validated[i], tau, h);
+        res.at_end[i] = {drop_last_var(end.poly), end.rem};
+      }
+      res.ok = true;
+      return res;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      j[i] = widen(interval::hull(j[i], d_range[i]), opt.rem_inflate,
+                   opt.rem_init);
+    }
+  }
+
+  res.failure = "remainder validation failed (Picard operator not contracting)";
+  return res;
+}
+
+namespace {
+TmDynamicsPtr dynamics_for(const ode::SystemPtr& sys) {
+  auto polys = sys->poly_dynamics();
+  if (!polys.empty()) {
+    return std::make_shared<PolyTmDynamics>(std::move(polys));
+  }
+  if (const auto* es = dynamic_cast<const ode::ExprSystem*>(sys.get())) {
+    return std::make_shared<ExprTmDynamics>(es->exprs());
+  }
+  assert(false && "system provides neither polynomial nor expression "
+                  "dynamics; pass a TmDynamics explicitly");
+  return nullptr;
+}
+}  // namespace
+
+TmVerifier::TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
+                       ControlAbstractionPtr abstraction, TmReachOptions opt)
+    : sys_(std::move(sys)),
+      spec_(std::move(spec)),
+      abs_(std::move(abstraction)),
+      opt_(opt),
+      dynamics_(dynamics_for(sys_)) {}
+
+TmVerifier::TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
+                       ControlAbstractionPtr abstraction,
+                       TmDynamicsPtr dynamics, TmReachOptions opt)
+    : sys_(std::move(sys)),
+      spec_(std::move(spec)),
+      abs_(std::move(abstraction)),
+      opt_(opt),
+      dynamics_(std::move(dynamics)) {}
+
+std::string TmVerifier::name() const {
+  std::ostringstream os;
+  os << "tm-flowpipe(" << abs_->name() << ", order=" << opt_.order
+     << ", substeps=" << opt_.substeps << ')';
+  return os.str();
+}
+
+Flowpipe TmVerifier::compute(const geom::Box& x0,
+                             const nn::Controller& ctrl) const {
+  const std::size_t n = sys_->state_dim();
+  assert(x0.dim() == n);
+
+  TmEnv env;
+  env.dom = IVec(n, Interval(-1.0, 1.0));
+  env.order = opt_.order;
+  env.cutoff = opt_.cutoff;
+
+  // Initial affine parameterization x_i = c_i + r_i s_i.
+  const linalg::Vec c = x0.center();
+  const linalg::Vec r = x0.radius();
+  TmVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Poly p = Poly::constant(n, c[i]) + Poly::variable(n, i) * r[i];
+    x[i] = {std::move(p), Interval(0.0)};
+  }
+
+  Flowpipe fp;
+  fp.step_sets.reserve(spec_.steps + 1);
+  fp.interval_hulls.reserve(spec_.steps);
+  fp.step_sets.push_back(x0);
+
+  const double h = spec_.delta / static_cast<double>(opt_.substeps);
+
+  for (std::size_t step = 0; step < spec_.steps; ++step) {
+    const TmVec u = abs_->abstract(env, x, ctrl);
+
+    IVec period_hull;
+    for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
+      TmStepResult sr = tm_integrate_step(env, x, u, *dynamics_, h, opt_);
+      if (!sr.ok) {
+        fp.valid = false;
+        fp.failure = sr.failure;
+        return fp;
+      }
+      period_hull = (sub == 0) ? sr.tube_range
+                               : interval::hull(period_hull, sr.tube_range);
+      x = std::move(sr.at_end);
+    }
+
+    fp.interval_hulls.emplace_back(period_hull);
+    const IVec end_range = taylor::tm_vec_range(env, x);
+    fp.step_sets.emplace_back(end_range);
+
+    // Reach-avoid semantics: the run ends when the goal is provably
+    // reached; tracking the post-goal flow would only inflate the pipe.
+    if (spec_.stop_at_goal && spec_.goal.contains(geom::Box(end_range))) {
+      return fp;
+    }
+
+    if (end_range.max_mag() > opt_.divergence_bound) {
+      fp.valid = false;
+      fp.failure = "flowpipe enclosure diverged";
+      return fp;
+    }
+
+    // Adaptive re-initialization: when the interval remainder dominates the
+    // polynomial spread, absorb it into a fresh affine parameterization so
+    // the closed-loop contraction can act on what used to be an
+    // uncontractable interval term. Preconditioned (parallelotope) variant:
+    // keep the current linear shape A and absorb remainder + nonlinear
+    // residue by scaling the columns, A' = A diag(1 + |A^-1| r); this
+    // avoids the box-wrapping blowup on rotating flows. Falls back to a box
+    // when A is near singular.
+    if (opt_.reinit_rem_fraction > 0.0) {
+      bool reinit = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double spread = end_range[i].rad();
+        if (x[i].rem.rad() > opt_.reinit_rem_fraction * spread &&
+            x[i].rem.rad() > 10.0 * opt_.rem_init) {
+          reinit = true;
+          break;
+        }
+      }
+      if (reinit) x = reinitialize(x, end_range);
+    }
+  }
+  return fp;
+}
+
+}  // namespace dwv::reach

@@ -1,0 +1,96 @@
+// Flow*-style Taylor-model flowpipe construction for polynomial dynamics
+// under sampled-data control (zero-order hold), with a pluggable controller
+// abstraction (linear / POLAR-lite / ReachNN-lite / interval).
+//
+// Per control period: the controller abstraction produces Taylor models of
+// u over the initial-set variables; the ODE is then integrated by Picard
+// iteration on Taylor models with a self-validating interval remainder
+// (inflate-and-check a la Berz-Makino / Flow*).
+#pragma once
+
+#include "ode/spec.hpp"
+#include "reach/tm_dynamics.hpp"
+#include "ode/system.hpp"
+#include "reach/control_abstraction.hpp"
+#include "reach/verifier.hpp"
+#include "taylor/taylor_model.hpp"
+
+namespace dwv::reach {
+
+struct TmReachOptions {
+  /// Taylor-model truncation order (total degree across set vars and time).
+  std::uint32_t order = 3;
+  /// Integration sub-steps per control period.
+  std::size_t substeps = 2;
+  /// Small-coefficient sweep threshold.
+  double cutoff = 1e-12;
+  /// Picard polynomial iterations (>= order guarantees the poly fixpoint).
+  std::size_t picard_iters = 5;
+  /// Initial symmetric remainder guess for validation.
+  double rem_init = 1e-9;
+  /// Multiplicative inflation per failed validation attempt. Gentle on
+  /// purpose: each failed attempt replaces J by ~inflate * T(J), so the
+  /// accepted remainder converges to ~inflate times the true fixpoint;
+  /// aggressive factors would compound into artificial e^{c t} growth.
+  double rem_inflate = 1.15;
+  std::size_t max_inflations = 60;
+  /// Enclosure magnitude beyond which the pipe is declared diverged.
+  double divergence_bound = 1e4;
+  /// When the interval remainder exceeds this fraction of the polynomial
+  /// spread, re-initialize the state as a fresh affine Taylor model over
+  /// the current box (sound; absorbs the remainder into the polynomial so
+  /// the closed-loop contraction can act on it). 0 disables.
+  double reinit_rem_fraction = 0.5;
+};
+
+/// One validated integration step: enclosure over [0, h] and at t = h.
+struct TmStepResult {
+  taylor::TmVec at_end;        ///< state TMs at tau = h (tau substituted)
+  interval::IVec tube_range;   ///< box hull of the enclosure over [0, h]
+  bool ok = false;
+  std::string failure;
+};
+
+/// Integrates x' = f(x, u) for tau in [0, h] with u held constant (as TMs
+/// over the set variables). `env_set` is the environment WITHOUT the time
+/// variable; the function internally extends it with tau in [0, h].
+TmStepResult tm_integrate_step(const taylor::TmEnv& env_set,
+                               const taylor::TmVec& state,
+                               const taylor::TmVec& control,
+                               const TmDynamics& f, double h,
+                               const TmReachOptions& opt);
+
+/// Convenience overload for polynomial vector fields over
+/// (x_0..x_{n-1}, u_0..u_{m-1}).
+TmStepResult tm_integrate_step(const taylor::TmEnv& env_set,
+                               const taylor::TmVec& state,
+                               const taylor::TmVec& control,
+                               const std::vector<poly::Poly>& f_polys,
+                               double h, const TmReachOptions& opt);
+
+/// Verifier built on the TM flowpipe.
+class TmVerifier final : public Verifier {
+ public:
+  /// Builds the TM dynamics from the system: polynomial face when
+  /// available, expression trees for an ode::ExprSystem.
+  TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
+             ControlAbstractionPtr abstraction, TmReachOptions opt = {});
+  /// Explicit dynamics (custom TmDynamics implementations).
+  TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
+             ControlAbstractionPtr abstraction, TmDynamicsPtr dynamics,
+             TmReachOptions opt);
+
+  std::string name() const override;
+
+  Flowpipe compute(const geom::Box& x0,
+                   const nn::Controller& ctrl) const override;
+
+ private:
+  ode::SystemPtr sys_;
+  ode::ReachAvoidSpec spec_;
+  ControlAbstractionPtr abs_;
+  TmReachOptions opt_;
+  TmDynamicsPtr dynamics_;
+};
+
+}  // namespace dwv::reach

@@ -1,0 +1,29 @@
+// Verifier interface Psi(f, X0, kappa_theta) -> reachable set (paper Sec. 2):
+// the pluggable formal tool the learning loop queries each iteration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "geom/box.hpp"
+#include "nn/controller.hpp"
+#include "reach/flowpipe.hpp"
+
+namespace dwv::reach {
+
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes a sound flowpipe of the closed-loop sampled-data system from
+  /// the initial box `x0` under controller `ctrl`, over the verifier's
+  /// configured horizon.
+  virtual Flowpipe compute(const geom::Box& x0,
+                           const nn::Controller& ctrl) const = 0;
+};
+
+using VerifierPtr = std::shared_ptr<const Verifier>;
+
+}  // namespace dwv::reach

@@ -1,0 +1,153 @@
+#include "rl/ddpg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/monte_carlo.hpp"
+
+namespace dwv::rl {
+
+using linalg::Vec;
+using nn::Mlp;
+
+namespace {
+
+void soft_update(Mlp& target, const Mlp& net, double tau) {
+  Vec tp = target.params();
+  const Vec np = net.params();
+  for (std::size_t i = 0; i < tp.size(); ++i)
+    tp[i] = tau * np[i] + (1.0 - tau) * tp[i];
+  target.set_params(tp);
+}
+
+}  // namespace
+
+DdpgResult train_ddpg(ControlEnv& env, const DdpgOptions& opt) {
+  std::mt19937_64 rng(opt.seed);
+  const std::size_t n = env.state_dim();
+  const std::size_t m = env.action_dim();
+
+  std::vector<std::size_t> actor_dims{n};
+  actor_dims.insert(actor_dims.end(), opt.actor_hidden.begin(),
+                    opt.actor_hidden.end());
+  actor_dims.push_back(m);
+  Mlp actor(actor_dims, nn::Activation::kRelu, nn::Activation::kTanh);
+  actor.init_random(rng);
+  Mlp actor_target = actor;
+
+  std::vector<std::size_t> critic_dims{n + m};
+  critic_dims.insert(critic_dims.end(), opt.critic_hidden.begin(),
+                     opt.critic_hidden.end());
+  critic_dims.push_back(1);
+  Mlp critic(critic_dims, nn::Activation::kRelu, nn::Activation::kIdentity);
+  critic.init_random(rng);
+  Mlp critic_target = critic;
+
+  nn::Adam actor_opt(actor.param_count(), opt.actor_lr);
+  nn::Adam critic_opt(critic.param_count(), opt.critic_lr);
+
+  ReplayBuffer buffer(opt.buffer_capacity);
+  OuNoise noise(m, 0.15, opt.noise_sigma);
+
+  DdpgResult res;
+  res.episode_returns.reserve(opt.max_episodes);
+  std::size_t consecutive_passes = 0;
+
+  const auto policy = [&](const Mlp& net, const Vec& x) {
+    Vec a = net.forward(x);
+    return a * opt.action_scale;
+  };
+
+  const auto update_networks = [&]() {
+    const auto batch = buffer.sample(opt.batch_size, rng);
+    const double inv_b = 1.0 / static_cast<double>(batch.size());
+
+    // Critic: MSE towards y = r + gamma (1 - done) Q'(s', mu'(s')).
+    Vec critic_grad(critic.param_count());
+    Vec actor_grad(actor.param_count());
+    for (const Transition* t : batch) {
+      double y = t->reward;
+      if (!t->done) {
+        const Vec a_next = policy(actor_target, t->next_state);
+        const Vec q_next =
+            critic_target.forward(concat(t->next_state, a_next));
+        y += opt.gamma * q_next[0];
+      }
+      const Vec sa = concat(t->state, t->action);
+      const auto cache = critic.forward_cached(sa);
+      const double q = cache.output[0];
+      Vec dq{2.0 * (q - y) * inv_b};
+      const auto g = critic.backward(cache, dq);
+      critic_grad += g.dparams;
+    }
+    critic.add_scaled(critic_opt.step(critic_grad), 1.0);
+    // critic_opt.step already includes -lr; add_scaled applies it directly.
+
+    // Actor: ascend E[Q(s, mu(s))].
+    for (const Transition* t : batch) {
+      const auto a_cache = actor.forward_cached(t->state);
+      Vec a = a_cache.output * opt.action_scale;
+      const auto q_cache = critic.forward_cached(concat(t->state, a));
+      Vec done{1.0};
+      const auto qg = critic.backward(q_cache, done);
+      // dQ/da is the tail of the critic's input gradient.
+      Vec dq_da(m);
+      for (std::size_t i = 0; i < m; ++i) dq_da[i] = qg.dinput[n + i];
+      // Gradient ASCENT on Q => descend on -Q.
+      Vec dy(m);
+      for (std::size_t i = 0; i < m; ++i)
+        dy[i] = -dq_da[i] * opt.action_scale * inv_b;
+      const auto ag = actor.backward(a_cache, dy);
+      actor_grad += ag.dparams;
+    }
+    actor.add_scaled(actor_opt.step(actor_grad), 1.0);
+
+    soft_update(actor_target, actor, opt.tau);
+    soft_update(critic_target, critic, opt.tau);
+  };
+
+  for (std::size_t ep = 1; ep <= opt.max_episodes; ++ep) {
+    Vec x = env.reset();
+    noise.reset();
+    double ep_return = 0.0;
+    bool done = false;
+    while (!done) {
+      Vec a = policy(actor, x);
+      const Vec nz = noise.sample(rng);
+      for (std::size_t i = 0; i < m; ++i) {
+        a[i] = std::clamp(a[i] + opt.action_scale * nz[i],
+                          -opt.action_scale, opt.action_scale);
+      }
+      const StepResult sr = env.step(a);
+      buffer.push({x, a, sr.reward, sr.next_state, sr.done});
+      ep_return += sr.reward;
+      x = sr.next_state;
+      done = sr.done;
+      if (buffer.size() >= opt.warmup_transitions) update_networks();
+    }
+    res.episode_returns.push_back(ep_return);
+    res.episodes = ep;
+
+    if (ep % opt.eval_every == 0) {
+      nn::MlpController probe(actor, opt.action_scale);
+      const sim::McStats st = sim::monte_carlo_rates(
+          env.system(), probe, env.spec(), opt.eval_traces,
+          opt.seed + 31 * ep);
+      res.eval_goal_rates.push_back(st.goal_rate);
+      if (st.goal_rate >= opt.convergence_rate &&
+          st.safe_rate >= opt.convergence_rate) {
+        if (++consecutive_passes >= opt.stable_evals) {
+          res.converged = true;
+          break;
+        }
+      } else {
+        consecutive_passes = 0;
+      }
+    }
+  }
+
+  res.actor = std::make_unique<nn::MlpController>(actor, opt.action_scale);
+  return res;
+}
+
+}  // namespace dwv::rl

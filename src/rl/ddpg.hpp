@@ -1,0 +1,49 @@
+// Deep deterministic policy gradient (Lillicrap et al., ICLR'16) — the
+// paper's model-free design-then-verify baseline. Actor-critic with target
+// networks, soft updates, OU exploration noise, and uniform replay.
+#pragma once
+
+#include <memory>
+
+#include "nn/adam.hpp"
+#include "nn/controller.hpp"
+#include "rl/env.hpp"
+#include "rl/replay.hpp"
+
+namespace dwv::rl {
+
+struct DdpgOptions {
+  std::vector<std::size_t> actor_hidden = {16, 16};
+  std::vector<std::size_t> critic_hidden = {32, 32};
+  double action_scale = 2.0;     ///< actor output scaling (tanh * scale)
+  double gamma = 0.99;
+  double tau = 0.005;            ///< soft target update rate
+  double actor_lr = 1e-4;   // original DDPG settings (Lillicrap et al.)
+  double critic_lr = 1e-3;
+  std::size_t batch_size = 64;
+  std::size_t buffer_capacity = 100000;
+  std::size_t warmup_transitions = 500;
+  std::size_t max_episodes = 4000;
+  /// Evaluate the deterministic policy every `eval_every` episodes on
+  /// `eval_traces` rollouts; converged when SC and GR exceed the threshold
+  /// on `stable_evals` consecutive evaluations (plain thresholding would
+  /// reward one lucky snapshot of an unstable learner).
+  std::size_t eval_every = 25;
+  std::size_t eval_traces = 50;
+  double convergence_rate = 0.95;
+  std::size_t stable_evals = 3;
+  double noise_sigma = 0.2;
+  std::uint64_t seed = 7;
+};
+
+struct DdpgResult {
+  std::unique_ptr<nn::MlpController> actor;
+  std::size_t episodes = 0;      ///< convergence iterations (CI)
+  bool converged = false;
+  std::vector<double> episode_returns;
+  std::vector<double> eval_goal_rates;
+};
+
+DdpgResult train_ddpg(ControlEnv& env, const DdpgOptions& opt);
+
+}  // namespace dwv::rl

@@ -1,0 +1,110 @@
+#include "rl/env.hpp"
+
+#include <cmath>
+
+#include "sim/simulate.hpp"
+
+namespace dwv::rl {
+
+using linalg::Vec;
+
+namespace {
+
+// Center of a possibly-unbounded box, clipped to finite bounds.
+Vec clipped_center(const geom::Box& set, const geom::Box& bounds) {
+  const auto inter = set.intersection(bounds);
+  return (inter ? *inter : set).center();
+}
+
+// Per-dimension scale: the clipped set's width (1 where degenerate).
+Vec clipped_scale(const geom::Box& set, const geom::Box& bounds,
+                  bool enabled) {
+  const auto inter = set.intersection(bounds);
+  const geom::Box b = inter ? *inter : set;
+  Vec s(b.dim());
+  for (std::size_t i = 0; i < b.dim(); ++i) {
+    const double w = b[i].width();
+    s[i] = (enabled && std::isfinite(w) && w > 1e-9) ? w : 1.0;
+  }
+  return s;
+}
+
+// Scaled Euclidean distance restricted to the given dimensions.
+double dist_in(const Vec& x, const Vec& c, const Vec& scale,
+               const std::vector<std::size_t>& dims) {
+  double s = 0.0;
+  for (std::size_t d : dims) {
+    const double g = (x[d] - c[d]) / scale[d];
+    s += g * g;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+ControlEnv::ControlEnv(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
+                       std::uint64_t seed, EnvOptions opt)
+    : sys_(std::move(sys)),
+      spec_(std::move(spec)),
+      opt_(opt),
+      rng_(seed),
+      goal_center_(clipped_center(spec_.goal, spec_.state_bounds)),
+      unsafe_center_(clipped_center(spec_.unsafe, spec_.state_bounds)),
+      goal_scale_(clipped_scale(spec_.goal, spec_.state_bounds,
+                                opt_.normalize_by_set_width)),
+      unsafe_scale_(clipped_scale(spec_.unsafe, spec_.state_bounds,
+                                  opt_.normalize_by_set_width)) {
+  state_ = spec_.x0.center();
+}
+
+Vec ControlEnv::reset() {
+  state_ = spec_.x0.sample(rng_);
+  t_ = 0;
+  return state_;
+}
+
+double ControlEnv::reward(const Vec& x) const {
+  double r = -dist_in(x, goal_center_, goal_scale_, spec_.goal_dims) +
+             opt_.unsafe_weight *
+                 dist_in(x, unsafe_center_, unsafe_scale_, spec_.unsafe_dims);
+  if (spec_.unsafe.contains(x)) r -= opt_.unsafe_penalty;
+  if (spec_.goal.contains(x)) r += opt_.goal_bonus;
+  return r;
+}
+
+Vec ControlEnv::reward_grad(const Vec& x) const {
+  // Gradient of the smooth part (the indicator bonuses are a.e. flat).
+  Vec g(x.size());
+  const double dg = dist_in(x, goal_center_, goal_scale_, spec_.goal_dims);
+  if (dg > 1e-12) {
+    for (std::size_t d : spec_.goal_dims)
+      g[d] -= (x[d] - goal_center_[d]) /
+              (dg * goal_scale_[d] * goal_scale_[d]);
+  }
+  const double du =
+      dist_in(x, unsafe_center_, unsafe_scale_, spec_.unsafe_dims);
+  if (du > 1e-12) {
+    for (std::size_t d : spec_.unsafe_dims)
+      g[d] += opt_.unsafe_weight * (x[d] - unsafe_center_[d]) /
+              (du * unsafe_scale_[d] * unsafe_scale_[d]);
+  }
+  return g;
+}
+
+StepResult ControlEnv::step(const Vec& u) {
+  const double h = spec_.delta / static_cast<double>(opt_.substeps);
+  Vec x = state_;
+  for (std::size_t k = 0; k < opt_.substeps; ++k) {
+    x = sim::rk4_step(*sys_, x, u, h);
+  }
+  ++t_;
+  StepResult res;
+  res.done = (t_ >= spec_.steps) || !x.all_finite() ||
+             x.norm_inf() > 1e6;
+  res.reward = x.all_finite() ? reward(x) : -opt_.unsafe_penalty * 10.0;
+  res.next_state = x;
+  state_ = std::move(x);
+  return res;
+}
+
+}  // namespace dwv::rl

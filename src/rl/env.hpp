@@ -1,0 +1,73 @@
+// Episodic RL environment over the sampled-data control system, with the
+// paper's baseline reward: minimize distance to the goal-set center while
+// maximizing distance to the unsafe-set center.
+#pragma once
+
+#include <random>
+
+#include "ode/spec.hpp"
+#include "ode/system.hpp"
+
+namespace dwv::rl {
+
+struct StepResult {
+  linalg::Vec next_state;
+  double reward = 0.0;
+  bool done = false;
+};
+
+struct EnvOptions {
+  /// Weight of the "stay away from the unsafe center" reward term.
+  double unsafe_weight = 0.2;
+  /// Normalize each state dimension of the distance terms by the width of
+  /// the (clipped) goal/unsafe box in that dimension, so differently-scaled
+  /// states (e.g. the ACC's s ~ 150 vs v ~ 40 with a 10 x 1 goal box)
+  /// contribute comparably. Off by default: the paper's baselines use the
+  /// plain Euclidean distance.
+  bool normalize_by_set_width = false;
+  /// Extra penalty when the state is inside Xu.
+  double unsafe_penalty = 10.0;
+  /// Bonus when the state is inside Xg.
+  double goal_bonus = 10.0;
+  /// RK4 sub-steps per control period.
+  std::size_t substeps = 4;
+};
+
+class ControlEnv {
+ public:
+  ControlEnv(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
+             std::uint64_t seed, EnvOptions opt = {});
+
+  std::size_t state_dim() const { return sys_->state_dim(); }
+  std::size_t action_dim() const { return sys_->input_dim(); }
+  std::size_t horizon() const { return spec_.steps; }
+
+  /// Samples a fresh initial state from X0.
+  linalg::Vec reset();
+
+  /// Applies a zero-order-hold action for one control period.
+  StepResult step(const linalg::Vec& u);
+
+  /// The shaped reward at a state (exposed for SVG's analytic gradient).
+  double reward(const linalg::Vec& x) const;
+  /// Gradient of reward with respect to the state.
+  linalg::Vec reward_grad(const linalg::Vec& x) const;
+
+  const ode::ReachAvoidSpec& spec() const { return spec_; }
+  const ode::System& system() const { return *sys_; }
+  const linalg::Vec& state() const { return state_; }
+
+ private:
+  ode::SystemPtr sys_;
+  ode::ReachAvoidSpec spec_;
+  EnvOptions opt_;
+  std::mt19937_64 rng_;
+  linalg::Vec state_;
+  std::size_t t_ = 0;
+  linalg::Vec goal_center_;
+  linalg::Vec unsafe_center_;
+  linalg::Vec goal_scale_;
+  linalg::Vec unsafe_scale_;
+};
+
+}  // namespace dwv::rl

@@ -1,0 +1,78 @@
+// Uniform experience replay buffer for off-policy RL (DDPG).
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace dwv::rl {
+
+struct Transition {
+  linalg::Vec state;
+  linalg::Vec action;
+  double reward = 0.0;
+  linalg::Vec next_state;
+  bool done = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+    data_.reserve(capacity);
+  }
+
+  std::size_t size() const { return data_.size(); }
+
+  void push(Transition t) {
+    if (data_.size() < capacity_) {
+      data_.push_back(std::move(t));
+    } else {
+      data_[head_] = std::move(t);
+    }
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  /// Uniform sample with replacement.
+  template <class Rng>
+  std::vector<const Transition*> sample(std::size_t n, Rng& rng) const {
+    std::uniform_int_distribution<std::size_t> pick(0, data_.size() - 1);
+    std::vector<const Transition*> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(&data_[pick(rng)]);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::vector<Transition> data_;
+};
+
+/// Ornstein-Uhlenbeck exploration noise (the classic DDPG choice).
+class OuNoise {
+ public:
+  OuNoise(std::size_t dim, double theta = 0.15, double sigma = 0.2,
+          double dt = 1.0)
+      : theta_(theta), sigma_(sigma), dt_(dt), x_(dim) {}
+
+  void reset() { x_ = linalg::Vec(x_.size()); }
+
+  template <class Rng>
+  linalg::Vec sample(Rng& rng) {
+    std::normal_distribution<double> n(0.0, 1.0);
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+      x_[i] += theta_ * (0.0 - x_[i]) * dt_ +
+               sigma_ * std::sqrt(dt_) * n(rng);
+    }
+    return x_;
+  }
+
+ private:
+  double theta_;
+  double sigma_;
+  double dt_;
+  linalg::Vec x_;
+};
+
+}  // namespace dwv::rl

@@ -1,0 +1,188 @@
+#include "rl/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/monte_carlo.hpp"
+
+namespace dwv::rl {
+
+using linalg::Mat;
+using linalg::Vec;
+
+namespace {
+
+// One control period unrolled with Euler sub-steps; returns the end state
+// and the Jacobians G_x = dx'/dx, G_u = dx'/du of the whole period.
+struct PeriodJac {
+  Vec x_next;
+  Mat gx;
+  Mat gu;
+};
+
+PeriodJac euler_period(const ode::System& sys, const Vec& x, const Vec& u,
+                       double delta, std::size_t substeps) {
+  const std::size_t n = x.size();
+  const double h = delta / static_cast<double>(substeps);
+  PeriodJac pj{x, Mat::identity(n), Mat(n, u.size())};
+  for (std::size_t k = 0; k < substeps; ++k) {
+    const Mat a = Mat::identity(n) + h * sys.dfdx(pj.x_next, u);
+    const Mat b = h * sys.dfdu(pj.x_next, u);
+    pj.x_next = pj.x_next + h * sys.f(pj.x_next, u);
+    pj.gx = a * pj.gx;
+    pj.gu = a * pj.gu + b;
+  }
+  return pj;
+}
+
+// Policy wrapper that exposes what BPTT needs uniformly for MLP and
+// linear policies.
+class Policy {
+ public:
+  Policy(const SvgOptions& opt, std::size_t n, std::size_t m,
+         std::mt19937_64& rng)
+      : scale_(opt.action_scale), linear_(opt.linear_policy) {
+    if (linear_) {
+      k_ = Mat(m, n);
+      std::normal_distribution<double> d(0.0, 0.1);
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) k_(i, j) = d(rng);
+    } else {
+      std::vector<std::size_t> dims{n};
+      dims.insert(dims.end(), opt.hidden.begin(), opt.hidden.end());
+      dims.push_back(m);
+      mlp_ = nn::Mlp(dims, nn::Activation::kRelu, nn::Activation::kTanh);
+      mlp_.init_random(rng);
+    }
+  }
+
+  Vec act(const Vec& x) const {
+    return linear_ ? k_ * x : mlp_.forward(x) * scale_;
+  }
+
+  std::size_t param_count() const {
+    return linear_ ? k_.rows() * k_.cols() : mlp_.param_count();
+  }
+
+  /// Accumulates d(u . upstream)/dtheta into `grad` and returns du/dx^T
+  /// applied to upstream (i.e. dpi/dx^T * upstream).
+  Vec backward(const Vec& x, const Vec& upstream, Vec& grad) const {
+    if (linear_) {
+      std::size_t off = 0;
+      for (std::size_t i = 0; i < k_.rows(); ++i)
+        for (std::size_t j = 0; j < k_.cols(); ++j)
+          grad[off++] += upstream[i] * x[j];
+      return k_.transpose() * upstream;
+    }
+    const auto cache = mlp_.forward_cached(x);
+    const auto g = mlp_.backward(cache, upstream * scale_);
+    grad += g.dparams;
+    return g.dinput;
+  }
+
+  void add_scaled(const Vec& d, double s) {
+    if (linear_) {
+      std::size_t off = 0;
+      for (std::size_t i = 0; i < k_.rows(); ++i)
+        for (std::size_t j = 0; j < k_.cols(); ++j)
+          k_(i, j) += s * d[off++];
+    } else {
+      mlp_.add_scaled(d, s);
+    }
+  }
+
+  std::unique_ptr<nn::Controller> to_controller() const {
+    if (linear_) return std::make_unique<nn::LinearController>(k_);
+    return std::make_unique<nn::MlpController>(mlp_, scale_);
+  }
+
+ private:
+  double scale_;
+  bool linear_;
+  Mat k_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace
+
+SvgResult train_svg(ControlEnv& env, const SvgOptions& opt) {
+  std::mt19937_64 rng(opt.seed);
+  const std::size_t n = env.state_dim();
+  const std::size_t m = env.action_dim();
+  const auto& spec = env.spec();
+
+  Policy policy(opt, n, m, rng);
+  nn::Adam adam(policy.param_count(), opt.lr);
+
+  SvgResult res;
+  res.episode_returns.reserve(opt.max_episodes);
+
+  std::size_t episodes = 0;
+  while (episodes < opt.max_episodes) {
+    Vec grad(policy.param_count());
+
+    for (std::size_t r = 0; r < opt.rollouts_per_update &&
+                            episodes < opt.max_episodes;
+         ++r, ++episodes) {
+      // Forward rollout.
+      std::vector<Vec> xs{env.spec().x0.sample(rng)};
+      std::vector<Vec> us;
+      std::vector<PeriodJac> jacs;
+      double ret = 0.0;
+      bool blew_up = false;
+      for (std::size_t t = 0; t < spec.steps; ++t) {
+        const Vec u = policy.act(xs.back());
+        PeriodJac pj = euler_period(env.system(), xs.back(), u, spec.delta,
+                                    opt.euler_substeps);
+        if (!pj.x_next.all_finite() || pj.x_next.norm_inf() > 1e6) {
+          blew_up = true;
+          break;
+        }
+        ret += env.reward(pj.x_next);
+        us.push_back(u);
+        xs.push_back(pj.x_next);
+        jacs.push_back(std::move(pj));
+      }
+      res.episode_returns.push_back(ret);
+      if (blew_up || jacs.empty()) continue;
+
+      // Backward pass (adjoint BPTT). a = dJ/dx_{t+1}; the final state's
+      // gradient carries the terminal-cost weight.
+      const std::size_t t_last = jacs.size();
+      Vec a = (1.0 + opt.terminal_weight) * env.reward_grad(xs[t_last]);
+      for (std::size_t t = t_last; t-- > 0;) {
+        const PeriodJac& pj = jacs[t];
+        const Vec gu_t = pj.gu.transpose() * a;
+        const Vec dpi_dx_a = policy.backward(xs[t], gu_t, grad);
+        a = pj.gx.transpose() * a + dpi_dx_a;
+        if (t > 0) a += env.reward_grad(xs[t]);
+        // Keep the adjoint bounded on stiff rollouts.
+        const double na = a.norm2();
+        if (na > 1e3) a *= 1e3 / na;
+      }
+    }
+
+    // Gradient ascent on the return (Adam steps descend, so negate).
+    const double gn = grad.norm2();
+    if (gn > opt.grad_clip) grad *= opt.grad_clip / gn;
+    policy.add_scaled(adam.step(-1.0 * grad), 1.0);
+
+    if (episodes % opt.eval_every < opt.rollouts_per_update) {
+      const auto ctrl = policy.to_controller();
+      const sim::McStats st =
+          sim::monte_carlo_rates(env.system(), *ctrl, spec, opt.eval_traces,
+                                 opt.seed + 101 * episodes);
+      if (st.goal_rate >= opt.convergence_rate &&
+          st.safe_rate >= opt.convergence_rate) {
+        res.converged = true;
+        break;
+      }
+    }
+  }
+
+  res.episodes = episodes;
+  res.policy = policy.to_controller();
+  return res;
+}
+
+}  // namespace dwv::rl

@@ -1,0 +1,44 @@
+// Model-based stochastic value gradients (Heess et al., NIPS'15), the
+// paper's second design-then-verify baseline. With the dynamics model known
+// analytically, the policy gradient is obtained by back-propagating the
+// shaped reward through the unrolled (Euler sub-stepped) dynamics (BPTT),
+// using the systems' analytic Jacobians df/dx and df/du.
+#pragma once
+
+#include <memory>
+
+#include "nn/adam.hpp"
+#include "nn/controller.hpp"
+#include "rl/env.hpp"
+
+namespace dwv::rl {
+
+struct SvgOptions {
+  std::vector<std::size_t> hidden = {16, 16};
+  double action_scale = 2.0;
+  double lr = 3e-3;
+  std::size_t rollouts_per_update = 4;   ///< initial states per gradient
+  std::size_t euler_substeps = 4;        ///< model unroll resolution
+  std::size_t max_episodes = 2000;       ///< episode = one rollout
+  std::size_t eval_every = 20;
+  std::size_t eval_traces = 50;
+  double convergence_rate = 0.95;
+  double grad_clip = 10.0;
+  /// Extra weight on the final state's reward gradient (terminal cost, the
+  /// classic finite-horizon BPTT device): J = sum_t r_t + w * r_T.
+  double terminal_weight = 0.0;
+  std::uint64_t seed = 11;
+  /// Train a linear policy instead of an MLP (used for the ACC baseline).
+  bool linear_policy = false;
+};
+
+struct SvgResult {
+  std::unique_ptr<nn::Controller> policy;
+  std::size_t episodes = 0;  ///< convergence iterations (CI)
+  bool converged = false;
+  std::vector<double> episode_returns;
+};
+
+SvgResult train_svg(ControlEnv& env, const SvgOptions& opt);
+
+}  // namespace dwv::rl

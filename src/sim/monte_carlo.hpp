@@ -1,0 +1,25 @@
+// Monte-Carlo evaluation of the experimental safe-control (SC) and
+// goal-reaching (GR) rates, exactly as the paper measures them: simulate
+// the discretized system from random initial states in X0 and count.
+#pragma once
+
+#include <random>
+
+#include "sim/simulate.hpp"
+
+namespace dwv::sim {
+
+struct McStats {
+  double safe_rate = 0.0;   ///< SC: fraction of traces that never hit Xu
+  double goal_rate = 0.0;   ///< GR: fraction of traces that reached Xg
+  double mean_reach_step = 0.0;  ///< among reaching traces
+  std::size_t samples = 0;
+};
+
+/// Simulates `samples` random initial states (paper: 500) from spec.x0.
+McStats monte_carlo_rates(const ode::System& sys, const nn::Controller& ctrl,
+                          const ode::ReachAvoidSpec& spec,
+                          std::size_t samples, std::uint64_t seed,
+                          const SimOptions& opt = {});
+
+}  // namespace dwv::sim

@@ -1,0 +1,80 @@
+#include "sim/simulate.hpp"
+
+#include <cmath>
+
+namespace dwv::sim {
+
+using linalg::Vec;
+
+Vec rk4_step(const ode::System& sys, const Vec& x, const Vec& u, double dt) {
+  const Vec k1 = sys.f(x, u);
+  const Vec k2 = sys.f(x + 0.5 * dt * k1, u);
+  const Vec k3 = sys.f(x + 0.5 * dt * k2, u);
+  const Vec k4 = sys.f(x + dt * k3, u);
+  return x + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+}
+
+Trace simulate(const ode::System& sys, const nn::Controller& ctrl,
+               const Vec& x0, double delta, std::size_t steps,
+               const SimOptions& opt) {
+  Trace tr;
+  tr.delta = delta;
+  tr.states.reserve(steps + 1);
+  tr.inputs.reserve(steps);
+  tr.fine_states.reserve(steps * opt.substeps + 1);
+
+  Vec x = x0;
+  tr.states.push_back(x);
+  tr.fine_states.push_back(x);
+  const double h = delta / static_cast<double>(opt.substeps);
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Vec u = ctrl.act(x);
+    tr.inputs.push_back(u);
+    for (std::size_t k = 0; k < opt.substeps; ++k) {
+      x = rk4_step(sys, x, u, h);
+      if (!x.all_finite() || x.norm_inf() > opt.divergence_bound) {
+        tr.diverged = true;
+        tr.fine_states.push_back(x);
+        tr.states.push_back(x);
+        return tr;
+      }
+      tr.fine_states.push_back(x);
+    }
+    tr.states.push_back(x);
+  }
+  return tr;
+}
+
+TraceVerdict evaluate_trace(const Trace& trace,
+                            const ode::ReachAvoidSpec& spec) {
+  TraceVerdict v;
+  if (trace.diverged) return v;  // unsafe and not goal-reaching
+
+  for (std::size_t i = 0; i < trace.states.size(); ++i) {
+    if (spec.goal.contains(trace.states[i])) {
+      v.reached = true;
+      v.reach_step = i;
+      break;
+    }
+  }
+
+  // Under reach-avoid (stop-at-goal) semantics the run ends at the reach
+  // time, so safety is only required up to that point.
+  std::size_t fine_limit = trace.fine_states.size();
+  if (spec.stop_at_goal && v.reached && trace.states.size() > 1) {
+    const std::size_t substeps =
+        (trace.fine_states.size() - 1) / (trace.states.size() - 1);
+    fine_limit = std::min(fine_limit, v.reach_step * substeps + 1);
+  }
+  v.safe = true;
+  for (std::size_t i = 0; i < fine_limit; ++i) {
+    if (spec.unsafe.contains(trace.fine_states[i])) {
+      v.safe = false;
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace dwv::sim

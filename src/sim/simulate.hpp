@@ -1,0 +1,52 @@
+// Sampled-data closed-loop simulation: the controller reads the state every
+// delta seconds and applies a zero-order-hold input; between samples the
+// continuous dynamics are integrated with RK4.
+#pragma once
+
+#include <vector>
+
+#include "nn/controller.hpp"
+#include "ode/spec.hpp"
+#include "ode/system.hpp"
+
+namespace dwv::sim {
+
+/// Recorded closed-loop trajectory.
+struct Trace {
+  /// States at control instants t = 0, delta, 2 delta, ... (steps + 1).
+  std::vector<linalg::Vec> states;
+  /// Inputs held over each period (steps).
+  std::vector<linalg::Vec> inputs;
+  /// Fine-grained states at every RK4 substep (steps * substeps + 1),
+  /// used for the continuous-time safety check.
+  std::vector<linalg::Vec> fine_states;
+  double delta = 0.0;
+  /// True when the state left the finite range (NaN/inf or exploded).
+  bool diverged = false;
+};
+
+/// One RK4 step of x' = f(x, u) with constant u over dt.
+linalg::Vec rk4_step(const ode::System& sys, const linalg::Vec& x,
+                     const linalg::Vec& u, double dt);
+
+struct SimOptions {
+  std::size_t substeps = 8;        ///< RK4 sub-steps per control period.
+  double divergence_bound = 1e6;   ///< |x|_inf beyond this flags divergence.
+};
+
+/// Simulates `steps` control periods from x0.
+Trace simulate(const ode::System& sys, const nn::Controller& ctrl,
+               const linalg::Vec& x0, double delta, std::size_t steps,
+               const SimOptions& opt = {});
+
+/// Reach-avoid verdict of a single trace against a spec (Definition 1),
+/// checked at the fine-grained resolution.
+struct TraceVerdict {
+  bool safe = false;      ///< never entered Xu (and never diverged)
+  bool reached = false;   ///< entered Xg at some checked instant
+  std::size_t reach_step = 0;  ///< first control step index inside Xg
+};
+TraceVerdict evaluate_trace(const Trace& trace,
+                            const ode::ReachAvoidSpec& spec);
+
+}  // namespace dwv::sim

@@ -1,0 +1,236 @@
+#include "taylor/activations.hpp"
+
+#include <cmath>
+
+namespace dwv::taylor {
+
+using interval::Interval;
+
+namespace {
+
+struct SmoothAbstraction {
+  double f0;        // f(c)
+  double f1;        // f'(c)
+  double f2;        // f''(c)
+  Interval rem_hi;  // Lagrange remainder bound (already divided by k!)
+};
+
+// Shared expansion driver: result = f0 + f1*(t-c) [+ f2/2 (t-c)^2] + rem.
+TaylorModel expand(const TmEnv& env, const TaylorModel& in, double c,
+                   const SmoothAbstraction& s, ActOrder order) {
+  TaylorModel dt = tm_add_const(in, -c);
+  TaylorModel r = tm_scale(dt, s.f1);
+  r = tm_add_const(r, s.f0);
+  if (order == ActOrder::kQuadratic) {
+    r = tm_add(r, tm_scale(tm_mul(env, dt, dt), 0.5 * s.f2));
+  }
+  r.rem += s.rem_hi;
+  return tm_truncate(env, r);
+}
+
+// Secant (chord) relaxation for a bounded sigmoidal function: the line
+// through the endpoints plus an interval covering the deviation. Unlike
+// the Taylor expansion its remainder is globally bounded by the function's
+// range, so it cannot blow up on wide inputs; used whenever it is tighter.
+template <class F, class DInv>
+TaylorModel secant_sigmoidal(const TmEnv& env, const TaylorModel& in,
+                             const Interval& range, F f, DInv extrema_at) {
+  const double lo = range.lo();
+  const double hi = range.hi();
+  const double flo = f(lo);
+  const double fhi = f(hi);
+  if (hi - lo < 1e-12) {
+    TaylorModel r = TaylorModel::constant(env, 0.5 * (flo + fhi));
+    r.rem += Interval::symmetric(std::abs(fhi - flo));
+    return r;
+  }
+  const double a = (fhi - flo) / (hi - lo);
+  const double b = flo - a * lo;
+  // Deviation extrema: endpoints (0) and interior points where f' = a.
+  double dmin = 0.0;
+  double dmax = 0.0;
+  for (double xs : extrema_at(a)) {
+    if (xs > lo && xs < hi) {
+      const double d = f(xs) - (a * xs + b);
+      dmin = std::min(dmin, d);
+      dmax = std::max(dmax, d);
+    }
+  }
+  TaylorModel r = tm_scale(in, a);
+  r = tm_add_const(r, b + 0.5 * (dmin + dmax));
+  r.rem += Interval::symmetric(0.5 * (dmax - dmin) + 1e-12);
+  return tm_truncate(env, r);
+}
+
+}  // namespace
+
+TaylorModel tm_tanh(const TmEnv& env, const TaylorModel& in, ActOrder order) {
+  const Interval range = tm_range(env, in);
+  const double c = range.mid();
+  const double y = std::tanh(c);
+
+  SmoothAbstraction s;
+  s.f0 = y;
+  s.f1 = 1.0 - y * y;
+  s.f2 = -2.0 * y * (1.0 - y * y);
+
+  const Interval yr = interval::tanh(range);
+  const Interval one(1.0);
+  const Interval dev = range - Interval(c);
+  if (order == ActOrder::kLinear) {
+    // R = f''(xi)/2 * (t-c)^2 with f'' = -2 y (1 - y^2).
+    const Interval f2r = Interval(-2.0) * yr * (one - interval::sqr(yr));
+    s.rem_hi = f2r * interval::sqr(dev) * Interval(0.5);
+  } else {
+    // R = f'''(xi)/6 * (t-c)^3 with f''' = (1 - y^2)(6 y^2 - 2).
+    const Interval f3r = (one - interval::sqr(yr)) *
+                         (Interval(6.0) * interval::sqr(yr) - Interval(2.0));
+    s.rem_hi = f3r * interval::pow_n(dev, 3) / 6.0;
+  }
+  // The remainder must contain 0 (the expansion is exact at t = c).
+  s.rem_hi = interval::hull(Interval(0.0), s.rem_hi);
+  TaylorModel taylor_tm = expand(env, in, c, s, order);
+
+  // The Taylor remainder grows like dev^3 and is useless on wide inputs;
+  // the secant relaxation is bounded by the function range. Keep whichever
+  // is tighter.
+  TaylorModel secant_tm = secant_sigmoidal(
+      env, in, range, [](double x) { return std::tanh(x); },
+      [](double a) {
+        std::vector<double> xs;
+        if (a > 0.0 && a < 1.0) {
+          const double t = std::sqrt(1.0 - a);
+          const double x = 0.5 * std::log((1.0 + t) / (1.0 - t));  // atanh
+          xs.push_back(x);
+          xs.push_back(-x);
+        }
+        return xs;
+      });
+  return taylor_tm.rem.width() <= secant_tm.rem.width() ? taylor_tm
+                                                        : secant_tm;
+}
+
+TaylorModel tm_sigmoid(const TmEnv& env, const TaylorModel& in,
+                       ActOrder order) {
+  const Interval range = tm_range(env, in);
+  const double c = range.mid();
+  const double y = 1.0 / (1.0 + std::exp(-c));
+
+  SmoothAbstraction s;
+  s.f0 = y;
+  s.f1 = y * (1.0 - y);
+  s.f2 = y * (1.0 - y) * (1.0 - 2.0 * y);
+
+  const Interval yr = interval::sigmoid(range);
+  const Interval one(1.0);
+  const Interval dev = range - Interval(c);
+  if (order == ActOrder::kLinear) {
+    const Interval f2r = yr * (one - yr) * (one - Interval(2.0) * yr);
+    s.rem_hi = f2r * interval::sqr(dev) * Interval(0.5);
+  } else {
+    // f''' = y(1-y)(1 - 6y + 6y^2).
+    const Interval f3r =
+        yr * (one - yr) *
+        (one - Interval(6.0) * yr + Interval(6.0) * interval::sqr(yr));
+    s.rem_hi = f3r * interval::pow_n(dev, 3) / 6.0;
+  }
+  s.rem_hi = interval::hull(Interval(0.0), s.rem_hi);
+  TaylorModel taylor_tm = expand(env, in, c, s, order);
+
+  TaylorModel secant_tm = secant_sigmoidal(
+      env, in, range, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double a) {
+        std::vector<double> xs;
+        if (a > 0.0 && a < 0.25) {
+          // s' = s(1-s) = a  =>  s = (1 +- sqrt(1-4a))/2.
+          const double t = std::sqrt(1.0 - 4.0 * a);
+          const double s1 = 0.5 * (1.0 + t);
+          const double s2 = 0.5 * (1.0 - t);
+          xs.push_back(std::log(s1 / (1.0 - s1)));
+          xs.push_back(std::log(s2 / (1.0 - s2)));
+        }
+        return xs;
+      });
+  return taylor_tm.rem.width() <= secant_tm.rem.width() ? taylor_tm
+                                                        : secant_tm;
+}
+
+TaylorModel tm_relu(const TmEnv& env, const TaylorModel& in) {
+  const Interval range = tm_range(env, in);
+  const double lo = range.lo();
+  const double hi = range.hi();
+  if (lo >= 0.0) return in;  // Identity region.
+  if (hi <= 0.0) return TaylorModel::constant(env, 0.0);
+  // Mixed region: relu(t) in lambda*t + [0, mu] with the optimal (tightest)
+  // single-slope relaxation lambda = hi/(hi-lo), mu = -hi*lo/(hi-lo).
+  const double lambda = hi / (hi - lo);
+  const double mu = -hi * lo / (hi - lo);
+  TaylorModel r = tm_scale(in, lambda);
+  r = tm_add_const(r, 0.5 * mu);
+  r.rem += Interval(-0.5 * mu, 0.5 * mu);
+  return tm_truncate(env, r);
+}
+
+namespace {
+
+// Quadratic Taylor expansion with a cubic Lagrange remainder for a smooth
+// f, competing against the interval-constant enclosure.
+TaylorModel smooth_or_interval(const TmEnv& env, const TaylorModel& in,
+                               double f0, double f1, double f2,
+                               const Interval& f3_range,
+                               const Interval& out_range, double c) {
+  const Interval range = tm_range(env, in);
+  const Interval dev = range - Interval(c);
+  TaylorModel dt = tm_add_const(in, -c);
+  TaylorModel taylor_tm = tm_scale(dt, f1);
+  taylor_tm = tm_add_const(taylor_tm, f0);
+  taylor_tm = tm_add(taylor_tm, tm_scale(tm_mul(env, dt, dt), 0.5 * f2));
+  taylor_tm.rem += interval::hull(Interval(0.0),
+                                  f3_range * interval::pow_n(dev, 3) / 6.0);
+  taylor_tm = tm_truncate(env, taylor_tm);
+
+  TaylorModel const_tm = TaylorModel::constant(env, out_range.mid());
+  const_tm.rem += Interval::symmetric(out_range.rad());
+
+  return taylor_tm.rem.width() <= const_tm.rem.width() ? taylor_tm
+                                                       : const_tm;
+}
+
+}  // namespace
+
+TaylorModel tm_sin(const TmEnv& env, const TaylorModel& in) {
+  const Interval range = tm_range(env, in);
+  const double c = range.mid();
+  // |sin'''| <= 1 everywhere.
+  return smooth_or_interval(env, in, std::sin(c), std::cos(c), -std::sin(c),
+                            Interval(-1.0, 1.0), interval::sin(range), c);
+}
+
+TaylorModel tm_cos(const TmEnv& env, const TaylorModel& in) {
+  const Interval range = tm_range(env, in);
+  const double c = range.mid();
+  return smooth_or_interval(env, in, std::cos(c), -std::sin(c),
+                            -std::cos(c), Interval(-1.0, 1.0),
+                            interval::cos(range), c);
+}
+
+TaylorModel tm_exp(const TmEnv& env, const TaylorModel& in) {
+  const Interval range = tm_range(env, in);
+  const double c = range.mid();
+  const double e = std::exp(c);
+  // exp''' over the range is exp(range) itself (monotone).
+  return smooth_or_interval(env, in, e, e, e, interval::exp(range),
+                            interval::exp(range), c);
+}
+
+TaylorModel tm_affine(const TmEnv& env, const TmVec& in, const linalg::Vec& w,
+                      double b) {
+  assert(in.size() == w.size());
+  TaylorModel acc = TaylorModel::constant(env, b);
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    if (w[j] != 0.0) acc = tm_add(acc, tm_scale(in[j], w[j]));
+  }
+  return tm_truncate(env, acc);
+}
+
+}  // namespace dwv::taylor

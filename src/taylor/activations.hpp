@@ -1,0 +1,34 @@
+// Sound Taylor-model abstractions of neural-network activation functions
+// (the POLAR-style layer propagation primitives):
+//  * smooth activations (tanh, sigmoid) via a Taylor expansion around the
+//    input range's midpoint with a Lagrange interval remainder,
+//  * ReLU via its optimal linear relaxation with a symmetric remainder.
+#pragma once
+
+#include "taylor/taylor_model.hpp"
+
+namespace dwv::taylor {
+
+/// Taylor order used for smooth activations (1 or 2).
+enum class ActOrder { kLinear = 1, kQuadratic = 2 };
+
+TaylorModel tm_tanh(const TmEnv& env, const TaylorModel& in,
+                    ActOrder order = ActOrder::kQuadratic);
+TaylorModel tm_sigmoid(const TmEnv& env, const TaylorModel& in,
+                       ActOrder order = ActOrder::kQuadratic);
+TaylorModel tm_relu(const TmEnv& env, const TaylorModel& in);
+
+/// Sound TM enclosures of sine/cosine (for expression-tree dynamics):
+/// quadratic Taylor expansion with a cubic Lagrange remainder, falling
+/// back to the interval-constant enclosure when the input is wide.
+TaylorModel tm_sin(const TmEnv& env, const TaylorModel& in);
+TaylorModel tm_cos(const TmEnv& env, const TaylorModel& in);
+
+/// Exponential: quadratic Taylor with Lagrange remainder (monotone bound).
+TaylorModel tm_exp(const TmEnv& env, const TaylorModel& in);
+
+/// Affine combination sum_j w[j] * in[j] + b (one neuron's pre-activation).
+TaylorModel tm_affine(const TmEnv& env, const TmVec& in,
+                      const linalg::Vec& w, double b);
+
+}  // namespace dwv::taylor

@@ -1,0 +1,120 @@
+#include "taylor/taylor_model.hpp"
+
+#include <cassert>
+
+namespace dwv::taylor {
+
+using interval::Interval;
+using poly::Poly;
+
+TaylorModel tm_add(const TaylorModel& a, const TaylorModel& b) {
+  return {a.poly + b.poly, a.rem + b.rem};
+}
+
+TaylorModel tm_sub(const TaylorModel& a, const TaylorModel& b) {
+  return {a.poly - b.poly, a.rem - b.rem};
+}
+
+TaylorModel tm_scale(const TaylorModel& a, double s) {
+  return {a.poly * s, a.rem * Interval(s)};
+}
+
+TaylorModel tm_add_const(const TaylorModel& a, double c) {
+  TaylorModel r = a;
+  r.poly.add_term(poly::Exponents(r.poly.nvars(), 0), c);
+  return r;
+}
+
+TaylorModel tm_truncate(const TmEnv& env, TaylorModel tm) {
+  auto [kept, dropped] = tm.poly.split_by_degree(env.order);
+  Interval extra(0.0);
+  if (!dropped.is_zero()) extra += dropped.eval_range(env.dom);
+  if (env.cutoff > 0.0) {
+    Poly small = kept.prune_small(env.cutoff);
+    if (!small.is_zero()) extra += small.eval_range(env.dom);
+  }
+  tm.poly = std::move(kept);
+  tm.rem += extra;
+  return tm;
+}
+
+TaylorModel tm_mul(const TmEnv& env, const TaylorModel& a,
+                   const TaylorModel& b) {
+  // (pa + Ia)(pb + Ib) = pa pb + pa Ib + pb Ia + Ia Ib.
+  TaylorModel r;
+  r.poly = a.poly * b.poly;
+  const Interval ra = a.poly.eval_range(env.dom);
+  const Interval rb = b.poly.eval_range(env.dom);
+  r.rem = ra * b.rem + rb * a.rem + a.rem * b.rem;
+  return tm_truncate(env, std::move(r));
+}
+
+TaylorModel tm_pow(const TmEnv& env, const TaylorModel& a, std::uint32_t n) {
+  if (n == 0) return TaylorModel::constant(env, 1.0);
+  TaylorModel r = a;
+  for (std::uint32_t i = 1; i < n; ++i) r = tm_mul(env, r, a);
+  return r;
+}
+
+interval::Interval tm_range(const TmEnv& env, const TaylorModel& tm) {
+  return tm.poly.eval_range(env.dom) + tm.rem;
+}
+
+TaylorModel tm_eval_poly(const TmEnv& env, const poly::Poly& f,
+                         const TmVec& args) {
+  assert(f.nvars() == args.size());
+  TaylorModel acc = TaylorModel::constant(env, 0.0);
+  for (const auto& [e, c] : f.terms()) {
+    TaylorModel term = TaylorModel::constant(env, c);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (e[i] > 0) term = tm_mul(env, term, tm_pow(env, args[i], e[i]));
+    }
+    acc = tm_add(acc, term);
+  }
+  return tm_truncate(env, std::move(acc));
+}
+
+TaylorModel tm_integrate_time(const TmEnv& env, const TaylorModel& tm,
+                              std::size_t time_var) {
+  assert(time_var < env.nvars());
+  TaylorModel r;
+  r.poly = Poly(tm.poly.nvars());
+  for (const auto& [e, c] : tm.poly.terms()) {
+    poly::Exponents e2 = e;
+    e2[time_var] += 1;
+    r.poly.add_term(e2, c / static_cast<double>(e2[time_var]));
+  }
+  // integral_0^tau e dtau' for |tau| <= tmax: contained in hull(0, rem*tmax).
+  const double tmax = env.dom[time_var].mag();
+  r.rem = interval::hull(Interval(0.0), tm.rem * Interval(tmax));
+  return tm_truncate(env, std::move(r));
+}
+
+TaylorModel tm_subst_var(const TmEnv& env, const TaylorModel& tm,
+                         std::size_t var, double c) {
+  assert(var < env.nvars());
+  assert(env.dom[var].contains(c) && "substitution outside domain");
+  TaylorModel r;
+  r.poly = Poly(tm.poly.nvars());
+  for (const auto& [e, coeff] : tm.poly.terms()) {
+    double scale = 1.0;
+    for (std::uint32_t k = 0; k < e[var]; ++k) scale *= c;
+    poly::Exponents e2 = e;
+    e2[var] = 0;
+    r.poly.add_term(e2, coeff * scale);
+  }
+  r.rem = tm.rem;
+  return r;
+}
+
+double tm_eval_mid(const TaylorModel& tm, const linalg::Vec& x) {
+  return tm.poly.eval(x);
+}
+
+interval::IVec tm_vec_range(const TmEnv& env, const TmVec& v) {
+  interval::IVec r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = tm_range(env, v[i]);
+  return r;
+}
+
+}  // namespace dwv::taylor

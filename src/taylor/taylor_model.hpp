@@ -1,0 +1,96 @@
+// Taylor models: polynomial + interval remainder, the Flow*-style symbolic
+// enclosure. A TaylorModel tm over an environment env represents the set of
+// functions { x -> tm.poly(x) + e(x) : |e(x)| within tm.rem, x in env.dom }.
+//
+// The environment (domain box over the symbolic variables, truncation order,
+// coefficient cutoff) is shared by all models of a computation and passed
+// explicitly, mirroring how Flow* scopes its TM arithmetic settings.
+#pragma once
+
+#include <vector>
+
+#include "interval/ivec.hpp"
+#include "poly/poly.hpp"
+
+namespace dwv::taylor {
+
+/// Shared settings for a Taylor-model computation.
+struct TmEnv {
+  /// Domain of the symbolic variables.
+  interval::IVec dom;
+  /// Maximum kept total degree; higher-degree terms are folded into the
+  /// interval remainder (sound truncation).
+  std::uint32_t order = 3;
+  /// Coefficients with magnitude <= cutoff are swept into the remainder to
+  /// keep polynomials short. 0 disables sweeping.
+  double cutoff = 1e-12;
+
+  std::size_t nvars() const { return dom.size(); }
+};
+
+/// Polynomial with interval remainder.
+struct TaylorModel {
+  poly::Poly poly;
+  interval::Interval rem;
+
+  TaylorModel() = default;
+  TaylorModel(poly::Poly p, interval::Interval r)
+      : poly(std::move(p)), rem(r) {}
+
+  static TaylorModel constant(const TmEnv& env, double c) {
+    return {poly::Poly::constant(env.nvars(), c), interval::Interval(0.0)};
+  }
+  static TaylorModel constant(const TmEnv& env, interval::Interval c) {
+    return {poly::Poly::constant(env.nvars(), c.mid()),
+            c - interval::Interval(c.mid())};
+  }
+  /// The identity model for symbolic variable i.
+  static TaylorModel variable(const TmEnv& env, std::size_t i) {
+    return {poly::Poly::variable(env.nvars(), i), interval::Interval(0.0)};
+  }
+};
+
+/// Vector of Taylor models (one per state/output dimension).
+using TmVec = std::vector<TaylorModel>;
+
+TaylorModel tm_add(const TaylorModel& a, const TaylorModel& b);
+TaylorModel tm_sub(const TaylorModel& a, const TaylorModel& b);
+TaylorModel tm_scale(const TaylorModel& a, double s);
+TaylorModel tm_add_const(const TaylorModel& a, double c);
+
+/// Product with truncation to env.order and remainder bookkeeping.
+TaylorModel tm_mul(const TmEnv& env, const TaylorModel& a,
+                   const TaylorModel& b);
+
+/// Integer power by repeated multiplication.
+TaylorModel tm_pow(const TmEnv& env, const TaylorModel& a, std::uint32_t n);
+
+/// Folds terms above env.order (and below env.cutoff) into the remainder.
+TaylorModel tm_truncate(const TmEnv& env, TaylorModel tm);
+
+/// Sound enclosure of the model's range over env.dom.
+interval::Interval tm_range(const TmEnv& env, const TaylorModel& tm);
+
+/// Evaluates a polynomial f(y_0..y_{k-1}) with Taylor-model arguments;
+/// the composition engine used to push dynamics and controllers through TMs.
+TaylorModel tm_eval_poly(const TmEnv& env, const poly::Poly& f,
+                         const TmVec& args);
+
+/// Integrates with respect to variable `time_var` from 0 to that variable
+/// (antiderivative with zero constant). The remainder is scaled by the
+/// maximal |time| in the domain. Used by the Picard operator.
+TaylorModel tm_integrate_time(const TmEnv& env, const TaylorModel& tm,
+                              std::size_t time_var);
+
+/// Partially evaluates variable `var` at scalar value `c` (e.g. advancing a
+/// flowpipe segment to the end of its step).
+TaylorModel tm_subst_var(const TmEnv& env, const TaylorModel& tm,
+                         std::size_t var, double c);
+
+/// Point evaluation of the polynomial part (center of the enclosure).
+double tm_eval_mid(const TaylorModel& tm, const linalg::Vec& x);
+
+/// Box hull of a TM vector's range.
+interval::IVec tm_vec_range(const TmEnv& env, const TmVec& v);
+
+}  // namespace dwv::taylor

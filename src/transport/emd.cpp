@@ -1,0 +1,146 @@
+#include "transport/emd.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace dwv::transport {
+
+namespace {
+constexpr double kEps = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  assert(n > 0 && m > 0);
+  const auto c = cost_matrix(a, b);
+
+  std::vector<double> supply = a.weights;
+  std::vector<double> demand = b.weights;
+  std::vector<std::vector<double>> flow(n, std::vector<double>(m, 0.0));
+
+  // Node ids: sources 0..n-1, sinks n..n+m-1.
+  const std::size_t nodes = n + m;
+  std::vector<double> pot(nodes, 0.0);
+
+  double remaining = 0.0;
+  for (double s : supply) remaining += s;
+
+  const std::size_t max_rounds = 8 * nodes + 64;
+  std::size_t rounds = 0;
+  while (remaining > kEps) {
+    if (++rounds > max_rounds)
+      throw std::runtime_error("emd_exact: did not converge");
+
+    // Dijkstra from all sources with remaining supply.
+    std::vector<double> dist(nodes, kInf);
+    std::vector<int> prev(nodes, -1);  // predecessor node
+    using Item = std::pair<double, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (supply[i] > kEps) {
+        dist[i] = 0.0;
+        pq.push({0.0, i});
+      }
+    }
+    std::vector<char> done(nodes, 0);
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (done[v]) continue;
+      done[v] = 1;
+      if (v < n) {
+        // Source -> every sink (forward edges, infinite capacity).
+        for (std::size_t j = 0; j < m; ++j) {
+          const std::size_t w = n + j;
+          const double rc = c[v][j] + pot[v] - pot[w];
+          if (!done[w] && d + rc < dist[w] - kEps) {
+            dist[w] = d + rc;
+            prev[w] = static_cast<int>(v);
+            pq.push({dist[w], w});
+          }
+        }
+      } else {
+        // Sink -> sources with positive flow (residual edges).
+        const std::size_t j = v - n;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (flow[i][j] <= kEps) continue;
+          const double rc = -c[i][j] + pot[v] - pot[i];
+          if (!done[i] && d + rc < dist[i] - kEps) {
+            dist[i] = d + rc;
+            prev[i] = static_cast<int>(v);
+            pq.push({dist[i], i});
+          }
+        }
+      }
+    }
+
+    // Cheapest reachable sink with remaining demand.
+    std::size_t t = nodes;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t w = n + j;
+      if (demand[j] > kEps && dist[w] < kInf &&
+          (t == nodes || dist[w] < dist[t])) {
+        t = w;
+      }
+    }
+    if (t == nodes)
+      throw std::runtime_error("emd_exact: no augmenting path");
+
+    // Bottleneck along the path.
+    double push = demand[t - n];
+    {
+      std::size_t v = t;
+      while (prev[v] != -1) {
+        const std::size_t u = static_cast<std::size_t>(prev[v]);
+        if (u >= n) {
+          // Residual edge sink u -> source v carries flow[v][u-n].
+          push = std::min(push, flow[v][u - n]);
+        }
+        v = u;
+      }
+      push = std::min(push, supply[v]);
+    }
+    assert(push > 0.0);
+
+    // Apply the augmentation.
+    {
+      std::size_t v = t;
+      while (prev[v] != -1) {
+        const std::size_t u = static_cast<std::size_t>(prev[v]);
+        if (u < n) {
+          flow[u][v - n] += push;  // forward source->sink
+        } else {
+          flow[v][u - n] -= push;  // residual sink->source
+        }
+        v = u;
+      }
+      supply[v] -= push;
+    }
+    demand[t - n] -= push;
+    remaining -= push;
+
+    // Johnson potential update.
+    const double dt = dist[t];
+    for (std::size_t v = 0; v < nodes; ++v) {
+      if (dist[v] < kInf) pot[v] += std::min(dist[v], dt);
+      else pot[v] += dt;
+    }
+  }
+
+  EmdResult r;
+  r.plan = std::move(flow);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) r.cost += r.plan[i][j] * c[i][j];
+  return r;
+}
+
+double w1_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
+  return emd_exact(a, b).cost;
+}
+
+}  // namespace dwv::transport

@@ -1,0 +1,65 @@
+#include "transport/measure.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dwv::transport {
+
+void DiscreteMeasure::normalize() {
+  double s = 0.0;
+  for (double w : weights) s += w;
+  assert(s > 0.0);
+  for (double& w : weights) w /= s;
+}
+
+DiscreteMeasure uniform_on_box(const geom::Box& box,
+                               const std::vector<std::size_t>& per_dim) {
+  const std::size_t n = box.dim();
+  assert(per_dim.size() == n);
+  std::size_t total = 1;
+  for (std::size_t k : per_dim) {
+    assert(k >= 1);
+    total *= k;
+  }
+  DiscreteMeasure m;
+  m.points.reserve(total);
+  m.weights.assign(total, 1.0 / static_cast<double>(total));
+
+  std::vector<std::size_t> idx(n, 0);
+  for (std::size_t c = 0; c < total; ++c) {
+    linalg::Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      assert(std::isfinite(box[i].lo()) && std::isfinite(box[i].hi()));
+      const double w = box[i].width() / static_cast<double>(per_dim[i]);
+      x[i] = box[i].lo() + w * (static_cast<double>(idx[i]) + 0.5);
+    }
+    m.points.push_back(std::move(x));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (++idx[i] < per_dim[i]) break;
+      idx[i] = 0;
+    }
+  }
+  return m;
+}
+
+DiscreteMeasure uniform_on_box_dims(const geom::Box& box,
+                                    const std::vector<std::size_t>& dims,
+                                    std::size_t per_dim) {
+  geom::Box sub{interval::IVec(dims.size())};
+  for (std::size_t i = 0; i < dims.size(); ++i) sub[i] = box[dims[i]];
+  return uniform_on_box(sub, std::vector<std::size_t>(dims.size(), per_dim));
+}
+
+std::vector<std::vector<double>> cost_matrix(const DiscreteMeasure& a,
+                                             const DiscreteMeasure& b) {
+  std::vector<std::vector<double>> c(a.size(),
+                                     std::vector<double>(b.size(), 0.0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      c[i][j] = (a.points[i] - b.points[j]).norm2();
+    }
+  }
+  return c;
+}
+
+}  // namespace dwv::transport

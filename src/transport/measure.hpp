@@ -1,0 +1,39 @@
+// Discrete probability measures and discretizers. The Wasserstein feedback
+// metric (paper Eq. 4) views sets as uniform distributions; we approximate
+// each set by a uniform measure on a regular grid of cell centers and solve
+// discrete optimal transport on those supports.
+#pragma once
+
+#include <vector>
+
+#include "geom/box.hpp"
+#include "linalg/vec.hpp"
+
+namespace dwv::transport {
+
+/// Finitely-supported probability measure.
+struct DiscreteMeasure {
+  std::vector<linalg::Vec> points;
+  std::vector<double> weights;  ///< nonnegative, sums to 1
+
+  std::size_t size() const { return points.size(); }
+  void normalize();
+};
+
+/// Uniform measure on `per_dim[i]` cells per dimension of `box` (supported
+/// on cell centers). Dimensions with infinite width must not appear; clip
+/// unbounded sets first (ReachAvoidSpec::bounded_*).
+DiscreteMeasure uniform_on_box(const geom::Box& box,
+                               const std::vector<std::size_t>& per_dim);
+
+/// As above but restricted to the listed dimensions (projection): the
+/// measure lives in R^{dims.size()}.
+DiscreteMeasure uniform_on_box_dims(const geom::Box& box,
+                                    const std::vector<std::size_t>& dims,
+                                    std::size_t per_dim);
+
+/// Euclidean cost matrix c[i][j] = |a_i - b_j|_2.
+std::vector<std::vector<double>> cost_matrix(const DiscreteMeasure& a,
+                                             const DiscreteMeasure& b);
+
+}  // namespace dwv::transport

@@ -1,0 +1,77 @@
+#include "transport/sinkhorn.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dwv::transport {
+
+namespace {
+
+// log-sum-exp over row entries v[j] = s[j] - c[j]/eps.
+double logsumexp(const std::vector<double>& v) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : v) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+}  // namespace
+
+SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                        const SinkhornOptions& opt) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  assert(n > 0 && m > 0);
+  const auto c = cost_matrix(a, b);
+  const double eps = opt.epsilon;
+
+  std::vector<double> loga(n), logb(m);
+  for (std::size_t i = 0; i < n; ++i) loga[i] = std::log(a.weights[i]);
+  for (std::size_t j = 0; j < m; ++j) logb[j] = std::log(b.weights[j]);
+
+  // Dual potentials (scaled by eps) in log domain.
+  std::vector<double> f(n, 0.0), g(m, 0.0);
+  std::vector<double> buf(std::max(n, m));
+
+  SinkhornResult res;
+  for (std::size_t it = 0; it < opt.max_iters; ++it) {
+    res.iters = it + 1;
+    // f_i = -eps * log sum_j exp(g_j/eps - c_ij/eps + logb_j) ... standard
+    // log-domain updates enforcing the row marginal.
+    for (std::size_t i = 0; i < n; ++i) {
+      buf.resize(m);
+      for (std::size_t j = 0; j < m; ++j)
+        buf[j] = (g[j] - c[i][j]) / eps + logb[j];
+      f[i] = -eps * logsumexp(buf);
+    }
+    double err = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      buf.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        buf[i] = (f[i] - c[i][j]) / eps + loga[i];
+      const double new_g = -eps * logsumexp(buf);
+      err = std::max(err, std::abs(new_g - g[j]));
+      g[j] = new_g;
+    }
+    if (err < opt.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  // Transport cost of the implied plan P_ij = exp((f_i+g_j-c_ij)/eps+loga+logb).
+  double cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double lp = (f[i] + g[j] - c[i][j]) / eps + loga[i] + logb[j];
+      cost += std::exp(lp) * c[i][j];
+    }
+  }
+  res.cost = cost;
+  return res;
+}
+
+}  // namespace dwv::transport

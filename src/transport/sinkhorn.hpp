@@ -1,0 +1,28 @@
+// Entropic-regularized optimal transport (Sinkhorn-Knopp iterations).
+// Cheaper than the exact solver on large supports; converges to W1 as the
+// regularization vanishes. Used as the fast path for the Wasserstein
+// feedback metric, with emd_exact as the reference.
+#pragma once
+
+#include "transport/measure.hpp"
+
+namespace dwv::transport {
+
+struct SinkhornOptions {
+  double epsilon = 0.01;     ///< entropic regularization strength
+  std::size_t max_iters = 500;
+  double tolerance = 1e-9;   ///< marginal violation stopping threshold
+};
+
+struct SinkhornResult {
+  double cost = 0.0;        ///< <P, C> transport cost of the regularized plan
+  std::size_t iters = 0;
+  bool converged = false;
+};
+
+/// Sinkhorn distance between two discrete measures. Computed in log-domain
+/// for numerical stability at small epsilon.
+SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                        const SinkhornOptions& opt = {});
+
+}  // namespace dwv::transport

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "reach/control_abstraction.hpp"
+
+namespace dwv::reach {
+namespace {
+
+using interval::Interval;
+using interval::IVec;
+using linalg::Mat;
+using linalg::Vec;
+using taylor::TaylorModel;
+using taylor::TmEnv;
+using taylor::TmVec;
+
+TmEnv make_env(std::size_t n) {
+  TmEnv env;
+  env.dom = IVec(n, Interval(-1.0, 1.0));
+  env.order = 3;
+  env.cutoff = 1e-14;
+  return env;
+}
+
+// Affine state TMs x_i = c_i + r_i s_i.
+TmVec affine_state(const TmEnv& env, const Vec& c, const Vec& r) {
+  TmVec x(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    x[i] = {poly::Poly::constant(c.size(), c[i]) +
+                poly::Poly::variable(c.size(), i) * r[i],
+            Interval(0.0)};
+  }
+  return x;
+}
+
+// Checks that the abstraction encloses the true controller output on a
+// sample grid of the state parameterization.
+void check_enclosure(const TmEnv& env, const TmVec& state, const TmVec& u,
+                     const nn::Controller& ctrl, double tol = 1e-9) {
+  const std::size_t n = state.size();
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec s(n);
+    for (std::size_t i = 0; i < n; ++i) s[i] = d(rng);
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = state[i].poly.eval(s);
+    const Vec truth = ctrl.act(x);
+    for (std::size_t k = 0; k < u.size(); ++k) {
+      const double center = u[k].poly.eval(s);
+      EXPECT_TRUE(truth[k] >= center + u[k].rem.lo() - tol &&
+                  truth[k] <= center + u[k].rem.hi() + tol)
+          << "output " << k << " at s=" << s << ": " << truth[k]
+          << " not in " << center << " + " << u[k].rem;
+    }
+  }
+}
+
+TEST(LinearAbstraction, ExactForLinearFeedback) {
+  const TmEnv env = make_env(2);
+  const TmVec state = affine_state(env, Vec{1.0, -0.5}, Vec{0.2, 0.3});
+  nn::LinearController ctrl(Mat{{0.7, -1.3}});
+  LinearAbstraction abs;
+  const TmVec u = abs.abstract(env, state, ctrl);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_NEAR(u[0].rem.rad(), 0.0, 1e-12);  // exact
+  check_enclosure(env, state, u, ctrl);
+}
+
+class NnAbstractionCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnAbstractionCase, PolarEnclosesReluTanhNet) {
+  std::mt19937_64 rng(GetParam());
+  const TmEnv env = make_env(2);
+  const TmVec state = affine_state(env, Vec{0.3, -0.2}, Vec{0.1, 0.15});
+  nn::MlpController ctrl({2, 8, 8, 1}, 1.5);
+  ctrl.init_random(rng, 0.8);
+  PolarAbstraction abs;
+  const TmVec u = abs.abstract(env, state, ctrl);
+  check_enclosure(env, state, u, ctrl);
+}
+
+TEST_P(NnAbstractionCase, PolarEnclosesTanhNet) {
+  std::mt19937_64 rng(GetParam() + 100);
+  const TmEnv env = make_env(2);
+  const TmVec state = affine_state(env, Vec{-0.4, 0.5}, Vec{0.05, 0.05});
+  nn::MlpController ctrl({2, 6, 1}, 2.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  ctrl.init_random(rng, 0.6);
+  PolarAbstraction abs;
+  const TmVec u = abs.abstract(env, state, ctrl);
+  check_enclosure(env, state, u, ctrl);
+}
+
+TEST_P(NnAbstractionCase, ReachNnEnclosesNet) {
+  std::mt19937_64 rng(GetParam() + 200);
+  const TmEnv env = make_env(2);
+  const TmVec state = affine_state(env, Vec{0.0, 0.0}, Vec{0.1, 0.1});
+  nn::MlpController ctrl({2, 6, 1}, 1.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  ctrl.init_random(rng, 0.7);
+  ReachNnAbstraction abs;
+  const TmVec u = abs.abstract(env, state, ctrl);
+  check_enclosure(env, state, u, ctrl);
+}
+
+TEST_P(NnAbstractionCase, IntervalAbstractionEnclosesNet) {
+  std::mt19937_64 rng(GetParam() + 300);
+  const TmEnv env = make_env(3);
+  const TmVec state =
+      affine_state(env, Vec{0.1, 0.2, -0.1}, Vec{0.1, 0.1, 0.1});
+  nn::MlpController ctrl({3, 8, 1}, 1.0);
+  ctrl.init_random(rng, 0.8);
+  IntervalAbstraction abs;
+  const TmVec u = abs.abstract(env, state, ctrl);
+  check_enclosure(env, state, u, ctrl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnAbstractionCase,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(AbstractionTightness, PolarTighterThanInterval) {
+  std::mt19937_64 rng(5);
+  const TmEnv env = make_env(2);
+  const TmVec state = affine_state(env, Vec{0.2, -0.3}, Vec{0.1, 0.1});
+  nn::MlpController ctrl({2, 8, 1}, 1.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  ctrl.init_random(rng, 0.7);
+  const TmVec up = PolarAbstraction().abstract(env, state, ctrl);
+  const TmVec ui = IntervalAbstraction().abstract(env, state, ctrl);
+  const Interval rp = taylor::tm_range(env, up[0]);
+  const Interval ri = taylor::tm_range(env, ui[0]);
+  EXPECT_LE(rp.width(), ri.width() + 1e-12);
+}
+
+TEST(AbstractionTightness, ReachNnSampledRemainderBeatsLipschitz) {
+  std::mt19937_64 rng(8);
+  const TmEnv env = make_env(2);
+  const TmVec state = affine_state(env, Vec{0.0, 0.0}, Vec{0.05, 0.05});
+  nn::MlpController ctrl({2, 6, 1}, 1.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  ctrl.init_random(rng, 0.7);
+  ReachNnOptions with;
+  with.sampled_remainder = true;
+  ReachNnOptions without;
+  without.sampled_remainder = false;
+  const TmVec uw = ReachNnAbstraction(with).abstract(env, state, ctrl);
+  const TmVec uo = ReachNnAbstraction(without).abstract(env, state, ctrl);
+  EXPECT_LE(uw[0].rem.width(), uo[0].rem.width() + 1e-12);
+}
+
+TEST(IntervalJacobian, BoundsSampledGradients) {
+  std::mt19937_64 rng(21);
+  nn::MlpController ctrl({2, 8, 2}, 1.0);
+  ctrl.init_random(rng, 0.9);
+  const IVec box{Interval(-0.3, 0.4), Interval(0.1, 0.6)};
+  const auto jac = interval_jacobian(ctrl.mlp(), box);
+  ASSERT_EQ(jac.size(), 2u);
+
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  const double h = 1e-6;
+  for (int trial = 0; trial < 100; ++trial) {
+    Vec x(2);
+    x[0] = box[0].lo() + d(rng) * box[0].width();
+    x[1] = box[1].lo() + d(rng) * box[1].width();
+    for (std::size_t i = 0; i < 2; ++i) {
+      Vec xp = x;
+      xp[i] += h;
+      const Vec yp = ctrl.mlp().forward(xp);
+      const Vec y0 = ctrl.mlp().forward(x);
+      for (std::size_t k = 0; k < 2; ++k) {
+        const double g = (yp[k] - y0[k]) / h;
+        EXPECT_TRUE(jac[k][i].contains(g) ||
+                    std::abs(g - jac[k][i].lo()) < 1e-4 ||
+                    std::abs(g - jac[k][i].hi()) < 1e-4)
+            << "jac[" << k << "][" << i << "]=" << jac[k][i] << " g=" << g;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwv::reach

@@ -1,0 +1,148 @@
+// Cross-cutting coverage: equivalences between alternative code paths and
+// behaviors not pinned down elsewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/learner.hpp"
+#include "core/verdict.hpp"
+#include "ode/benchmarks.hpp"
+#include "geom/zonotope.hpp"
+#include "reach/linear_reach.hpp"
+#include "reach/subdivide.hpp"
+#include "reach/tm_dynamics.hpp"
+#include "reach/tm_flowpipe.hpp"
+
+namespace dwv {
+namespace {
+
+using interval::Interval;
+using interval::IVec;
+using linalg::Mat;
+using linalg::Vec;
+
+TEST(PolyTmDynamics, MatchesDirectPolyEvaluation) {
+  const auto bench = ode::make_oscillator_benchmark();
+  const auto polys = bench.system->poly_dynamics();
+  reach::PolyTmDynamics dyn(polys);
+
+  taylor::TmEnv env;
+  env.dom = IVec(2, Interval(-1.0, 1.0));
+  env.order = 3;
+  taylor::TmVec args;
+  args.push_back(taylor::tm_add_const(
+      taylor::tm_scale(taylor::TaylorModel::variable(env, 0), 0.1), -0.5));
+  args.push_back(taylor::tm_add_const(
+      taylor::tm_scale(taylor::TaylorModel::variable(env, 1), 0.1), 0.5));
+  args.push_back(taylor::TaylorModel::constant(env, 0.3));
+
+  const taylor::TmVec via_dyn = dyn.eval(env, args);
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    const taylor::TaylorModel direct =
+        taylor::tm_eval_poly(env, polys[i], args);
+    EXPECT_EQ(via_dyn[i].poly.terms(), direct.poly.terms());
+    EXPECT_DOUBLE_EQ(via_dyn[i].rem.lo(), direct.rem.lo());
+    EXPECT_DOUBLE_EQ(via_dyn[i].rem.hi(), direct.rem.hi());
+  }
+}
+
+TEST(TmIntegrateStep, PolyOverloadMatchesInterface) {
+  const auto bench = ode::make_oscillator_benchmark();
+  const auto polys = bench.system->poly_dynamics();
+
+  taylor::TmEnv env;
+  env.dom = IVec(2, Interval(-1.0, 1.0));
+  env.order = 3;
+  taylor::TmVec x;
+  x.push_back(taylor::tm_add_const(
+      taylor::tm_scale(taylor::TaylorModel::variable(env, 0), 0.01), -0.5));
+  x.push_back(taylor::tm_add_const(
+      taylor::tm_scale(taylor::TaylorModel::variable(env, 1), 0.01), 0.5));
+  taylor::TmVec u{taylor::TaylorModel::constant(env, 0.1)};
+
+  const auto a = reach::tm_integrate_step(env, x, u, polys, 0.05, {});
+  const auto b = reach::tm_integrate_step(
+      env, x, u, reach::PolyTmDynamics(polys), 0.05, {});
+  ASSERT_TRUE(a.ok && b.ok);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(a.tube_range[i].lo(), b.tube_range[i].lo());
+    EXPECT_DOUBLE_EQ(a.tube_range[i].hi(), b.tube_range[i].hi());
+  }
+}
+
+TEST(SubdividingVerifier, GoalStopPaddingPreservesCertification) {
+  // A controller whose per-cell pipes stop at the goal at different steps:
+  // the merged pipe must still certify goal containment once every cell
+  // has stopped.
+  const auto bench = ode::make_3d_benchmark();
+  const auto inner = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec, std::make_shared<reach::LinearAbstraction>(),
+      reach::TmReachOptions{});
+  // A gain known to reach the goal region (from the learner family).
+  nn::LinearController ctrl(Mat{{-0.2, -1.5, -2.0}});
+  const reach::Flowpipe whole = inner->compute(bench.spec.x0, ctrl);
+  if (!whole.valid) GTEST_SKIP() << "gain not verifiable on this config";
+  const core::FlowpipeFacts whole_facts =
+      core::analyze_flowpipe(whole, bench.spec);
+  if (!whole_facts.goal_certified) {
+    GTEST_SKIP() << "gain does not certify the goal on this config";
+  }
+  reach::SubdividingVerifier sub(inner, {.cells_per_dim = 2});
+  const reach::Flowpipe merged = sub.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(merged.valid);
+  const core::FlowpipeFacts facts =
+      core::analyze_flowpipe(merged, bench.spec);
+  EXPECT_TRUE(facts.goal_certified);
+}
+
+TEST(Learner, RestartsChangeParameters) {
+  // A hopeless configuration (tiny steps, certain failure) still shows the
+  // random re-initialization across restart boundaries in the history.
+  const auto bench = ode::make_acc_benchmark();
+  core::LearnerOptions opt;
+  opt.max_iters = 12;
+  opt.restarts = 3;
+  opt.step_size = 1e-9;
+  opt.seed = 6;
+  core::Learner learner(
+      std::make_shared<reach::LinearVerifier>(bench.system, bench.spec),
+      bench.spec, opt);
+  nn::LinearController ctrl(Mat{{0.0, 0.0}});
+  const core::LearnResult res = learner.learn(ctrl);
+  EXPECT_FALSE(res.success);
+  // After restarts the controller is no longer at the origin.
+  EXPECT_GT(ctrl.params().norm_inf(), 1e-6);
+}
+
+TEST(VerifyController, FalsifierProducesWitnessDetail) {
+  const auto bench = ode::make_acc_benchmark();
+  reach::LinearVerifier verifier(bench.system, bench.spec);
+  nn::LinearController zero(Mat{{0.0, 0.0}});
+  const core::VerificationReport rep = core::verify_controller(
+      verifier, *bench.system, zero, bench.spec, 200, 7);
+  EXPECT_EQ(rep.verdict, core::Verdict::kUnsafe);
+  EXPECT_NE(rep.detail.find("falsified"), std::string::npos);
+  EXPECT_NE(rep.detail.find("x0="), std::string::npos);
+}
+
+TEST(Zonotope, SupportMatchesPolygonExtremes) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Mat g(2, 5);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 5; ++j) g(i, j) = u(rng);
+  const geom::Zonotope z(Vec{0.5, -0.25}, g);
+  const geom::Polygon2d poly = z.to_polygon();
+  for (double a = 0.1; a < 6.28; a += 0.5) {
+    const Vec dir{std::cos(a), std::sin(a)};
+    double poly_max = -1e18;
+    for (const auto& v : poly.vertices()) {
+      poly_max = std::max(poly_max, dir[0] * v.x + dir[1] * v.y);
+    }
+    EXPECT_NEAR(z.support(dir), poly_max, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dwv

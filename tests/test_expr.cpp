@@ -1,0 +1,220 @@
+// Expression-tree dynamics: numeric/interval/symbolic consistency, the
+// TM sin/cos/exp abstractions, and flowpipe soundness on the pendulum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/learner.hpp"
+#include "ode/expr_system.hpp"
+#include "reach/tm_dynamics.hpp"
+#include "reach/tm_flowpipe.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/simulate.hpp"
+#include "taylor/activations.hpp"
+
+namespace dwv {
+namespace {
+
+using interval::Interval;
+using interval::IVec;
+using linalg::Vec;
+using ode::constant;
+using ode::var;
+
+TEST(Expr, EvalMatchesStdFunctions) {
+  // e = sin(v0) * cos(v1) + exp(-v0^2) - tanh(v1).
+  const auto e = ode::sin(var(0)) * ode::cos(var(1)) +
+                 ode::exp(-ode::pow(var(0), 2)) - ode::tanh(var(1));
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  for (int i = 0; i < 50; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    const double truth = std::sin(a) * std::cos(b) +
+                         std::exp(-a * a) - std::tanh(b);
+    EXPECT_NEAR(e->eval(Vec{a, b}), truth, 1e-14);
+  }
+}
+
+TEST(Expr, ConstantFolding) {
+  const auto e = constant(2.0) * constant(3.0) + constant(1.0);
+  EXPECT_EQ(e->op, ode::ExprOp::kConst);
+  EXPECT_DOUBLE_EQ(e->value, 7.0);
+  // Multiplication by zero/one simplifies.
+  EXPECT_EQ((constant(0.0) * var(0))->op, ode::ExprOp::kConst);
+  EXPECT_EQ((constant(1.0) * var(0))->op, ode::ExprOp::kVar);
+}
+
+TEST(Expr, DerivativeMatchesFiniteDifference) {
+  const auto e = ode::sin(var(0) * var(1)) +
+                 ode::pow(var(0), 3) * ode::exp(var(1));
+  const auto d0 = e->derivative(0);
+  const auto d1 = e->derivative(1);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(-1.5, 1.5);
+  const double h = 1e-6;
+  for (int i = 0; i < 30; ++i) {
+    const Vec x{u(rng), u(rng)};
+    for (int k = 0; k < 2; ++k) {
+      Vec xp = x;
+      Vec xm = x;
+      xp[static_cast<std::size_t>(k)] += h;
+      xm[static_cast<std::size_t>(k)] -= h;
+      const double fd = (e->eval(xp) - e->eval(xm)) / (2.0 * h);
+      const double sym = (k == 0 ? d0 : d1)->eval(x);
+      EXPECT_NEAR(sym, fd, 1e-5);
+    }
+  }
+}
+
+TEST(Expr, IntervalEvalIsSound) {
+  const auto e = ode::cos(var(0)) * var(1) - ode::pow(var(0), 2);
+  const IVec dom{Interval(-1.0, 0.5), Interval(0.2, 1.5)};
+  const Interval r = e->eval(dom);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    const Vec x{dom[0].lo() + u(rng) * dom[0].width(),
+                dom[1].lo() + u(rng) * dom[1].width()};
+    EXPECT_TRUE(r.contains(e->eval(x)));
+  }
+}
+
+TEST(Expr, ToStringRendersNodes) {
+  const auto e = ode::sin(var(0)) + constant(2.0) * var(1);
+  const std::string s = e->to_string();
+  EXPECT_NE(s.find("sin(v0)"), std::string::npos);
+  EXPECT_NE(s.find("v1"), std::string::npos);
+}
+
+TEST(ExprSystem, JacobiansMatchFiniteDifference) {
+  const auto bench = ode::make_pendulum_benchmark();
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const double h = 1e-6;
+  for (int t = 0; t < 20; ++t) {
+    const Vec x{u(rng), 2.0 * u(rng)};
+    const Vec uu{u(rng)};
+    const auto jx = bench.system->dfdx(x, uu);
+    for (std::size_t j = 0; j < 2; ++j) {
+      Vec xp = x;
+      Vec xm = x;
+      xp[j] += h;
+      xm[j] -= h;
+      const Vec d =
+          (bench.system->f(xp, uu) - bench.system->f(xm, uu)) / (2.0 * h);
+      for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(jx(i, j), d[i], 1e-5);
+      }
+    }
+  }
+}
+
+TEST(TmTrig, SinCosExpEnclosures) {
+  taylor::TmEnv env;
+  env.dom = IVec(1, Interval(-1.0, 1.0));
+  env.order = 3;
+  for (const auto& [center, halfwidth] :
+       std::vector<std::pair<double, double>>{
+           {0.0, 0.2}, {1.2, 0.4}, {-2.0, 0.1}, {0.5, 4.0}}) {
+    taylor::TaylorModel in = taylor::tm_add_const(
+        taylor::tm_scale(taylor::TaylorModel::variable(env, 0), halfwidth),
+        center);
+    const auto s = taylor::tm_sin(env, in);
+    const auto c = taylor::tm_cos(env, in);
+    const auto ex = taylor::tm_exp(env, in);
+    for (int k = -10; k <= 10; ++k) {
+      const Vec at{k / 10.0};
+      const double x = center + halfwidth * at[0];
+      const auto check = [&](const taylor::TaylorModel& tm, double truth) {
+        const double mid = tm.poly.eval(at);
+        EXPECT_TRUE(truth >= mid + tm.rem.lo() - 1e-9 &&
+                    truth <= mid + tm.rem.hi() + 1e-9)
+            << "x=" << x;
+      };
+      check(s, std::sin(x));
+      check(c, std::cos(x));
+      check(ex, std::exp(x));
+    }
+  }
+}
+
+TEST(ExprTmDynamics, MatchesNumericEvaluationAtCenter) {
+  const auto bench = ode::make_pendulum_benchmark();
+  const auto* es =
+      dynamic_cast<const ode::ExprSystem*>(bench.system.get());
+  ASSERT_NE(es, nullptr);
+  reach::ExprTmDynamics dyn(es->exprs());
+
+  taylor::TmEnv env;
+  env.dom = IVec(2, Interval(-1.0, 1.0));
+  env.order = 3;
+  // Degenerate (point) state TMs at a sample point.
+  const Vec x{0.6, 0.1};
+  const Vec u{-0.4};
+  taylor::TmVec args;
+  args.push_back(taylor::TaylorModel::constant(env, x[0]));
+  args.push_back(taylor::TaylorModel::constant(env, x[1]));
+  args.push_back(taylor::TaylorModel::constant(env, u[0]));
+  const taylor::TmVec out = dyn.eval(env, args);
+  const Vec truth = bench.system->f(x, u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Interval r = taylor::tm_range(env, out[i]);
+    EXPECT_TRUE(r.contains(truth[i]));
+    EXPECT_LT(r.width(), 1e-6);
+  }
+}
+
+TEST(Pendulum, FlowpipeSoundAgainstSimulation) {
+  auto bench = ode::make_pendulum_benchmark();
+  bench.spec.steps = 12;
+  bench.spec.stop_at_goal = false;
+  // PD swing-down gains.
+  nn::LinearController ctrl(linalg::Mat{{-2.0, -1.5}});
+  reach::TmVerifier verifier(bench.system, bench.spec,
+                             std::make_shared<reach::LinearAbstraction>(),
+                             reach::TmReachOptions{});
+  const reach::Flowpipe fp = verifier.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid) << fp.failure;
+
+  std::mt19937_64 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x0 = bench.spec.x0.sample(rng);
+    const sim::Trace tr = sim::simulate(*bench.system, ctrl, x0,
+                                        bench.spec.delta, bench.spec.steps,
+                                        {.substeps = 16});
+    for (std::size_t k = 0; k < tr.states.size(); ++k) {
+      EXPECT_TRUE(fp.step_sets[k].contains(tr.states[k])) << "step " << k;
+    }
+  }
+}
+
+TEST(Pendulum, DesignWhileVerifyEndToEnd) {
+  // Non-polynomial dynamics end to end: the learner certifies a PD-style
+  // linear controller through the expression-tree TM engine.
+  const auto bench = ode::make_pendulum_benchmark();
+  const auto verifier = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec, std::make_shared<reach::LinearAbstraction>(),
+      reach::TmReachOptions{});
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kWasserstein;
+  opt.alpha = 0.2;
+  opt.max_iters = 150;
+  opt.step_size = 0.25;
+  opt.require_containment = true;
+  opt.restarts = 4;
+  opt.restart_scale = 0.4;
+  opt.seed = 1;
+  core::Learner learner(verifier, bench.spec, opt);
+  nn::LinearController ctrl(linalg::Mat{{0.0, 0.0}});
+  const core::LearnResult res = learner.learn(ctrl);
+  ASSERT_TRUE(res.success) << "CI=" << res.iterations;
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, ctrl, bench.spec, 300, 5);
+  EXPECT_GE(mc.safe_rate, 0.99);
+  EXPECT_GE(mc.goal_rate, 0.99);
+}
+
+}  // namespace
+}  // namespace dwv

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/falsify.hpp"
+#include "ode/benchmarks.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::core {
+namespace {
+
+using linalg::Mat;
+using linalg::Vec;
+
+TEST(Robustness, SafetySignedDistance) {
+  const auto bench = ode::make_oscillator_benchmark();
+  // Trace passing straight through the unsafe box [-0.3,-0.25]x[0.2,0.35].
+  sim::Trace inside;
+  inside.states = {Vec{-0.28, 0.3}};
+  inside.fine_states = inside.states;
+  EXPECT_LT(safety_robustness(inside, bench.spec), 0.0);
+
+  sim::Trace outside;
+  outside.states = {Vec{0.5, 0.5}};
+  outside.fine_states = outside.states;
+  EXPECT_GT(safety_robustness(outside, bench.spec), 0.0);
+
+  sim::Trace diverged;
+  diverged.diverged = true;
+  diverged.states = {Vec{0.0, 0.0}};
+  diverged.fine_states = diverged.states;
+  EXPECT_LT(safety_robustness(diverged, bench.spec), 0.0);
+}
+
+TEST(Robustness, GoalSignedDistance) {
+  const auto bench = ode::make_oscillator_benchmark();
+  sim::Trace reaches;
+  reaches.states = {Vec{0.5, 0.5}, Vec{0.0, 0.0}};
+  reaches.fine_states = reaches.states;
+  EXPECT_LT(goal_robustness(reaches, bench.spec), 0.0);
+
+  sim::Trace misses;
+  misses.states = {Vec{0.5, 0.5}, Vec{0.3, 0.3}};
+  misses.fine_states = misses.states;
+  EXPECT_GT(goal_robustness(misses, bench.spec), 0.0);
+}
+
+TEST(Robustness, StopAtGoalIgnoresPostReachUnsafety) {
+  // Trace: reach the goal at step 1, then enter the unsafe set. Under
+  // stop-at-goal semantics the safety robustness ignores the tail.
+  auto spec = ode::make_oscillator_benchmark().spec;
+  sim::Trace tr;
+  tr.states = {Vec{0.5, 0.5}, Vec{0.0, 0.0}, Vec{-0.28, 0.3}};
+  tr.fine_states = tr.states;
+  spec.stop_at_goal = true;
+  EXPECT_GT(safety_robustness(tr, spec), 0.0);
+  spec.stop_at_goal = false;
+  EXPECT_LT(safety_robustness(tr, spec), 0.0);
+}
+
+TEST(Falsify, FindsAccSafetyViolationForZeroGain) {
+  const auto bench = ode::make_acc_benchmark();
+  nn::LinearController zero(Mat{{0.0, 0.0}});
+  FalsifyOptions opt;
+  opt.seed = 3;
+  const FalsifyResult res =
+      falsify_safety(*bench.system, zero, bench.spec, opt);
+  ASSERT_TRUE(res.falsified);
+  EXPECT_LT(res.robustness, 0.0);
+  EXPECT_TRUE(bench.spec.x0.contains(res.witness));
+  // Confirm the witness by direct simulation.
+  const sim::Trace tr = sim::simulate(*bench.system, zero, res.witness,
+                                      bench.spec.delta, bench.spec.steps);
+  EXPECT_FALSE(sim::evaluate_trace(tr, bench.spec).safe);
+}
+
+TEST(Falsify, CannotFalsifyCertifiedController) {
+  const auto bench = ode::make_acc_benchmark();
+  nn::LinearController good(Mat{{0.8, -2.75}});
+  FalsifyOptions opt;
+  opt.seed = 5;
+  opt.restarts = 4;
+  const FalsifyResult safety =
+      falsify_safety(*bench.system, good, bench.spec, opt);
+  EXPECT_FALSE(safety.falsified);
+  EXPECT_GT(safety.robustness, 0.0);
+  const FalsifyResult goal =
+      falsify_goal(*bench.system, good, bench.spec, opt);
+  EXPECT_FALSE(goal.falsified);
+}
+
+TEST(Falsify, GoalFalsificationOnLazyController) {
+  // A weak gain that parks far from the goal: every initial state is a
+  // goal-violation witness.
+  const auto bench = ode::make_acc_benchmark();
+  nn::LinearController weak(Mat{{0.01, -0.1}});
+  FalsifyOptions opt;
+  opt.seed = 2;
+  opt.restarts = 2;
+  const FalsifyResult res =
+      falsify_goal(*bench.system, weak, bench.spec, opt);
+  EXPECT_TRUE(res.falsified);
+}
+
+TEST(Falsify, BeatsBlindSamplingOnRareViolations) {
+  // A controller whose violations hide in a thin corner of X0: the local
+  // descent finds them while counting evaluations.
+  const auto bench = ode::make_acc_benchmark();
+  // Marginal braking: only the highest-speed starts dip below s = 120.
+  nn::LinearController marginal(Mat{{0.45, -1.55}});
+  FalsifyOptions opt;
+  opt.seed = 4;
+  opt.restarts = 10;
+  const FalsifyResult res =
+      falsify_safety(*bench.system, marginal, bench.spec, opt);
+  // Either it finds the violation or the minimum robustness it reports is
+  // small (the controller is near the boundary); both are informative.
+  if (res.falsified) {
+    EXPECT_LT(res.robustness, 0.0);
+  } else {
+    EXPECT_LT(res.robustness, 2.0);
+  }
+  EXPECT_GT(res.evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace dwv::core

@@ -1,0 +1,115 @@
+// Flowpipe data-structure tests plus cross-verifier consistency checks:
+// different sound verifiers must produce enclosures that mutually overlap
+// (they all contain the same true reach set), and tighter engines must
+// stay within looser ones.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim/simulate.hpp"
+
+#include "ode/benchmarks.hpp"
+#include "reach/interval_reach.hpp"
+#include "reach/tm_flowpipe.hpp"
+
+namespace dwv::reach {
+namespace {
+
+using geom::Box;
+using interval::Interval;
+
+TEST(Flowpipe, StepsAndTotalHull) {
+  Flowpipe fp;
+  fp.step_sets = {Box{Interval(0, 1)}, Box{Interval(2, 3)},
+                  Box{Interval(5, 6)}};
+  fp.interval_hulls = {Box{Interval(0, 3)}, Box{Interval(2, 6)}};
+  EXPECT_EQ(fp.steps(), 2u);
+  const Box hull = fp.total_hull();
+  EXPECT_DOUBLE_EQ(hull[0].lo(), 0.0);
+  EXPECT_DOUBLE_EQ(hull[0].hi(), 6.0);
+}
+
+TEST(Flowpipe, EmptyPipeSteps) {
+  Flowpipe fp;
+  EXPECT_EQ(fp.steps(), 0u);
+}
+
+TEST(CrossVerifier, TmInsideIntervalEngine) {
+  // The TM flowpipe must be at least as tight as the coarse interval
+  // engine, and both must contain the common simulated trajectory.
+  auto bench = ode::make_oscillator_benchmark();
+  bench.spec.steps = 8;
+  bench.spec.stop_at_goal = false;
+
+  std::mt19937_64 rng(4);
+  nn::MlpController ctrl({2, 6, 1}, 1.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  ctrl.init_random(rng, 0.3);
+
+  TmVerifier tm(bench.system, bench.spec,
+                std::make_shared<PolarAbstraction>(), {});
+  IntervalVerifier iv(bench.system, bench.spec, {});
+
+  const Flowpipe ftm = tm.compute(bench.spec.x0, ctrl);
+  const Flowpipe fiv = iv.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(ftm.valid) << ftm.failure;
+  ASSERT_TRUE(fiv.valid) << fiv.failure;
+
+  for (std::size_t k = 0; k <= bench.spec.steps; ++k) {
+    // Both contain the nominal center trajectory, so they must intersect.
+    EXPECT_TRUE(ftm.step_sets[k].intersects(fiv.step_sets[k]))
+        << "step " << k;
+    // And the TM sets are never wider than the interval-engine sets.
+    for (std::size_t d = 0; d < 2; ++d) {
+      EXPECT_LE(ftm.step_sets[k][d].width(),
+                fiv.step_sets[k][d].width() + 1e-9)
+          << "step " << k << " dim " << d;
+    }
+  }
+}
+
+TEST(IntervalVerifier, SoundOnShortHorizon) {
+  auto bench = ode::make_oscillator_benchmark();
+  bench.spec.steps = 6;
+  bench.spec.stop_at_goal = false;
+  IntervalVerifier iv(bench.system, bench.spec, {});
+  nn::LinearController ctrl(linalg::Mat{{-0.3, -0.8}});
+  const Flowpipe fp = iv.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid) << fp.failure;
+
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const linalg::Vec x0 = bench.spec.x0.sample(rng);
+    auto tr = sim::simulate(*bench.system, ctrl, x0, bench.spec.delta,
+                            bench.spec.steps);
+    for (std::size_t k = 0; k < tr.states.size(); ++k) {
+      EXPECT_TRUE(fp.step_sets[k].contains(tr.states[k])) << "step " << k;
+    }
+  }
+}
+
+TEST(IntervalVerifier, WidensFasterThanTm) {
+  // The documented property behind the tightness ablation: the interval
+  // engine's enclosure grows strictly faster on a nonlinear system.
+  auto bench = ode::make_oscillator_benchmark();
+  bench.spec.steps = 10;
+  bench.spec.stop_at_goal = false;
+  nn::LinearController ctrl(linalg::Mat{{-0.3, -0.8}});
+
+  const Flowpipe ftm =
+      TmVerifier(bench.system, bench.spec,
+                 std::make_shared<LinearAbstraction>(), {})
+          .compute(bench.spec.x0, ctrl);
+  const Flowpipe fiv =
+      IntervalVerifier(bench.system, bench.spec, {})
+          .compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(ftm.valid && fiv.valid);
+  const double w_tm = ftm.step_sets.back()[0].width() +
+                      ftm.step_sets.back()[1].width();
+  const double w_iv = fiv.step_sets.back()[0].width() +
+                      fiv.step_sets.back()[1].width();
+  EXPECT_LT(w_tm, w_iv);
+}
+
+}  // namespace
+}  // namespace dwv::reach

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/box.hpp"
+#include "geom/polygon2d.hpp"
+#include "geom/zonotope.hpp"
+
+namespace dwv::geom {
+namespace {
+
+using interval::Interval;
+
+Box box2(double x0, double x1, double y0, double y1) {
+  return Box{Interval(x0, x1), Interval(y0, y1)};
+}
+
+TEST(Box, VolumeAndCenter) {
+  const Box b = box2(0.0, 2.0, -1.0, 3.0);
+  EXPECT_DOUBLE_EQ(b.volume(), 8.0);
+  EXPECT_DOUBLE_EQ(b.center()[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.center()[1], 1.0);
+  EXPECT_DOUBLE_EQ(b.volume_in({0}), 2.0);
+}
+
+TEST(Box, IntersectionAndContainment) {
+  const Box a = box2(0, 2, 0, 2);
+  const Box b = box2(1, 3, 1, 3);
+  ASSERT_TRUE(a.intersects(b));
+  const auto i = a.intersection(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_DOUBLE_EQ(i->volume(), 1.0);
+  EXPECT_TRUE(a.contains(box2(0.5, 1.5, 0.5, 1.5)));
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_FALSE(a.intersects(box2(3, 4, 3, 4)));
+}
+
+TEST(Box, InfiniteBoundsBehaveLikeHalfSpaces) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // The ACC unsafe set: s <= 120.
+  const Box half{Interval(-inf, 120.0), Interval(-inf, inf)};
+  EXPECT_TRUE(half.contains(linalg::Vec{100.0, 50.0}));
+  EXPECT_FALSE(half.contains(linalg::Vec{121.0, 50.0}));
+  const Box state = box2(122, 124, 48, 52);
+  EXPECT_FALSE(state.intersects(half));
+  EXPECT_NEAR(state.distance_to_in(half, {0}), 2.0, 1e-12);
+}
+
+TEST(Box, Distance) {
+  const Box a = box2(0, 1, 0, 1);
+  const Box b = box2(2, 3, 0, 1);
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 1.0);
+  const Box c = box2(2, 3, 2, 3);
+  EXPECT_DOUBLE_EQ(a.distance_to(c), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(a.distance_to(box2(0.5, 1.5, 0.5, 1.5)), 0.0);
+}
+
+TEST(Box, BisectSplitsWidest) {
+  const Box b = box2(0, 4, 0, 1);
+  const auto [lo, hi] = b.bisect();
+  EXPECT_DOUBLE_EQ(lo[0].hi(), 2.0);
+  EXPECT_DOUBLE_EQ(hi[0].lo(), 2.0);
+  EXPECT_DOUBLE_EQ(lo[1].hi(), 1.0);
+  EXPECT_NEAR(lo.volume() + hi.volume(), b.volume(), 1e-12);
+}
+
+TEST(Box, GridPartitionsExactly) {
+  const Box b = box2(0, 1, 0, 2);
+  const auto cells = b.grid({2, 4});
+  EXPECT_EQ(cells.size(), 8u);
+  double vol = 0.0;
+  for (const auto& c : cells) vol += c.volume();
+  EXPECT_NEAR(vol, b.volume(), 1e-12);
+}
+
+TEST(Box, SampleStaysInside) {
+  std::mt19937_64 rng(5);
+  const Box b = box2(-1, 1, 10, 20);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(b.contains(b.sample(rng)));
+  }
+}
+
+TEST(Polygon2d, RectAreaAndCentroid) {
+  const auto p = Polygon2d::rect(0, 4, 0, 2);
+  EXPECT_DOUBLE_EQ(p.area(), 8.0);
+  EXPECT_DOUBLE_EQ(p.centroid().x, 2.0);
+  EXPECT_DOUBLE_EQ(p.centroid().y, 1.0);
+}
+
+TEST(Polygon2d, ConvexHullOfPoints) {
+  // A square plus an interior point: hull has 4 vertices.
+  Polygon2d p({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}});
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.area(), 1.0);
+}
+
+TEST(Polygon2d, ClipOverlap) {
+  const auto a = Polygon2d::rect(0, 2, 0, 2);
+  const auto b = Polygon2d::rect(1, 3, 1, 3);
+  EXPECT_DOUBLE_EQ(a.clip(b).area(), 1.0);
+  // Disjoint clip is empty.
+  const auto c = Polygon2d::rect(5, 6, 5, 6);
+  EXPECT_TRUE(a.clip(c).empty());
+  // Full containment.
+  const auto d = Polygon2d::rect(0.5, 1.0, 0.5, 1.0);
+  EXPECT_NEAR(a.clip(d).area(), 0.25, 1e-12);
+}
+
+TEST(Polygon2d, AffineMapPreservesAreaScaling) {
+  const auto p = Polygon2d::rect(0, 1, 0, 1);
+  const linalg::Mat m{{2.0, 0.0}, {0.0, 3.0}};
+  const auto q = p.affine(m, linalg::Vec{1.0, 1.0});
+  EXPECT_NEAR(q.area(), 6.0, 1e-12);
+  const auto bb = q.bounding_box();
+  EXPECT_DOUBLE_EQ(bb[0].lo(), 1.0);
+  EXPECT_DOUBLE_EQ(bb[0].hi(), 3.0);
+}
+
+TEST(Polygon2d, RotationPreservesArea) {
+  const double th = 0.7;
+  const linalg::Mat rot{{std::cos(th), -std::sin(th)},
+                        {std::sin(th), std::cos(th)}};
+  const auto p = Polygon2d::rect(-1, 1, -2, 2);
+  const auto q = p.affine(rot, linalg::Vec(2));
+  EXPECT_NEAR(q.area(), 8.0, 1e-10);
+}
+
+TEST(Polygon2d, DistanceBetweenPolygons) {
+  const auto a = Polygon2d::rect(0, 1, 0, 1);
+  const auto b = Polygon2d::rect(3, 4, 0, 1);
+  EXPECT_NEAR(a.distance_to(b), 2.0, 1e-12);
+  const auto c = Polygon2d::rect(0.5, 2, 0.5, 2);
+  EXPECT_DOUBLE_EQ(a.distance_to(c), 0.0);
+  // Diagonal separation.
+  const auto d = Polygon2d::rect(2, 3, 2, 3);
+  EXPECT_NEAR(a.distance_to(d), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Polygon2d, ContainsPoint) {
+  const auto p = Polygon2d::rect(0, 2, 0, 2);
+  EXPECT_TRUE(p.contains({1, 1}));
+  EXPECT_TRUE(p.contains({0, 0}));
+  EXPECT_FALSE(p.contains({2.1, 1}));
+}
+
+TEST(Polygon2d, SegmentDistances) {
+  EXPECT_DOUBLE_EQ(segment_point_distance({0, 0}, {2, 0}, {1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(segment_point_distance({0, 0}, {2, 0}, {4, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(
+      segment_segment_distance({0, 0}, {1, 0}, {0, 2}, {1, 2}), 2.0);
+  // Crossing segments.
+  EXPECT_DOUBLE_EQ(
+      segment_segment_distance({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+}
+
+TEST(Zonotope, FromBoxRoundTrip) {
+  const Box b = box2(1, 3, -2, 0);
+  const Zonotope z = Zonotope::from_box(b);
+  const Box bb = z.bounding_box();
+  EXPECT_DOUBLE_EQ(bb[0].lo(), 1.0);
+  EXPECT_DOUBLE_EQ(bb[0].hi(), 3.0);
+  EXPECT_DOUBLE_EQ(bb[1].lo(), -2.0);
+}
+
+TEST(Zonotope, AffineAndSupport) {
+  const Zonotope z = Zonotope::from_box(box2(-1, 1, -1, 1));
+  const linalg::Mat rot{{0.0, -1.0}, {1.0, 0.0}};
+  const Zonotope zr = z.affine(rot, linalg::Vec{5.0, 0.0});
+  EXPECT_NEAR(zr.support(linalg::Vec{1.0, 0.0}), 6.0, 1e-12);
+  EXPECT_NEAR(zr.support(linalg::Vec{-1.0, 0.0}), -4.0, 1e-12);
+}
+
+TEST(Zonotope, MinkowskiSumAddsGenerators) {
+  const Zonotope a = Zonotope::from_box(box2(0, 2, 0, 2));
+  const Zonotope b = Zonotope::from_box(box2(-1, 1, -1, 1));
+  const Zonotope s = a.minkowski_sum(b);
+  EXPECT_EQ(s.order(), 4u);
+  const Box bb = s.bounding_box();
+  EXPECT_DOUBLE_EQ(bb[0].lo(), -1.0);
+  EXPECT_DOUBLE_EQ(bb[0].hi(), 3.0);
+}
+
+TEST(Zonotope, ToPolygonMatchesBoxAreaForAxisAligned) {
+  const Zonotope z = Zonotope::from_box(box2(0, 2, 0, 4));
+  EXPECT_NEAR(z.to_polygon().area(), 8.0, 1e-12);
+}
+
+TEST(Zonotope, ToPolygonRotatedMatchesDeterminant) {
+  // The zonogon area of {c + G b} with G 2x2 is 4 |det G|.
+  const linalg::Mat g{{1.0, 0.5}, {0.25, 1.5}};
+  const Zonotope z(linalg::Vec(2), g);
+  EXPECT_NEAR(z.to_polygon().area(),
+              4.0 * std::abs(g(0, 0) * g(1, 1) - g(0, 1) * g(1, 0)), 1e-10);
+}
+
+TEST(Zonotope, ReduceOrderIsSound) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  linalg::Mat g(2, 12);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 12; ++j) g(i, j) = 0.3 * u(rng);
+  const Zonotope z(linalg::Vec{1.0, -1.0}, g);
+  const Zonotope r = z.reduce_order(6);
+  EXPECT_LE(r.order(), 6u);
+  // Sound: the reduced zonotope must contain the original (box proxy +
+  // support-function probes).
+  for (double a = 0.0; a < 6.28; a += 0.3) {
+    const linalg::Vec dir{std::cos(a), std::sin(a)};
+    EXPECT_GE(r.support(dir), z.support(dir) - 1e-12) << "dir angle " << a;
+  }
+}
+
+}  // namespace
+}  // namespace dwv::geom

@@ -1,0 +1,186 @@
+// End-to-end integration tests: the full design-while-verify pipeline on
+// the paper's benchmarks (learn -> certify X_I -> cross-validate by
+// simulation), exercising every module together.
+#include <gtest/gtest.h>
+
+#include "core/initial_set.hpp"
+#include "nn/poly_controller.hpp"
+#include "core/learner.hpp"
+#include "core/verdict.hpp"
+#include "ode/benchmarks.hpp"
+#include "reach/linear_reach.hpp"
+#include "reach/tm_flowpipe.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace dwv {
+namespace {
+
+using linalg::Mat;
+
+TEST(EndToEnd, AccDesignWhileVerify) {
+  const auto bench = ode::make_acc_benchmark();
+  const auto verifier =
+      std::make_shared<reach::LinearVerifier>(bench.system, bench.spec);
+
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kGeometric;
+  opt.max_iters = 400;
+  opt.step_size = 0.5;
+  opt.perturbation = 0.05;
+  opt.gradient = core::GradientMode::kSpsaAveraged;
+  opt.spsa_samples = 2;
+  opt.require_containment = true;
+  opt.restarts = 3;
+  opt.seed = 1;
+  core::Learner learner(verifier, bench.spec, opt);
+  nn::LinearController ctrl(Mat{{0.0, 0.0}});
+  const core::LearnResult res = learner.learn(ctrl);
+  ASSERT_TRUE(res.success);
+
+  // Algorithm 2: full X0 should be certified (paper Fig. 6: X_I = X0).
+  const core::InitialSetResult xi =
+      core::search_initial_set(*verifier, bench.spec, ctrl);
+  EXPECT_TRUE(xi.full());
+
+  // The combined verdict is reach-avoid.
+  const core::VerificationReport rep = core::verify_controller(
+      *verifier, *bench.system, ctrl, bench.spec);
+  EXPECT_EQ(rep.verdict, core::Verdict::kReachAvoid);
+
+  // Experimental rates 100 % / 100 % (Table 1 "Ours" rows).
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, ctrl, bench.spec, 500, 123);
+  EXPECT_DOUBLE_EQ(mc.safe_rate, 1.0);
+  EXPECT_DOUBLE_EQ(mc.goal_rate, 1.0);
+}
+
+TEST(EndToEnd, OscillatorNnDesignWhileVerifyWasserstein) {
+  const auto bench = ode::make_oscillator_benchmark();
+  const auto verifier = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec, std::make_shared<reach::PolarAbstraction>(),
+      reach::TmReachOptions{});
+
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kWasserstein;
+  opt.alpha = 0.2;
+  opt.max_iters = 160;
+  opt.step_size = 0.2;
+  opt.require_containment = true;
+  opt.restarts = 4;
+  opt.restart_scale = 0.4;
+  opt.seed = 3;
+  core::Learner learner(verifier, bench.spec, opt);
+
+  nn::MlpController ctrl({2, 6, 1}, 2.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  std::mt19937_64 rng(22);
+  ctrl.init_random(rng, 0.4);
+  const core::LearnResult res = learner.learn(ctrl);
+  ASSERT_TRUE(res.success) << "CI=" << res.iterations;
+
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, ctrl, bench.spec, 300, 5);
+  EXPECT_GE(mc.safe_rate, 0.99);
+  EXPECT_GE(mc.goal_rate, 0.99);
+
+  // The final flowpipe certifies the reach-avoid property.
+  const core::FlowpipeFacts facts =
+      core::analyze_flowpipe(res.final_flowpipe, bench.spec);
+  EXPECT_TRUE(facts.safe_certified);
+  EXPECT_TRUE(facts.goal_certified);
+}
+
+TEST(EndToEnd, Sys3dNnDesignWhileVerifyGeometric) {
+  const auto bench = ode::make_3d_benchmark();
+  const auto verifier = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec, std::make_shared<reach::PolarAbstraction>(),
+      reach::TmReachOptions{});
+
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kGeometric;
+  opt.max_iters = 120;
+  opt.step_size = 0.25;
+  opt.require_containment = true;
+  opt.restarts = 3;
+  opt.restart_scale = 0.4;
+  opt.seed = 1;
+  core::Learner learner(verifier, bench.spec, opt);
+
+  nn::MlpController ctrl({3, 6, 1}, 1.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  std::mt19937_64 rng(8);
+  ctrl.init_random(rng, 0.4);
+  const core::LearnResult res = learner.learn(ctrl);
+  ASSERT_TRUE(res.success) << "CI=" << res.iterations;
+  EXPECT_LE(res.iterations, 60u);  // paper: a handful of iterations
+
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, ctrl, bench.spec, 300, 5);
+  EXPECT_GE(mc.safe_rate, 0.99);
+  EXPECT_GE(mc.goal_rate, 0.99);
+}
+
+TEST(EndToEnd, LearnedControllerSurvivesInitialSetRefinement) {
+  // Soundness composition: learn on ACC, then every certified X_I cell's
+  // own flowpipe must be goal-contained and safe.
+  const auto bench = ode::make_acc_benchmark();
+  const auto verifier =
+      std::make_shared<reach::LinearVerifier>(bench.system, bench.spec);
+  core::LearnerOptions opt;
+  opt.max_iters = 400;
+  opt.step_size = 0.5;
+  opt.perturbation = 0.05;
+  opt.gradient = core::GradientMode::kSpsaAveraged;
+  opt.spsa_samples = 2;
+  opt.require_containment = true;
+  opt.restarts = 3;
+  opt.seed = 7;
+  core::Learner learner(verifier, bench.spec, opt);
+  nn::LinearController ctrl(Mat{{0.0, 0.0}});
+  ASSERT_TRUE(learner.learn(ctrl).success);
+
+  const core::InitialSetResult xi =
+      core::search_initial_set(*verifier, bench.spec, ctrl);
+  for (const auto& cell : xi.certified) {
+    const reach::Flowpipe fp = verifier->compute(cell, ctrl);
+    const core::FlowpipeFacts facts = core::analyze_flowpipe(fp, bench.spec);
+    EXPECT_TRUE(facts.safe_certified);
+    EXPECT_TRUE(facts.goal_certified);
+  }
+}
+
+TEST(EndToEnd, PolynomialControllerDesignWhileVerify) {
+  // The exactly-abstractable polynomial controller family: learning with
+  // the Wasserstein metric converges quickly because the verifier adds no
+  // activation remainder at all.
+  const auto bench = ode::make_oscillator_benchmark();
+  const auto verifier = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec,
+      std::make_shared<reach::PolynomialAbstraction>(),
+      reach::TmReachOptions{});
+
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kWasserstein;
+  opt.alpha = 0.2;
+  opt.max_iters = 240;
+  opt.step_size = 0.2;
+  opt.require_containment = true;
+  opt.restarts = 4;
+  opt.restart_scale = 0.3;
+  opt.seed = 2;
+  core::Learner learner(verifier, bench.spec, opt);
+
+  nn::PolynomialController ctrl(2, 1, 2);
+  std::mt19937_64 rng(7);
+  ctrl.init_random(rng, 0.3);
+  const core::LearnResult res = learner.learn(ctrl);
+  ASSERT_TRUE(res.success) << "CI=" << res.iterations;
+
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, ctrl, bench.spec, 300, 5);
+  EXPECT_GE(mc.safe_rate, 0.99);
+  EXPECT_GE(mc.goal_rate, 0.99);
+}
+
+}  // namespace
+}  // namespace dwv

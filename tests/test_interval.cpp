@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "interval/interval.hpp"
+#include "interval/ivec.hpp"
+
+namespace dwv::interval {
+namespace {
+
+TEST(Interval, BasicAccessors) {
+  const Interval v(-1.0, 3.0);
+  EXPECT_DOUBLE_EQ(v.mid(), 1.0);
+  EXPECT_DOUBLE_EQ(v.rad(), 2.0);
+  EXPECT_DOUBLE_EQ(v.width(), 4.0);
+  EXPECT_DOUBLE_EQ(v.mag(), 3.0);
+  EXPECT_DOUBLE_EQ(v.mig(), 0.0);
+  EXPECT_DOUBLE_EQ(Interval(2.0, 3.0).mig(), 2.0);
+  EXPECT_DOUBLE_EQ(Interval(-3.0, -2.0).mig(), 2.0);
+}
+
+TEST(Interval, ContainsAndIntersects) {
+  const Interval v(0.0, 2.0);
+  EXPECT_TRUE(v.contains(1.0));
+  EXPECT_TRUE(v.contains(0.0));
+  EXPECT_FALSE(v.contains(2.1));
+  EXPECT_TRUE(v.contains(Interval(0.5, 1.5)));
+  EXPECT_FALSE(v.contains(Interval(0.5, 2.5)));
+  EXPECT_TRUE(v.intersects(Interval(2.0, 3.0)));
+  EXPECT_FALSE(v.intersects(Interval(2.01, 3.0)));
+}
+
+TEST(Interval, AdditionIsSoundAndTight) {
+  const Interval a(1.0, 2.0);
+  const Interval b(-0.5, 0.25);
+  const Interval c = a + b;
+  EXPECT_LE(c.lo(), 0.5);
+  EXPECT_GE(c.hi(), 2.25);
+  // Outward rounding widens by at most a few ULP.
+  EXPECT_NEAR(c.lo(), 0.5, 1e-12);
+  EXPECT_NEAR(c.hi(), 2.25, 1e-12);
+}
+
+TEST(Interval, MultiplicationSignCases) {
+  EXPECT_NEAR((Interval(2, 3) * Interval(4, 5)).lo(), 8.0, 1e-12);
+  EXPECT_NEAR((Interval(-3, -2) * Interval(4, 5)).hi(), -8.0, 1e-12);
+  const Interval m = Interval(-1, 2) * Interval(-3, 4);
+  EXPECT_NEAR(m.lo(), -6.0, 1e-12);
+  EXPECT_NEAR(m.hi(), 8.0, 1e-12);
+}
+
+TEST(Interval, DivisionByZeroContainingIsEntire) {
+  const Interval r = Interval(1.0, 2.0) / Interval(-1.0, 1.0);
+  EXPECT_TRUE(std::isinf(r.lo()));
+  EXPECT_TRUE(std::isinf(r.hi()));
+}
+
+TEST(Interval, IntersectAndHull) {
+  const auto r = intersect(Interval(0, 2), Interval(1, 3));
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.value.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(r.value.hi(), 2.0);
+  EXPECT_FALSE(intersect(Interval(0, 1), Interval(2, 3)).ok);
+  const Interval h = hull(Interval(0, 1), Interval(2, 3));
+  EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 3.0);
+}
+
+TEST(Interval, SqrNonNegativeAndTight) {
+  const Interval s = sqr(Interval(-2.0, 1.0));
+  EXPECT_DOUBLE_EQ(s.lo(), 0.0);
+  EXPECT_NEAR(s.hi(), 4.0, 1e-12);
+  const Interval s2 = sqr(Interval(2.0, 3.0));
+  EXPECT_NEAR(s2.lo(), 4.0, 1e-12);
+}
+
+TEST(Interval, PowOddEven) {
+  const Interval p3 = pow_n(Interval(-2.0, 1.0), 3);
+  EXPECT_NEAR(p3.lo(), -8.0, 1e-12);
+  EXPECT_NEAR(p3.hi(), 1.0, 1e-12);
+  const Interval p4 = pow_n(Interval(-2.0, 1.0), 4);
+  EXPECT_DOUBLE_EQ(p4.lo(), 0.0);
+  EXPECT_NEAR(p4.hi(), 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pow_n(Interval(-5, 5), 0).lo(), 1.0);
+}
+
+TEST(Interval, SinCoversCriticalPoints) {
+  // [0, pi] contains the max of sin at pi/2.
+  const Interval s = sin(Interval(0.0, 3.14159265358979));
+  EXPECT_DOUBLE_EQ(s.hi(), 1.0);
+  EXPECT_LE(s.lo(), 1e-10);
+  // Width >= 2 pi saturates.
+  const Interval w = sin(Interval(0.0, 10.0));
+  EXPECT_DOUBLE_EQ(w.lo(), -1.0);
+  EXPECT_DOUBLE_EQ(w.hi(), 1.0);
+}
+
+// Property check: f([a,b]) soundly encloses pointwise samples.
+class ElementaryEnclosure : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElementaryEnclosure, RandomIntervalsEnclosePointValues) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> u(-3.0, 3.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    double a = u(rng);
+    double b = u(rng);
+    if (a > b) std::swap(a, b);
+    const Interval v(a, b);
+    const Interval t = tanh(v);
+    const Interval s = sigmoid(v);
+    const Interval q = sqr(v);
+    const Interval sn = sin(v);
+    const Interval cs = cos(v);
+    for (int k = 0; k <= 10; ++k) {
+      const double x = std::clamp(a + (b - a) * k / 10.0, a, b);
+      EXPECT_TRUE(t.contains(std::tanh(x)));
+      EXPECT_TRUE(s.contains(1.0 / (1.0 + std::exp(-x))));
+      EXPECT_TRUE(q.contains(x * x));
+      EXPECT_TRUE(sn.contains(std::sin(x)));
+      EXPECT_TRUE(cs.contains(std::cos(x)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElementaryEnclosure,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IVec, MidRadContains) {
+  IVec v{Interval(0.0, 2.0), Interval(-1.0, 1.0)};
+  EXPECT_DOUBLE_EQ(v.mid()[0], 1.0);
+  EXPECT_DOUBLE_EQ(v.rad()[1], 1.0);
+  EXPECT_TRUE(v.contains(linalg::Vec{1.0, 0.0}));
+  EXPECT_FALSE(v.contains(linalg::Vec{3.0, 0.0}));
+  EXPECT_DOUBLE_EQ(v.max_width(), 2.0);
+}
+
+TEST(IVec, MatIvecEnclosure) {
+  const linalg::Mat a{{1.0, -2.0}, {0.5, 0.5}};
+  IVec x{Interval(-1.0, 1.0), Interval(0.0, 2.0)};
+  const IVec y = mat_ivec(a, x);
+  // Corner checks.
+  for (double x0 : {-1.0, 1.0}) {
+    for (double x1 : {0.0, 2.0}) {
+      EXPECT_TRUE(y[0].contains(x0 - 2.0 * x1));
+      EXPECT_TRUE(y[1].contains(0.5 * x0 + 0.5 * x1));
+    }
+  }
+}
+
+TEST(IVec, ArithmeticAndHull) {
+  IVec a{Interval(0.0, 1.0)};
+  IVec b{Interval(2.0, 3.0)};
+  const IVec s = a + b;
+  EXPECT_NEAR(s[0].lo(), 2.0, 1e-12);
+  const IVec h = hull(a, b);
+  EXPECT_DOUBLE_EQ(h[0].lo(), 0.0);
+  EXPECT_DOUBLE_EQ(h[0].hi(), 3.0);
+}
+
+}  // namespace
+}  // namespace dwv::interval

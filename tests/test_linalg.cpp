@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/expm.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace dwv::linalg {
+namespace {
+
+TEST(Vec, BasicArithmetic) {
+  const Vec a{1.0, 2.0, 3.0};
+  const Vec b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a + b, Vec({5.0, 7.0, 9.0}));
+  EXPECT_EQ(b - a, Vec({3.0, 3.0, 3.0}));
+  EXPECT_EQ(2.0 * a, Vec({2.0, 4.0, 6.0}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vec, Norms) {
+  const Vec v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.norm1(), 7.0);
+}
+
+TEST(Vec, ConcatAndFiniteness) {
+  const Vec a{1.0};
+  const Vec b{2.0, 3.0};
+  EXPECT_EQ(concat(a, b), Vec({1.0, 2.0, 3.0}));
+  Vec c{1.0, std::nan("")};
+  EXPECT_FALSE(c.all_finite());
+  EXPECT_TRUE(a.all_finite());
+}
+
+TEST(Mat, InitializerAndIdentity) {
+  const Mat m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  const Mat i = Mat::identity(3);
+  EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+}
+
+TEST(Mat, Product) {
+  const Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  const Mat b{{5.0, 6.0}, {7.0, 8.0}};
+  const Mat c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Mat, MatVec) {
+  const Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vec x{1.0, 1.0};
+  EXPECT_EQ(a * x, Vec({3.0, 7.0}));
+}
+
+TEST(Mat, TransposeBlocksConcat) {
+  const Mat a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Mat t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Mat h = Mat::hcat(a, a);
+  EXPECT_EQ(h.cols(), 6u);
+  EXPECT_DOUBLE_EQ(h(1, 4), 5.0);
+  const Mat v = Mat::vcat(a, a);
+  EXPECT_EQ(v.rows(), 4u);
+  const Mat blk = v.block(2, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(blk(0, 0), 2.0);
+}
+
+TEST(Lu, SolveRandomSystems) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + trial % 6;
+    Mat a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = u(rng);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+    Vec x_true(n);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = u(rng);
+    const Vec b = a * x_true;
+    const Vec x = lu_solve(lu_factor(a), b);
+    EXPECT_LT((x - x_true).norm_inf(), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Lu, DetectsSingular) {
+  const Mat a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_TRUE(lu_factor(a).singular);
+  EXPECT_THROW(inverse(a), std::domain_error);
+}
+
+TEST(Lu, Inverse) {
+  const Mat a{{4.0, 7.0}, {2.0, 6.0}};
+  const Mat ai = inverse(a);
+  const Mat prod = a * ai;
+  EXPECT_LT((prod - Mat::identity(2)).max_abs(), 1e-12);
+}
+
+TEST(Expm, MatchesScalarExponential) {
+  const Mat a{{2.0}};
+  const Mat e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(2.0), 1e-10);
+}
+
+TEST(Expm, NilpotentExact) {
+  // exp([[0,1],[0,0]]) = [[1,1],[0,1]].
+  const Mat a{{0.0, 1.0}, {0.0, 0.0}};
+  const Mat e = expm(a);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-13);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-13);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-13);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-13);
+}
+
+TEST(Expm, RotationMatrix) {
+  // exp([[0,-w],[w,0]] t) is a rotation by w t.
+  const double w = 1.7;
+  const Mat a{{0.0, -w}, {w, 0.0}};
+  const Mat e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(w), 1e-10);
+  EXPECT_NEAR(e(1, 0), std::sin(w), 1e-10);
+}
+
+TEST(Expm, InverseProperty) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Mat a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = u(rng);
+  const Mat e = expm(a);
+  Mat na = a;
+  na *= -1.0;
+  const Mat einv = expm(na);
+  EXPECT_LT((e * einv - Mat::identity(3)).max_abs(), 1e-10);
+}
+
+TEST(Zoh, MatchesClosedFormFirstOrder) {
+  // x' = -x + u: Ad = e^{-d}, Bd = 1 - e^{-d}.
+  const Mat a{{-1.0}};
+  const Mat b{{1.0}};
+  const double d = 0.3;
+  const auto z = discretize_zoh(a, b, d);
+  EXPECT_NEAR(z.ad(0, 0), std::exp(-d), 1e-12);
+  EXPECT_NEAR(z.bd(0, 0), 1.0 - std::exp(-d), 1e-12);
+}
+
+TEST(Zoh, DoubleIntegrator) {
+  // x1' = x2, x2' = u: Ad = [[1,d],[0,1]], Bd = [d^2/2, d].
+  const Mat a{{0.0, 1.0}, {0.0, 0.0}};
+  const Mat b{{0.0}, {1.0}};
+  const double d = 0.25;
+  const auto z = discretize_zoh(a, b, d);
+  EXPECT_NEAR(z.ad(0, 1), d, 1e-13);
+  EXPECT_NEAR(z.bd(0, 0), d * d / 2.0, 1e-13);
+  EXPECT_NEAR(z.bd(1, 0), d, 1e-13);
+}
+
+}  // namespace
+}  // namespace dwv::linalg

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/adam.hpp"
+#include "nn/controller.hpp"
+#include "nn/mlp.hpp"
+
+namespace dwv::nn {
+namespace {
+
+using linalg::Mat;
+using linalg::Vec;
+
+TEST(Activations, PointValuesAndGrads) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, 2.0), 2.0);
+  EXPECT_NEAR(activate(Activation::kTanh, 0.5), std::tanh(0.5), 1e-15);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 0.0), 0.5, 1e-15);
+  EXPECT_DOUBLE_EQ(activate_grad(Activation::kIdentity, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(activate_grad(Activation::kRelu, -0.1), 0.0);
+  EXPECT_NEAR(activate_grad(Activation::kTanh, 0.0), 1.0, 1e-15);
+  EXPECT_NEAR(activate_grad(Activation::kSigmoid, 0.0), 0.25, 1e-15);
+}
+
+TEST(Mlp, ShapesAndParamCount) {
+  const Mlp net({3, 8, 4, 2}, Activation::kRelu, Activation::kTanh);
+  EXPECT_EQ(net.in_dim(), 3u);
+  EXPECT_EQ(net.out_dim(), 2u);
+  EXPECT_EQ(net.param_count(),
+            (3u * 8 + 8) + (8u * 4 + 4) + (4u * 2 + 2));
+  EXPECT_EQ(net.layers().size(), 3u);
+  EXPECT_EQ(net.layers().back().act, Activation::kTanh);
+}
+
+TEST(Mlp, ParamsRoundTrip) {
+  std::mt19937_64 rng(1);
+  Mlp net({2, 5, 1}, Activation::kRelu, Activation::kIdentity);
+  net.init_random(rng);
+  const Vec p = net.params();
+  Mlp other({2, 5, 1}, Activation::kRelu, Activation::kIdentity);
+  other.set_params(p);
+  const Vec x{0.3, -0.7};
+  EXPECT_DOUBLE_EQ(net.forward(x)[0], other.forward(x)[0]);
+  EXPECT_EQ(other.params(), p);
+}
+
+TEST(Mlp, ForwardMatchesManualSmallNet) {
+  // 1-2-1, identity activations, hand-set weights.
+  Mlp net({1, 2, 1}, Activation::kIdentity, Activation::kIdentity);
+  Vec p(net.param_count());
+  // Layer 1: w = [2; -1], b = [0.5; 0].  Layer 2: w = [1, 3], b = [-0.25].
+  p[0] = 2.0;
+  p[1] = -1.0;
+  p[2] = 0.5;
+  p[3] = 0.0;
+  p[4] = 1.0;
+  p[5] = 3.0;
+  p[6] = -0.25;
+  net.set_params(p);
+  const double x = 0.4;
+  const double h1 = 2.0 * x + 0.5;
+  const double h2 = -1.0 * x;
+  EXPECT_NEAR(net.forward(Vec{x})[0], h1 + 3.0 * h2 - 0.25, 1e-15);
+}
+
+class BackwardGradcheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackwardGradcheck, ParameterGradientsMatchFiniteDifference) {
+  std::mt19937_64 rng(GetParam());
+  Mlp net({2, 6, 5, 1}, Activation::kTanh, Activation::kIdentity);
+  net.init_random(rng);
+  const Vec x{0.37, -0.21};
+
+  const auto loss = [&](const Mlp& m) {
+    const double y = m.forward(x)[0];
+    return 0.5 * y * y;
+  };
+
+  const auto cache = net.forward_cached(x);
+  const Vec dy{cache.output[0]};  // dL/dy for L = y^2/2
+  const Gradients g = net.backward(cache, dy);
+
+  const Vec p = net.params();
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < p.size(); i += 7) {  // sample coordinates
+    Vec pp = p;
+    Vec pm = p;
+    pp[i] += h;
+    pm[i] -= h;
+    Mlp np = net;
+    np.set_params(pp);
+    Mlp nm = net;
+    nm.set_params(pm);
+    const double fd = (loss(np) - loss(nm)) / (2.0 * h);
+    EXPECT_NEAR(g.dparams[i], fd, 1e-5) << "param " << i;
+  }
+
+  // Input gradient.
+  for (std::size_t i = 0; i < 2; ++i) {
+    Vec xp = x;
+    Vec xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const double yp = net.forward(xp)[0];
+    const double ym = net.forward(xm)[0];
+    const double fd = (0.5 * yp * yp - 0.5 * ym * ym) / (2.0 * h);
+    EXPECT_NEAR(g.dinput[i], fd, 1e-5) << "input " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackwardGradcheck, ::testing::Values(3, 7, 9));
+
+TEST(Mlp, ReluBackwardGradcheck) {
+  std::mt19937_64 rng(5);
+  Mlp net({2, 8, 1}, Activation::kRelu, Activation::kTanh);
+  net.init_random(rng);
+  const Vec x{0.9, -0.4};
+  const auto cache = net.forward_cached(x);
+  const Gradients g = net.backward(cache, Vec{1.0});
+  const Vec p = net.params();
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < p.size(); i += 5) {
+    Vec pp = p;
+    Vec pm = p;
+    pp[i] += h;
+    pm[i] -= h;
+    Mlp np = net;
+    np.set_params(pp);
+    Mlp nm = net;
+    nm.set_params(pm);
+    const double fd = (np.forward(x)[0] - nm.forward(x)[0]) / (2.0 * h);
+    EXPECT_NEAR(g.dparams[i], fd, 1e-5) << "param " << i;
+  }
+}
+
+TEST(Mlp, AddScaledMatchesSetParams) {
+  std::mt19937_64 rng(2);
+  Mlp net({2, 4, 1}, Activation::kRelu, Activation::kIdentity);
+  net.init_random(rng);
+  const Vec p0 = net.params();
+  Vec d(p0.size());
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = 0.01 * (i % 5);
+  Mlp via_set = net;
+  via_set.set_params(p0 + (-0.5) * d);
+  net.add_scaled(d, -0.5);
+  EXPECT_EQ(net.params(), via_set.params());
+}
+
+TEST(Mlp, LipschitzBoundDominatesSampledSlopes) {
+  std::mt19937_64 rng(4);
+  Mlp net({2, 6, 1}, Activation::kTanh, Activation::kTanh);
+  net.init_random(rng);
+  const Vec lip = net.lipschitz_per_input();
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const double h = 1e-5;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec x{u(rng), u(rng)};
+    for (std::size_t i = 0; i < 2; ++i) {
+      Vec xp = x;
+      xp[i] += h;
+      const double slope =
+          std::abs(net.forward(xp)[0] - net.forward(x)[0]) / h;
+      EXPECT_LE(slope, lip[i] + 1e-6);
+    }
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = |w - target|^2 / 2.
+  const Vec target{1.0, -2.0, 0.5};
+  Vec w(3);
+  Adam opt(3, 0.05);
+  for (int it = 0; it < 2000; ++it) {
+    const Vec grad = w - target;
+    w += opt.step(grad);
+  }
+  EXPECT_LT((w - target).norm_inf(), 1e-3);
+}
+
+TEST(Adam, ResetClearsState) {
+  Adam opt(1, 0.1);
+  (void)opt.step(Vec{1.0});
+  (void)opt.step(Vec{1.0});
+  opt.reset();
+  // After a reset, the first step must equal a fresh optimizer's step.
+  Adam fresh(1, 0.1);
+  EXPECT_DOUBLE_EQ(opt.step(Vec{0.5})[0], fresh.step(Vec{0.5})[0]);
+}
+
+TEST(LinearController, ActAndParams) {
+  LinearController k(Mat{{1.0, -2.0}});
+  EXPECT_EQ(k.state_dim(), 2u);
+  EXPECT_EQ(k.input_dim(), 1u);
+  EXPECT_DOUBLE_EQ(k.act(Vec{3.0, 1.0})[0], 1.0);
+  k.set_params(Vec{0.5, 0.5});
+  EXPECT_DOUBLE_EQ(k.act(Vec{1.0, 1.0})[0], 1.0);
+  auto c = k.clone();
+  EXPECT_EQ(c->params(), k.params());
+}
+
+TEST(MlpController, ScaleAppliesToOutput) {
+  std::mt19937_64 rng(8);
+  MlpController c({2, 4, 1}, 3.0);
+  c.init_random(rng);
+  const Vec x{0.2, 0.1};
+  const double raw = c.mlp().forward(x)[0];
+  EXPECT_NEAR(c.act(x)[0], 3.0 * raw, 1e-15);
+  // Tanh output keeps |u| <= scale.
+  EXPECT_LE(std::abs(c.act(x)[0]), 3.0);
+}
+
+TEST(MlpController, CloneIsIndependent) {
+  std::mt19937_64 rng(8);
+  MlpController c({2, 4, 1}, 1.0);
+  c.init_random(rng);
+  auto c2 = c.clone();
+  Vec p = c.params();
+  p[0] += 1.0;
+  c.set_params(p);
+  EXPECT_NE(c.params(), c2->params());
+}
+
+}  // namespace
+}  // namespace dwv::nn

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ode/benchmarks.hpp"
+#include "ode/systems.hpp"
+
+namespace dwv::ode {
+namespace {
+
+using linalg::Mat;
+using linalg::Vec;
+
+// Checks df/dx and df/du against central finite differences.
+void check_jacobians(const System& sys, const Vec& x, const Vec& u) {
+  const double h = 1e-6;
+  const Mat jx = sys.dfdx(x, u);
+  const Mat ju = sys.dfdu(x, u);
+  for (std::size_t j = 0; j < sys.state_dim(); ++j) {
+    Vec xp = x;
+    Vec xm = x;
+    xp[j] += h;
+    xm[j] -= h;
+    const Vec d = (sys.f(xp, u) - sys.f(xm, u)) / (2.0 * h);
+    for (std::size_t i = 0; i < sys.state_dim(); ++i) {
+      EXPECT_NEAR(jx(i, j), d[i], 1e-5)
+          << sys.name() << " dfdx(" << i << "," << j << ")";
+    }
+  }
+  for (std::size_t j = 0; j < sys.input_dim(); ++j) {
+    Vec up = u;
+    Vec um = u;
+    up[j] += h;
+    um[j] -= h;
+    const Vec d = (sys.f(x, up) - sys.f(x, um)) / (2.0 * h);
+    for (std::size_t i = 0; i < sys.state_dim(); ++i) {
+      EXPECT_NEAR(ju(i, j), d[i], 1e-5)
+          << sys.name() << " dfdu(" << i << "," << j << ")";
+    }
+  }
+}
+
+// Checks the polynomial dynamics face against the numeric one.
+void check_poly_dynamics(const System& sys, const Vec& x, const Vec& u) {
+  const auto polys = sys.poly_dynamics();
+  ASSERT_EQ(polys.size(), sys.state_dim());
+  const Vec xu = linalg::concat(x, u);
+  const Vec fx = sys.f(x, u);
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    EXPECT_NEAR(polys[i].eval(xu), fx[i], 1e-12)
+        << sys.name() << " component " << i;
+  }
+}
+
+TEST(AccSystem, DynamicsAtNominalPoint) {
+  const AccSystem sys;
+  const Vec x{123.0, 50.0};
+  const Vec u{-5.0};
+  const Vec f = sys.f(x, u);
+  EXPECT_DOUBLE_EQ(f[0], 40.0 - 50.0);
+  EXPECT_DOUBLE_EQ(f[1], -0.2 * 50.0 - 5.0);
+}
+
+TEST(AccSystem, LtiFormMatchesF) {
+  const AccSystem sys;
+  const auto lti = sys.lti();
+  ASSERT_TRUE(lti.has_value());
+  const Vec x{100.0, 30.0};
+  const Vec u{2.0};
+  const Vec via_lti = lti->a * x + lti->b * u + lti->c;
+  const Vec direct = sys.f(x, u);
+  EXPECT_LT((via_lti - direct).norm_inf(), 1e-12);
+}
+
+TEST(VanDerPol, DynamicsAtNominalPoint) {
+  const VanDerPolSystem sys;
+  const Vec x{-0.5, 0.5};
+  const Vec u{0.3};
+  const Vec f = sys.f(x, u);
+  EXPECT_DOUBLE_EQ(f[0], 0.5);
+  EXPECT_DOUBLE_EQ(f[1], (1.0 - 0.25) * 0.5 + 0.5 + 0.3);
+}
+
+TEST(Sys3d, DynamicsAtNominalPoint) {
+  const Sys3d sys;
+  const Vec x{0.4, 0.46, 0.26};
+  const Vec u{-0.5};
+  const Vec f = sys.f(x, u);
+  EXPECT_NEAR(f[0], 0.26 * 0.26 * 0.26 - 0.46, 1e-15);
+  EXPECT_DOUBLE_EQ(f[1], 0.26);
+  EXPECT_DOUBLE_EQ(f[2], -0.5);
+}
+
+class SystemConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystemConsistency, JacobiansAndPolynomialsAgreeWithF) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> us(-2.0, 2.0);
+  const AccSystem acc;
+  const VanDerPolSystem vdp;
+  const Sys3d s3;
+  for (int trial = 0; trial < 20; ++trial) {
+    {
+      const Vec x{100.0 + 30.0 * us(rng), 40.0 + 10.0 * us(rng)};
+      const Vec u{us(rng)};
+      check_jacobians(acc, x, u);
+      check_poly_dynamics(acc, x, u);
+    }
+    {
+      const Vec x{us(rng), us(rng)};
+      const Vec u{us(rng)};
+      check_jacobians(vdp, x, u);
+      check_poly_dynamics(vdp, x, u);
+    }
+    {
+      const Vec x{us(rng), us(rng), us(rng)};
+      const Vec u{us(rng)};
+      check_jacobians(s3, x, u);
+      check_poly_dynamics(s3, x, u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemConsistency, ::testing::Values(1, 2));
+
+TEST(Benchmarks, AccSpecMatchesPaper) {
+  const Benchmark b = make_acc_benchmark();
+  EXPECT_EQ(b.system->state_dim(), 2u);
+  EXPECT_DOUBLE_EQ(b.spec.x0[0].lo(), 122.0);
+  EXPECT_DOUBLE_EQ(b.spec.x0[0].hi(), 124.0);
+  EXPECT_DOUBLE_EQ(b.spec.x0[1].lo(), 48.0);
+  EXPECT_DOUBLE_EQ(b.spec.goal[0].lo(), 145.0);
+  EXPECT_DOUBLE_EQ(b.spec.goal[1].hi(), 40.5);
+  EXPECT_DOUBLE_EQ(b.spec.unsafe[0].hi(), 120.0);
+  EXPECT_TRUE(std::isinf(b.spec.unsafe[0].lo()));
+  EXPECT_DOUBLE_EQ(b.spec.delta, 0.1);
+  EXPECT_EQ(b.spec.unsafe_dims, std::vector<std::size_t>{0});
+}
+
+TEST(Benchmarks, OscillatorSpecMatchesPaper) {
+  const Benchmark b = make_oscillator_benchmark();
+  EXPECT_DOUBLE_EQ(b.spec.x0[0].lo(), -0.51);
+  EXPECT_DOUBLE_EQ(b.spec.x0[1].hi(), 0.51);
+  EXPECT_DOUBLE_EQ(b.spec.goal[0].hi(), 0.05);
+  EXPECT_DOUBLE_EQ(b.spec.unsafe[0].lo(), -0.3);
+  EXPECT_DOUBLE_EQ(b.spec.unsafe[1].hi(), 0.35);
+  EXPECT_DOUBLE_EQ(b.spec.delta, 0.1);
+}
+
+TEST(Benchmarks, Sys3dSpecMatchesPaper) {
+  const Benchmark b = make_3d_benchmark();
+  EXPECT_DOUBLE_EQ(b.spec.x0[0].lo(), 0.38);
+  EXPECT_DOUBLE_EQ(b.spec.x0[2].hi(), 0.27);
+  EXPECT_DOUBLE_EQ(b.spec.goal[0].lo(), -0.5);
+  EXPECT_DOUBLE_EQ(b.spec.goal[1].hi(), 0.28);
+  EXPECT_DOUBLE_EQ(b.spec.unsafe[1].lo(), 0.55);
+  EXPECT_DOUBLE_EQ(b.spec.delta, 0.2);
+  EXPECT_EQ(b.spec.goal_dims.size(), 2u);
+}
+
+TEST(Benchmarks, BoundedProxiesAreFinite) {
+  for (const Benchmark& b : {make_acc_benchmark(), make_oscillator_benchmark(),
+                             make_3d_benchmark()}) {
+    const geom::Box bu = b.spec.bounded_unsafe();
+    const geom::Box bg = b.spec.bounded_goal();
+    for (std::size_t i = 0; i < bu.dim(); ++i) {
+      EXPECT_TRUE(std::isfinite(bu[i].lo()) && std::isfinite(bu[i].hi()));
+      EXPECT_TRUE(std::isfinite(bg[i].lo()) && std::isfinite(bg[i].hi()));
+    }
+  }
+}
+
+TEST(Spec, HorizonArithmetic) {
+  ReachAvoidSpec s;
+  s.delta = 0.1;
+  s.steps = 35;
+  EXPECT_NEAR(s.horizon(), 3.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace dwv::ode

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "poly/bernstein.hpp"
+#include "poly/poly.hpp"
+
+namespace dwv::poly {
+namespace {
+
+using interval::Interval;
+using interval::IVec;
+using linalg::Vec;
+
+Poly make_poly(std::size_t nvars,
+               std::initializer_list<std::pair<Exponents, double>> terms) {
+  Poly p(nvars);
+  for (const auto& [e, c] : terms) p.add_term(e, c);
+  return p;
+}
+
+TEST(Poly, ConstantAndVariable) {
+  const Poly c = Poly::constant(2, 3.5);
+  EXPECT_DOUBLE_EQ(c.eval(Vec{7.0, 9.0}), 3.5);
+  const Poly x1 = Poly::variable(2, 1);
+  EXPECT_DOUBLE_EQ(x1.eval(Vec{7.0, 9.0}), 9.0);
+  EXPECT_EQ(x1.degree(), 1u);
+}
+
+TEST(Poly, AddCollectsAndCancels) {
+  Poly p = Poly::variable(1, 0);
+  p += Poly::variable(1, 0);
+  EXPECT_DOUBLE_EQ(p.eval(Vec{2.0}), 4.0);
+  p -= Poly::variable(1, 0) * 2.0;
+  EXPECT_TRUE(p.is_zero());
+}
+
+TEST(Poly, MultiplyMatchesHandComputation) {
+  // (x + 1)(x - 1) = x^2 - 1.
+  const Poly x = Poly::variable(1, 0);
+  const Poly p = (x + Poly::constant(1, 1.0)) * (x - Poly::constant(1, 1.0));
+  EXPECT_DOUBLE_EQ(p.coeff({2}), 1.0);
+  EXPECT_DOUBLE_EQ(p.coeff({0}), -1.0);
+  EXPECT_DOUBLE_EQ(p.coeff({1}), 0.0);
+}
+
+TEST(Poly, EvalMultivariate) {
+  // p = 2 x^2 y - 3 y + 1.
+  const Poly p = make_poly(2, {{{2, 1}, 2.0}, {{0, 1}, -3.0}, {{0, 0}, 1.0}});
+  EXPECT_DOUBLE_EQ(p.eval(Vec{2.0, 3.0}), 2.0 * 4 * 3 - 9 + 1);
+}
+
+TEST(Poly, EvalRangeIsSound) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  const Poly p = make_poly(
+      2, {{{2, 0}, 1.0}, {{1, 1}, -2.0}, {{0, 3}, 0.5}, {{0, 0}, -1.0}});
+  const IVec dom{Interval(-1.0, 0.5), Interval(0.0, 2.0)};
+  const Interval r = p.eval_range(dom);
+  for (int i = 0; i < 300; ++i) {
+    const double x = -1.0 + 1.5 * (u(rng) + 2.0) / 4.0;
+    const double y = 2.0 * (u(rng) + 2.0) / 4.0;
+    EXPECT_TRUE(r.contains(p.eval(Vec{x, y})));
+  }
+}
+
+TEST(Poly, ComposeMatchesPointwise) {
+  // p(x) = x^2 + 1, substitute x = 2u + v.
+  const Poly p = make_poly(1, {{{2}, 1.0}, {{0}, 1.0}});
+  const Poly sub =
+      make_poly(2, {{{1, 0}, 2.0}, {{0, 1}, 1.0}});
+  const Poly q = p.compose({sub});
+  const Vec uv{0.7, -0.3};
+  EXPECT_NEAR(q.eval(uv), std::pow(2 * 0.7 - 0.3, 2) + 1.0, 1e-12);
+}
+
+TEST(Poly, DerivativeMatchesFiniteDifference) {
+  const Poly p = make_poly(
+      2, {{{3, 1}, 1.5}, {{1, 2}, -1.0}, {{0, 1}, 2.0}});
+  const Poly dx = p.derivative(0);
+  const Vec at{0.8, -0.6};
+  const double h = 1e-6;
+  Vec at_p = at;
+  at_p[0] += h;
+  Vec at_m = at;
+  at_m[0] -= h;
+  EXPECT_NEAR(dx.eval(at), (p.eval(at_p) - p.eval(at_m)) / (2 * h), 1e-6);
+}
+
+TEST(Poly, SplitByDegreePartitions) {
+  const Poly p = make_poly(
+      2, {{{3, 1}, 1.0}, {{1, 1}, 2.0}, {{0, 0}, 3.0}});
+  const auto [kept, dropped] = p.split_by_degree(2);
+  EXPECT_DOUBLE_EQ(kept.coeff({1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(kept.coeff({0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(dropped.coeff({3, 1}), 1.0);
+  EXPECT_EQ(kept.term_count() + dropped.term_count(), p.term_count());
+}
+
+TEST(Poly, PruneSmallMovesTinyTerms) {
+  Poly p = make_poly(1, {{{1}, 1.0}, {{2}, 1e-15}});
+  const Poly dropped = p.prune_small(1e-12);
+  EXPECT_EQ(p.term_count(), 1u);
+  EXPECT_DOUBLE_EQ(dropped.coeff({2}), 1e-15);
+}
+
+TEST(Poly, PowBySquaring) {
+  const Poly x = Poly::variable(1, 0) + Poly::constant(1, 1.0);
+  const Poly p = pow(x, 5);
+  // Binomial coefficients of (x+1)^5.
+  EXPECT_DOUBLE_EQ(p.coeff({0}), 1.0);
+  EXPECT_DOUBLE_EQ(p.coeff({1}), 5.0);
+  EXPECT_DOUBLE_EQ(p.coeff({2}), 10.0);
+  EXPECT_DOUBLE_EQ(p.coeff({5}), 1.0);
+}
+
+TEST(Bernstein, BinomialTable) {
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(6, 3), 20.0);
+  EXPECT_DOUBLE_EQ(binomial(3, 4), 0.0);
+}
+
+TEST(Bernstein, Range1dTighterThanNaive) {
+  // p(t) = t (1 - t) on [0, 1]: exact range [0, 0.25]. The Bernstein
+  // coefficient enclosure gives [0, 0.5] (coefficients 0, 1/2, 0), already
+  // far tighter than the naive interval extension [-1, 1].
+  const Poly p = make_poly(1, {{{1}, 1.0}, {{2}, -1.0}});
+  const Interval naive = p.eval_range(IVec{Interval(0.0, 1.0)});
+  const Interval bern = bernstein_range_1d(p, 0.0, 1.0);
+  EXPECT_LT(bern.width(), naive.width());
+  EXPECT_GE(bern.lo(), -1e-9);
+  EXPECT_LE(bern.hi(), 0.5 + 1e-9);
+  // Must still contain the true range.
+  EXPECT_TRUE(bern.contains(Interval(0.0, 0.25)));
+}
+
+TEST(Bernstein, Range1dExactAtEndpointExtrema) {
+  // Monotone p(t) = 2t - 1: endpoint coefficients are the exact range.
+  const Poly p = make_poly(1, {{{1}, 2.0}, {{0}, -1.0}});
+  const Interval bern = bernstein_range_1d(p, 0.0, 1.0);
+  EXPECT_NEAR(bern.lo(), -1.0, 1e-9);
+  EXPECT_NEAR(bern.hi(), 1.0, 1e-9);
+}
+
+TEST(Bernstein, ApproximatesSmoothFunction) {
+  const auto f = [](const Vec& x) { return std::tanh(x[0] + 0.5 * x[1]); };
+  const geom::Box dom{Interval(-0.5, 0.5), Interval(-0.5, 0.5)};
+  const auto ba = bernstein_approximate(f, dom, {3, 3}, {1.0, 0.5});
+  // The Lipschitz remainder must dominate the empirically sampled error.
+  const double sampled = bernstein_sampled_error(f, dom, ba, 9);
+  EXPECT_LE(sampled, ba.remainder + 1e-12);
+  EXPECT_GT(ba.remainder, 0.0);
+}
+
+TEST(Bernstein, ExactForLinearFunctions) {
+  // Bernstein operators reproduce affine functions exactly at any degree.
+  const auto f = [](const Vec& x) { return 3.0 * x[0] - 0.5 * x[1] + 1.0; };
+  const geom::Box dom{Interval(-1.0, 1.0), Interval(0.0, 2.0)};
+  const auto ba = bernstein_approximate(f, dom, {3, 2}, {3.0, 0.5});
+  for (double t0 = 0.0; t0 <= 1.0; t0 += 0.25) {
+    for (double t1 = 0.0; t1 <= 1.0; t1 += 0.25) {
+      const Vec x{dom[0].lo() + t0 * dom[0].width(),
+                  dom[1].lo() + t1 * dom[1].width()};
+      EXPECT_NEAR(ba.poly_unit.eval(Vec{t0, t1}), f(x), 1e-10);
+    }
+  }
+}
+
+TEST(Bernstein, InterpolatesAtGridCorners) {
+  // B_d(f) matches f at the domain corners for any degree.
+  const auto f = [](const Vec& x) { return std::sin(x[0]) + x[0] * x[0]; };
+  const geom::Box dom{Interval(-0.4, 0.7)};
+  const auto ba = bernstein_approximate(f, dom, {4}, {3.0});
+  EXPECT_NEAR(ba.poly_unit.eval(Vec{0.0}), f(Vec{-0.4}), 1e-10);
+  EXPECT_NEAR(ba.poly_unit.eval(Vec{1.0}), f(Vec{0.7}), 1e-10);
+}
+
+TEST(Bernstein, SampledRemainderSoundAndTighter) {
+  const auto f = [](const Vec& x) {
+    return std::tanh(2.0 * x[0] - x[1]);
+  };
+  const geom::Box dom{Interval(-0.1, 0.1), Interval(-0.1, 0.1)};
+  const auto ba = bernstein_approximate(f, dom, {3, 3}, {2.0, 1.0});
+  // Centered form for the sampled remainder.
+  std::vector<Poly> shift;
+  for (std::size_t i = 0; i < 2; ++i)
+    shift.push_back(Poly::variable(2, i) + Poly::constant(2, 0.5));
+  const Poly centered = ba.poly_unit.compose(shift);
+  // df/dx enclosures over the box: |tanh'| <= 1, scaled by the weights.
+  const std::vector<Interval> df{Interval(0.0, 2.0), Interval(-1.0, 0.0)};
+  const double rem = bernstein_sampled_remainder(f, dom, centered, df, 9);
+  EXPECT_LT(rem, ba.remainder);  // much tighter on a small box
+  // Sound: must dominate a dense sampling of the true error.
+  const double dense = bernstein_sampled_error(f, dom, ba, 33);
+  EXPECT_GE(rem + 1e-12, dense);
+}
+
+class PolyRangeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyRangeProperty, RandomPolyRangesEnclosePointEvals) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_int_distribution<std::uint32_t> de(0, 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    Poly p(3);
+    for (int t = 0; t < 6; ++t) {
+      p.add_term({de(rng), de(rng), de(rng)}, u(rng));
+    }
+    const IVec dom{Interval(-0.8, 0.3), Interval(0.1, 0.9),
+                   Interval(-1.0, 1.0)};
+    const Interval r = p.eval_range(dom);
+    for (int s = 0; s < 20; ++s) {
+      Vec x(3);
+      x[0] = -0.8 + 1.1 * (u(rng) * 0.5 + 0.5);
+      x[1] = 0.1 + 0.8 * (u(rng) * 0.5 + 0.5);
+      x[2] = u(rng);
+      EXPECT_TRUE(r.contains(p.eval(x)))
+          << "poly range " << r << " value " << p.eval(x);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyRangeProperty,
+                         ::testing::Values(10, 20, 30));
+
+}  // namespace
+}  // namespace dwv::poly

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "nn/poly_controller.hpp"
+#include "ode/benchmarks.hpp"
+#include "reach/control_abstraction.hpp"
+#include "reach/tm_flowpipe.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::nn {
+namespace {
+
+using linalg::Vec;
+
+TEST(PolynomialController, BasisSizeMatchesCombinatorics) {
+  // C(n + d, d) monomials of degree <= d over n variables.
+  PolynomialController c22(2, 1, 2);
+  EXPECT_EQ(c22.basis().size(), 6u);  // C(4,2)
+  PolynomialController c33(3, 1, 3);
+  EXPECT_EQ(c33.basis().size(), 20u);  // C(6,3)
+  PolynomialController c21(2, 2, 1);
+  EXPECT_EQ(c21.param_count(), 2u * 3u);
+}
+
+TEST(PolynomialController, ActMatchesOutputPoly) {
+  std::mt19937_64 rng(3);
+  PolynomialController ctrl(2, 2, 3);
+  ctrl.init_random(rng, 0.5);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec x{u(rng), u(rng)};
+    const Vec a = ctrl.act(x);
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_NEAR(a[k], ctrl.output_poly(k).eval(x), 1e-12);
+    }
+  }
+}
+
+TEST(PolynomialController, DegreeOneIsAffineFeedback) {
+  PolynomialController ctrl(2, 1, 1);
+  // Basis sorted by degree: [1, x2?, x1?] — set via output_poly roundtrip.
+  Vec theta(ctrl.param_count());
+  // Identify the coefficient slots by probing.
+  for (std::size_t j = 0; j < ctrl.basis().size(); ++j) {
+    Vec probe(ctrl.param_count());
+    probe[j] = 1.0;
+    ctrl.set_params(probe);
+    const auto& e = ctrl.basis()[j];
+    const double at_11 = ctrl.act(Vec{2.0, 3.0})[0];
+    double expect = 1.0;
+    for (std::size_t i = 0; i < 2; ++i)
+      for (std::uint32_t p = 0; p < e[i]; ++p) expect *= (i == 0 ? 2.0 : 3.0);
+    EXPECT_NEAR(at_11, expect, 1e-12);
+  }
+  (void)theta;
+}
+
+TEST(PolynomialController, ParamsRoundTripAndClone) {
+  std::mt19937_64 rng(9);
+  PolynomialController ctrl(3, 1, 2);
+  ctrl.init_random(rng, 1.0);
+  const Vec p = ctrl.params();
+  auto c2 = ctrl.clone();
+  EXPECT_EQ(c2->params(), p);
+  Vec p2 = p;
+  p2[0] += 1.0;
+  ctrl.set_params(p2);
+  EXPECT_NE(ctrl.params(), c2->params());
+}
+
+TEST(PolynomialAbstraction, ExactComposition) {
+  // The abstraction of a polynomial controller over affine state TMs has
+  // zero remainder up to truncation (choose order high enough -> exact).
+  taylor::TmEnv env;
+  env.dom = interval::IVec(2, interval::Interval(-1.0, 1.0));
+  env.order = 6;
+  env.cutoff = 0.0;
+  taylor::TmVec state(2);
+  state[0] = {poly::Poly::constant(2, 0.3) + poly::Poly::variable(2, 0) * 0.1,
+              interval::Interval(0.0)};
+  state[1] = {poly::Poly::constant(2, -0.2) + poly::Poly::variable(2, 1) * 0.2,
+              interval::Interval(0.0)};
+
+  std::mt19937_64 rng(4);
+  PolynomialController ctrl(2, 1, 3);
+  ctrl.init_random(rng, 0.5);
+
+  reach::PolynomialAbstraction abs;
+  const taylor::TmVec u = abs.abstract(env, state, ctrl);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_NEAR(u[0].rem.rad(), 0.0, 1e-12);
+
+  // Pointwise agreement.
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int t = 0; t < 50; ++t) {
+    const Vec s{d(rng), d(rng)};
+    const Vec x{0.3 + 0.1 * s[0], -0.2 + 0.2 * s[1]};
+    EXPECT_NEAR(u[0].poly.eval(s), ctrl.act(x)[0], 1e-12);
+  }
+}
+
+TEST(PolynomialAbstraction, FlowpipeSoundOnOscillator) {
+  auto bench = ode::make_oscillator_benchmark();
+  bench.spec.steps = 10;
+  bench.spec.stop_at_goal = false;
+
+  std::mt19937_64 rng(6);
+  PolynomialController ctrl(2, 1, 2);
+  ctrl.init_random(rng, 0.3);
+
+  reach::TmVerifier verifier(
+      bench.system, bench.spec,
+      std::make_shared<reach::PolynomialAbstraction>(), {});
+  const reach::Flowpipe fp = verifier.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid) << fp.failure;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x0 = bench.spec.x0.sample(rng);
+    const sim::Trace tr = sim::simulate(*bench.system, ctrl, x0,
+                                        bench.spec.delta, bench.spec.steps);
+    for (std::size_t k = 0; k < tr.states.size(); ++k) {
+      EXPECT_TRUE(fp.step_sets[k].contains(tr.states[k])) << "step " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwv::nn

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ode/benchmarks.hpp"
+#include "reach/linear_reach.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::reach {
+namespace {
+
+using linalg::Mat;
+using linalg::Vec;
+
+TEST(LinearVerifier, FlowpipeShapes) {
+  const auto bench = ode::make_acc_benchmark();
+  ode::ReachAvoidSpec spec = bench.spec;
+  spec.stop_at_goal = false;  // full-horizon pipe for the shape check
+  LinearVerifier verifier(bench.system, spec);
+  nn::LinearController ctrl(Mat{{0.8, -2.75}});
+  const Flowpipe fp = verifier.compute(spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid);
+  EXPECT_EQ(fp.step_sets.size(), spec.steps + 1);
+  EXPECT_EQ(fp.interval_hulls.size(), spec.steps);
+  EXPECT_EQ(fp.step_polys.size(), spec.steps + 1);
+  // The initial set must be the given box.
+  EXPECT_DOUBLE_EQ(fp.step_sets[0][0].lo(), 122.0);
+}
+
+TEST(LinearVerifier, SoundnessAgainstSimulation) {
+  const auto bench = ode::make_acc_benchmark();
+  ode::ReachAvoidSpec spec = bench.spec;
+  spec.stop_at_goal = false;
+  LinearVerifier verifier(bench.system, spec);
+  nn::LinearController ctrl(Mat{{0.8, -2.75}});
+  const Flowpipe fp = verifier.compute(spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid);
+
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec x0 = spec.x0.sample(rng);
+    const sim::Trace tr =
+        sim::simulate(*bench.system, ctrl, x0, spec.delta, spec.steps,
+                      {.substeps = 16});
+    // States at control instants are inside the step sets.
+    for (std::size_t k = 0; k < tr.states.size(); ++k) {
+      EXPECT_TRUE(fp.step_sets[k].contains(tr.states[k]))
+          << "trial " << trial << " step " << k;
+    }
+    // Fine-grained states are inside the corresponding interval hulls.
+    const std::size_t per = 16;
+    for (std::size_t i = 0; i < tr.fine_states.size(); ++i) {
+      const std::size_t k = std::min(i / per, spec.steps - 1);
+      EXPECT_TRUE(fp.interval_hulls[k].contains(tr.fine_states[i]))
+          << "trial " << trial << " fine " << i;
+    }
+  }
+}
+
+TEST(LinearVerifier, ExactnessOfStepSets) {
+  // With an exact map, corners of the initial box must map to the polygon.
+  const auto bench = ode::make_acc_benchmark();
+  ode::ReachAvoidSpec spec = bench.spec;
+  spec.stop_at_goal = false;
+  spec.steps = 5;
+  LinearVerifier verifier(bench.system, spec);
+  nn::LinearController ctrl(Mat{{0.3, -1.0}});
+  const Flowpipe fp = verifier.compute(spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid);
+
+  // The image of a box under the affine closed-loop map is a parallelogram
+  // whose bounding box is realized at corner images; with exact zonotope
+  // propagation the hull of the four simulated corners must match the step
+  // box almost exactly (RK4 at 64 substeps is ~1e-12 accurate).
+  const geom::Box last = fp.step_sets.back();
+  double s_lo = 1e18, s_hi = -1e18, v_lo = 1e18, v_hi = -1e18;
+  for (double s : {122.0, 124.0}) {
+    for (double v : {48.0, 52.0}) {
+      sim::Trace tr = sim::simulate(*bench.system, ctrl, Vec{s, v},
+                                    spec.delta, spec.steps,
+                                    {.substeps = 64});
+      const Vec& xT = tr.states.back();
+      s_lo = std::min(s_lo, xT[0]);
+      s_hi = std::max(s_hi, xT[0]);
+      v_lo = std::min(v_lo, xT[1]);
+      v_hi = std::max(v_hi, xT[1]);
+    }
+  }
+  EXPECT_NEAR(last[0].lo(), s_lo, 1e-6);
+  EXPECT_NEAR(last[0].hi(), s_hi, 1e-6);
+  EXPECT_NEAR(last[1].lo(), v_lo, 1e-6);
+  EXPECT_NEAR(last[1].hi(), v_hi, 1e-6);
+}
+
+TEST(LinearVerifier, UnstableGainFlagsDivergence) {
+  const auto bench = ode::make_acc_benchmark();
+  ode::ReachAvoidSpec spec = bench.spec;
+  spec.steps = 400;
+  LinearVerifier verifier(bench.system, spec);
+  // Strongly destabilizing feedback.
+  nn::LinearController ctrl(Mat{{-5.0, 4.0}});
+  const Flowpipe fp = verifier.compute(spec.x0, ctrl);
+  EXPECT_FALSE(fp.valid);
+  EXPECT_FALSE(fp.failure.empty());
+}
+
+TEST(LinearVerifier, StopAtGoalTruncatesPipe) {
+  const auto bench = ode::make_acc_benchmark();
+  LinearVerifier verifier(bench.system, bench.spec);  // stop_at_goal = true
+  nn::LinearController ctrl(Mat{{0.8, -2.75}});
+  const Flowpipe fp = verifier.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid);
+  EXPECT_LT(fp.steps(), bench.spec.steps);
+  EXPECT_TRUE(bench.spec.goal.contains(fp.step_sets.back()));
+}
+
+TEST(LinearVerifier, AffineDriftIsHonored) {
+  // With zero control the ACC drifts: v decays towards 0, so s' = 40 - v
+  // eventually turns positive and s grows. The flowpipe must show that.
+  const auto bench = ode::make_acc_benchmark();
+  ode::ReachAvoidSpec spec = bench.spec;
+  spec.stop_at_goal = false;
+  LinearVerifier verifier(bench.system, spec);
+  nn::LinearController zero(Mat{{0.0, 0.0}});
+  const Flowpipe fp = verifier.compute(spec.x0, zero);
+  ASSERT_TRUE(fp.valid);
+  // After 10 s, v ~ 50 e^{-2} ~ 6.8 and s has grown well past 200.
+  const geom::Box last = fp.step_sets.back();
+  EXPECT_GT(last[0].lo(), 200.0);
+  EXPECT_LT(last[1].hi(), 10.0);
+}
+
+TEST(LinearVerifier, SubdivisionsTightenHulls) {
+  const auto bench = ode::make_acc_benchmark();
+  ode::ReachAvoidSpec spec = bench.spec;
+  spec.stop_at_goal = false;
+  spec.steps = 20;
+  nn::LinearController ctrl(Mat{{0.8, -2.75}});
+
+  LinearReachOptions coarse;
+  coarse.subdivisions = 1;
+  LinearReachOptions fine;
+  fine.subdivisions = 8;
+  const Flowpipe fc =
+      LinearVerifier(bench.system, spec, coarse).compute(spec.x0, ctrl);
+  const Flowpipe ff =
+      LinearVerifier(bench.system, spec, fine).compute(spec.x0, ctrl);
+  ASSERT_TRUE(fc.valid && ff.valid);
+  double wc = 0.0;
+  double wf = 0.0;
+  for (std::size_t k = 0; k < spec.steps; ++k) {
+    wc += fc.interval_hulls[k][0].width();
+    wf += ff.interval_hulls[k][0].width();
+  }
+  EXPECT_LE(wf, wc + 1e-9);
+}
+
+}  // namespace
+}  // namespace dwv::reach

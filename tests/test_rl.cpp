@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "ode/benchmarks.hpp"
+#include "rl/ddpg.hpp"
+#include "rl/replay.hpp"
+#include "rl/svg.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace dwv::rl {
+namespace {
+
+using linalg::Vec;
+
+TEST(ControlEnv, ResetSamplesInsideX0) {
+  const auto bench = ode::make_oscillator_benchmark();
+  ControlEnv env(bench.system, bench.spec, 1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(bench.spec.x0.contains(env.reset()));
+  }
+}
+
+TEST(ControlEnv, EpisodeTerminatesAtHorizon) {
+  const auto bench = ode::make_oscillator_benchmark();
+  ControlEnv env(bench.system, bench.spec, 1);
+  env.reset();
+  std::size_t steps = 0;
+  bool done = false;
+  while (!done) {
+    const StepResult r = env.step(Vec{0.0});
+    done = r.done;
+    ++steps;
+    ASSERT_LE(steps, bench.spec.steps);
+  }
+  EXPECT_EQ(steps, bench.spec.steps);
+}
+
+TEST(ControlEnv, RewardPeaksAtGoalCenter) {
+  const auto bench = ode::make_oscillator_benchmark();
+  ControlEnv env(bench.system, bench.spec, 1);
+  const Vec goal_center = bench.spec.goal.center();
+  const Vec far{2.0, 2.0};
+  EXPECT_GT(env.reward(goal_center), env.reward(far));
+}
+
+TEST(ControlEnv, RewardGradMatchesFiniteDifference) {
+  const auto bench = ode::make_oscillator_benchmark();
+  ControlEnv env(bench.system, bench.spec, 1);
+  const Vec x{0.7, -0.9};
+  const Vec g = env.reward_grad(x);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < 2; ++i) {
+    Vec xp = x;
+    Vec xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    EXPECT_NEAR(g[i], (env.reward(xp) - env.reward(xm)) / (2 * h), 1e-5);
+  }
+}
+
+TEST(ReplayBuffer, CapacityAndWraparound) {
+  ReplayBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    buf.push({Vec{static_cast<double>(i)}, Vec{0.0}, 0.0, Vec{0.0}, false});
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  std::mt19937_64 rng(1);
+  const auto sample = buf.sample(16, rng);
+  for (const Transition* t : sample) {
+    EXPECT_GE(t->state[0], 6.0);  // only the newest four remain
+  }
+}
+
+TEST(OuNoise, MeanRevertsTowardZero) {
+  OuNoise noise(1, /*theta=*/0.5, /*sigma=*/0.0);
+  std::mt19937_64 rng(1);
+  // With zero sigma, the process decays deterministically.
+  Vec x = noise.sample(rng);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(Svg, LearnsOscillatorQuickly) {
+  const auto bench = ode::make_oscillator_benchmark();
+  ControlEnv env(bench.system, bench.spec, 3);
+  SvgOptions opt;
+  opt.hidden = {8, 8};
+  opt.action_scale = 1.0;
+  opt.max_episodes = 2500;
+  const SvgResult res = train_svg(env, opt);
+  EXPECT_TRUE(res.converged);
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, *res.policy, bench.spec, 100, 7);
+  EXPECT_GE(mc.goal_rate, 0.9);
+  EXPECT_GE(mc.safe_rate, 0.9);
+}
+
+TEST(Svg, LinearPolicyOnAcc) {
+  const auto bench = ode::make_acc_benchmark();
+  ControlEnv env(bench.system, bench.spec, 5);
+  SvgOptions opt;
+  opt.linear_policy = true;
+  opt.max_episodes = 2000;
+  opt.lr = 1e-2;
+  const SvgResult res = train_svg(env, opt);
+  // Must at least produce a well-formed linear controller.
+  ASSERT_NE(res.policy, nullptr);
+  EXPECT_NE(dynamic_cast<nn::LinearController*>(res.policy.get()), nullptr);
+  EXPECT_GT(res.episodes, 0u);
+}
+
+TEST(Ddpg, ImprovesOnSys3d) {
+  const auto bench = ode::make_3d_benchmark();
+  ControlEnv env(bench.system, bench.spec, 5);
+  DdpgOptions opt;
+  opt.max_episodes = 600;
+  opt.eval_every = 50;
+  opt.action_scale = 1.0;
+  const DdpgResult res = train_ddpg(env, opt);
+  ASSERT_NE(res.actor, nullptr);
+  EXPECT_EQ(res.episode_returns.size(), res.episodes);
+  // Return trend: late mean must beat early mean (learning happened).
+  const std::size_t n = res.episode_returns.size();
+  ASSERT_GE(n, 100u);
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) early += res.episode_returns[i];
+  for (std::size_t i = n - 50; i < n; ++i) late += res.episode_returns[i];
+  EXPECT_GT(late, early);
+}
+
+}  // namespace
+}  // namespace dwv::rl

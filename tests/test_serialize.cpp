@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+
+namespace dwv::nn {
+namespace {
+
+using linalg::Mat;
+using linalg::Vec;
+
+TEST(Serialize, LinearRoundTrip) {
+  LinearController ctrl(Mat{{0.8123456789012345, -2.75}});
+  std::stringstream ss;
+  save_controller(ss, ctrl);
+  const ControllerPtr back = load_controller(ss);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->params(), ctrl.params());
+  EXPECT_EQ(back->state_dim(), 2u);
+  EXPECT_EQ(back->input_dim(), 1u);
+  const Vec x{3.0, -1.0};
+  EXPECT_DOUBLE_EQ(back->act(x)[0], ctrl.act(x)[0]);
+}
+
+TEST(Serialize, MlpRoundTripBitExact) {
+  std::mt19937_64 rng(5);
+  MlpController ctrl({2, 8, 8, 1}, 2.0, Activation::kTanh,
+                     Activation::kTanh);
+  ctrl.init_random(rng, 0.7);
+  std::stringstream ss;
+  save_controller(ss, ctrl);
+  const ControllerPtr back = load_controller(ss);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->params(), ctrl.params());
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    const Vec x{u(rng), u(rng)};
+    EXPECT_DOUBLE_EQ(back->act(x)[0], ctrl.act(x)[0]);
+  }
+}
+
+TEST(Serialize, MlpPreservesActivationsAndScale) {
+  std::mt19937_64 rng(6);
+  MlpController relu({3, 4, 2}, 5.0, Activation::kRelu,
+                     Activation::kIdentity);
+  relu.init_random(rng);
+  std::stringstream ss;
+  save_controller(ss, relu);
+  const ControllerPtr back = load_controller(ss);
+  const auto* mc = dynamic_cast<const MlpController*>(back.get());
+  ASSERT_NE(mc, nullptr);
+  EXPECT_EQ(mc->scale(), 5.0);
+  EXPECT_EQ(mc->mlp().layers().front().act, Activation::kRelu);
+  EXPECT_EQ(mc->mlp().layers().back().act, Activation::kIdentity);
+}
+
+TEST(Serialize, PolynomialRoundTrip) {
+  std::mt19937_64 rng(7);
+  PolynomialController ctrl(2, 1, 3);
+  ctrl.init_random(rng, 0.4);
+  std::stringstream ss;
+  save_controller(ss, ctrl);
+  const ControllerPtr back = load_controller(ss);
+  const auto* pc = dynamic_cast<const PolynomialController*>(back.get());
+  ASSERT_NE(pc, nullptr);
+  EXPECT_EQ(pc->degree(), 3u);
+  EXPECT_EQ(back->params(), ctrl.params());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("not a controller at all");
+  EXPECT_THROW(load_controller(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  LinearController ctrl(Mat{{1.0, 2.0}});
+  std::stringstream ss;
+  save_controller(ss, ctrl);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream half(text);
+  EXPECT_THROW(load_controller(half), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  LinearController ctrl(Mat{{0.5, -1.5}});
+  const std::string path = "/tmp/dwv_test_controller.txt";
+  save_controller_file(path, ctrl);
+  const ControllerPtr back = load_controller_file(path);
+  EXPECT_EQ(back->params(), ctrl.params());
+  EXPECT_THROW(load_controller_file("/nonexistent/nope.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dwv::nn

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/benchmarks.hpp"
+#include "ode/systems.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::sim {
+namespace {
+
+using interval::Interval;
+using linalg::Mat;
+using linalg::Vec;
+
+// x' = -x has the exact solution x0 e^{-t}; RK4 at h=0.1 is ~1e-9 accurate.
+class DecaySystem final : public ode::System {
+ public:
+  std::string name() const override { return "decay"; }
+  std::size_t state_dim() const override { return 1; }
+  std::size_t input_dim() const override { return 1; }
+  Vec f(const Vec& x, const Vec& u) const override {
+    return Vec{-x[0] + u[0]};
+  }
+  Mat dfdx(const Vec&, const Vec&) const override { return Mat{{-1.0}}; }
+  Mat dfdu(const Vec&, const Vec&) const override { return Mat{{1.0}}; }
+  std::vector<poly::Poly> poly_dynamics() const override {
+    poly::Poly p(2);
+    p.add_term({1, 0}, -1.0);
+    p.add_term({0, 1}, 1.0);
+    return {p};
+  }
+};
+
+class ZeroController final : public nn::Controller {
+ public:
+  std::string describe() const override { return "zero"; }
+  std::size_t state_dim() const override { return 1; }
+  std::size_t input_dim() const override { return 1; }
+  Vec act(const Vec&) const override { return Vec{0.0}; }
+  Vec params() const override { return Vec{}; }
+  void set_params(const Vec&) override {}
+  std::unique_ptr<nn::Controller> clone() const override {
+    return std::make_unique<ZeroController>();
+  }
+};
+
+TEST(Rk4, MatchesExponentialDecay) {
+  const DecaySystem sys;
+  Vec x{1.0};
+  const Vec u{0.0};
+  for (int i = 0; i < 10; ++i) x = rk4_step(sys, x, u, 0.1);
+  // RK4 global error is O(h^4): ~1e-7 at h = 0.1 over unit time.
+  EXPECT_NEAR(x[0], std::exp(-1.0), 1e-6);
+}
+
+TEST(Simulate, TraceShapes) {
+  const DecaySystem sys;
+  const ZeroController ctrl;
+  SimOptions opt;
+  opt.substeps = 4;
+  const Trace tr = simulate(sys, ctrl, Vec{2.0}, 0.1, 20, opt);
+  EXPECT_EQ(tr.states.size(), 21u);
+  EXPECT_EQ(tr.inputs.size(), 20u);
+  EXPECT_EQ(tr.fine_states.size(), 81u);
+  EXPECT_FALSE(tr.diverged);
+  EXPECT_NEAR(tr.states.back()[0], 2.0 * std::exp(-2.0), 1e-7);
+}
+
+TEST(Simulate, DetectsDivergence) {
+  // x' = +x^3-ish blowup via a controller pushing hard: use unstable gain.
+  const ode::VanDerPolSystem sys;
+  nn::LinearController ctrl(Mat{{50.0, 50.0}});
+  const Trace tr =
+      simulate(sys, ctrl, Vec{1.0, 1.0}, 0.1, 200, {.substeps = 2});
+  EXPECT_TRUE(tr.diverged);
+}
+
+TEST(EvaluateTrace, SafetyAndGoal) {
+  const auto bench = ode::make_acc_benchmark();
+  // A good gain (found by the learner family): reaches and stays safe.
+  nn::LinearController good(Mat{{0.8, -2.75}});
+  std::mt19937_64 rng(3);
+  const Vec x0 = bench.spec.x0.sample(rng);
+  const Trace tr =
+      simulate(*bench.system, good, x0, bench.spec.delta, bench.spec.steps);
+  const TraceVerdict v = evaluate_trace(tr, bench.spec);
+  EXPECT_TRUE(v.safe);
+  EXPECT_TRUE(v.reached);
+  EXPECT_GT(v.reach_step, 0u);
+
+  // Zero gain: drifts, grazes the unsafe half-space.
+  nn::LinearController zero(Mat{{0.0, 0.0}});
+  const Trace tz =
+      simulate(*bench.system, zero, Vec{122.0, 52.0}, bench.spec.delta,
+               bench.spec.steps);
+  const TraceVerdict vz = evaluate_trace(tz, bench.spec);
+  EXPECT_FALSE(vz.safe);
+}
+
+TEST(EvaluateTrace, StopAtGoalIgnoresPostGoalUnsafety) {
+  // Craft a spec where the trace reaches the goal and then enters Xu;
+  // under stop-at-goal semantics it still counts as safe.
+  ode::ReachAvoidSpec spec;
+  spec.x0 = geom::Box{Interval(0.9, 1.1)};
+  spec.goal = geom::Box{Interval(0.4, 0.6)};
+  spec.unsafe = geom::Box{Interval(-10.0, 0.2)};
+  spec.goal_dims = {0};
+  spec.unsafe_dims = {0};
+  spec.delta = 0.2;
+  spec.steps = 30;
+  spec.state_bounds = geom::Box{Interval(-20.0, 20.0)};
+
+  const DecaySystem sys;  // decays through the goal into the unsafe zone
+  const ZeroController ctrl;
+  const Trace tr = simulate(sys, ctrl, Vec{1.0}, spec.delta, spec.steps);
+
+  spec.stop_at_goal = true;
+  const TraceVerdict v1 = evaluate_trace(tr, spec);
+  EXPECT_TRUE(v1.reached);
+  EXPECT_TRUE(v1.safe);
+
+  spec.stop_at_goal = false;
+  const TraceVerdict v2 = evaluate_trace(tr, spec);
+  EXPECT_TRUE(v2.reached);
+  EXPECT_FALSE(v2.safe);
+}
+
+TEST(MonteCarlo, RatesForKnownGoodController) {
+  const auto bench = ode::make_acc_benchmark();
+  nn::LinearController good(Mat{{0.8, -2.75}});
+  const McStats st =
+      monte_carlo_rates(*bench.system, good, bench.spec, 200, 77);
+  EXPECT_EQ(st.samples, 200u);
+  EXPECT_DOUBLE_EQ(st.safe_rate, 1.0);
+  EXPECT_DOUBLE_EQ(st.goal_rate, 1.0);
+  EXPECT_GT(st.mean_reach_step, 0.0);
+}
+
+TEST(MonteCarlo, RatesForBadController) {
+  const auto bench = ode::make_acc_benchmark();
+  nn::LinearController bad(Mat{{0.0, 0.0}});
+  const McStats st =
+      monte_carlo_rates(*bench.system, bad, bench.spec, 200, 77);
+  EXPECT_LT(st.goal_rate, 0.5);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  const auto bench = ode::make_oscillator_benchmark();
+  nn::LinearController k(Mat{{0.3, -0.7}});
+  const McStats a = monte_carlo_rates(*bench.system, k, bench.spec, 100, 5);
+  const McStats b = monte_carlo_rates(*bench.system, k, bench.spec, 100, 5);
+  EXPECT_DOUBLE_EQ(a.safe_rate, b.safe_rate);
+  EXPECT_DOUBLE_EQ(a.goal_rate, b.goal_rate);
+  EXPECT_DOUBLE_EQ(a.mean_reach_step, b.mean_reach_step);
+}
+
+}  // namespace
+}  // namespace dwv::sim

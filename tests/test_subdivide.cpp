@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/verdict.hpp"
+#include "ode/benchmarks.hpp"
+#include "reach/subdivide.hpp"
+#include "reach/tm_flowpipe.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::reach {
+namespace {
+
+using linalg::Vec;
+
+std::shared_ptr<TmVerifier> polar_verifier(const ode::Benchmark& bench) {
+  return std::make_shared<TmVerifier>(
+      bench.system, bench.spec, std::make_shared<PolarAbstraction>(),
+      TmReachOptions{});
+}
+
+nn::MlpController small_tanh_net(std::size_t n, std::uint64_t seed) {
+  nn::MlpController ctrl({n, 6, 1}, 1.0, nn::Activation::kTanh,
+                         nn::Activation::kTanh);
+  std::mt19937_64 rng(seed);
+  ctrl.init_random(rng, 0.3);
+  return ctrl;
+}
+
+TEST(SubdividingVerifier, StillSound) {
+  auto bench = ode::make_oscillator_benchmark();
+  bench.spec.steps = 10;
+  bench.spec.stop_at_goal = false;
+  const auto inner = polar_verifier(bench);
+  SubdividingVerifier sub(inner, {.cells_per_dim = 2});
+  const auto ctrl = small_tanh_net(2, 5);
+  const Flowpipe fp = sub.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid) << fp.failure;
+  ASSERT_EQ(fp.steps(), bench.spec.steps);
+
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vec x0 = bench.spec.x0.sample(rng);
+    const sim::Trace tr = sim::simulate(*bench.system, ctrl, x0,
+                                        bench.spec.delta, bench.spec.steps,
+                                        {.substeps = 16});
+    for (std::size_t k = 0; k < tr.states.size(); ++k) {
+      EXPECT_TRUE(fp.step_sets[k].contains(tr.states[k])) << "step " << k;
+    }
+    for (std::size_t i = 0; i < tr.fine_states.size(); ++i) {
+      const std::size_t k = std::min(i / 16, bench.spec.steps - 1);
+      EXPECT_TRUE(fp.interval_hulls[k].contains(tr.fine_states[i]));
+    }
+  }
+}
+
+TEST(SubdividingVerifier, TighterThanSingleCall) {
+  auto bench = ode::make_oscillator_benchmark();
+  bench.spec.steps = 20;
+  bench.spec.stop_at_goal = false;
+  const auto inner = polar_verifier(bench);
+  const auto ctrl = small_tanh_net(2, 8);
+
+  const Flowpipe whole = inner->compute(bench.spec.x0, ctrl);
+  const Flowpipe split =
+      SubdividingVerifier(inner, {.cells_per_dim = 2})
+          .compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(whole.valid && split.valid);
+
+  double w_whole = 0.0;
+  double w_split = 0.0;
+  for (std::size_t k = 1; k <= bench.spec.steps; ++k) {
+    w_whole += whole.step_sets[k][0].width() + whole.step_sets[k][1].width();
+    w_split += split.step_sets[k][0].width() + split.step_sets[k][1].width();
+  }
+  EXPECT_LE(w_split, w_whole + 1e-9);
+}
+
+TEST(SubdividingVerifier, PropagatesInnerFailure) {
+  auto bench = ode::make_oscillator_benchmark();
+  bench.spec.steps = 60;
+  const auto inner = polar_verifier(bench);
+  SubdividingVerifier sub(inner, {.cells_per_dim = 2});
+  // Destabilizing linear feedback through the TM engine.
+  nn::LinearController bad(linalg::Mat{{5.0, 5.0}});
+  SubdividingVerifier sub_lin(
+      std::make_shared<TmVerifier>(bench.system, bench.spec,
+                                   std::make_shared<LinearAbstraction>(),
+                                   TmReachOptions{}),
+      {.cells_per_dim = 2});
+  const Flowpipe fp = sub_lin.compute(bench.spec.x0, bad);
+  EXPECT_FALSE(fp.valid);
+  EXPECT_FALSE(fp.failure.empty());
+}
+
+TEST(SubdividingVerifier, NamePropagates) {
+  const auto bench = ode::make_oscillator_benchmark();
+  SubdividingVerifier sub(polar_verifier(bench));
+  EXPECT_NE(sub.name().find("subdivide("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwv::reach

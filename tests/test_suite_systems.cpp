@@ -1,0 +1,119 @@
+// Consistency and reachability smoke tests for the ReachNN benchmark suite
+// (B1-B4; B5 is the paper's 3-D system, covered in test_ode).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ode/reachnn_suite.hpp"
+#include "reach/tm_flowpipe.hpp"
+#include "sim/simulate.hpp"
+
+namespace dwv::ode {
+namespace {
+
+using linalg::Mat;
+using linalg::Vec;
+
+void check_consistency(const System& sys, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(-1.5, 1.5);
+  const double h = 1e-6;
+  for (int trial = 0; trial < 15; ++trial) {
+    Vec x(sys.state_dim());
+    for (auto& v : x) v = u(rng);
+    Vec uu(sys.input_dim());
+    for (auto& v : uu) v = u(rng);
+
+    // Polynomial face agrees with f.
+    const auto polys = sys.poly_dynamics();
+    const Vec xu = linalg::concat(x, uu);
+    const Vec fx = sys.f(x, uu);
+    for (std::size_t i = 0; i < polys.size(); ++i) {
+      EXPECT_NEAR(polys[i].eval(xu), fx[i], 1e-12) << sys.name();
+    }
+    // Jacobians agree with finite differences.
+    const Mat jx = sys.dfdx(x, uu);
+    for (std::size_t j = 0; j < sys.state_dim(); ++j) {
+      Vec xp = x;
+      Vec xm = x;
+      xp[j] += h;
+      xm[j] -= h;
+      const Vec d = (sys.f(xp, uu) - sys.f(xm, uu)) / (2.0 * h);
+      for (std::size_t i = 0; i < sys.state_dim(); ++i) {
+        EXPECT_NEAR(jx(i, j), d[i], 1e-4) << sys.name();
+      }
+    }
+    const Mat ju = sys.dfdu(x, uu);
+    for (std::size_t j = 0; j < sys.input_dim(); ++j) {
+      Vec up = uu;
+      Vec um = uu;
+      up[j] += h;
+      um[j] -= h;
+      const Vec d = (sys.f(x, up) - sys.f(x, um)) / (2.0 * h);
+      for (std::size_t i = 0; i < sys.state_dim(); ++i) {
+        EXPECT_NEAR(ju(i, j), d[i], 1e-4) << sys.name();
+      }
+    }
+  }
+}
+
+TEST(ReachNnSuite, AllSystemsConsistent) {
+  std::mt19937_64 rng(77);
+  check_consistency(B1System{}, rng);
+  check_consistency(B2System{}, rng);
+  check_consistency(B3System{}, rng);
+  check_consistency(B4System{}, rng);
+}
+
+TEST(ReachNnSuite, SuiteFactoriesWellFormed) {
+  const auto suite = make_reachnn_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  for (const auto& b : suite) {
+    EXPECT_EQ(b.spec.x0.dim(), b.system->state_dim());
+    EXPECT_EQ(b.spec.goal.dim(), b.system->state_dim());
+    EXPECT_EQ(b.spec.unsafe.dim(), b.system->state_dim());
+    EXPECT_GT(b.spec.steps, 0u);
+    EXPECT_GT(b.spec.delta, 0.0);
+    EXPECT_GT(b.spec.x0.volume(), 0.0);
+    // X0 must not start inside the unsafe set.
+    EXPECT_FALSE(b.spec.x0.intersects(b.spec.unsafe)) << b.name;
+  }
+}
+
+class SuiteFlowpipeSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteFlowpipeSoundness, TmPipeEnclosesSimulation) {
+  auto suite = make_reachnn_suite();
+  ode::Benchmark bench = suite[static_cast<std::size_t>(GetParam())];
+  bench.spec.steps = std::min<std::size_t>(bench.spec.steps, 10);
+  bench.spec.stop_at_goal = false;
+
+  std::mt19937_64 rng(5);
+  nn::MlpController ctrl({bench.system->state_dim(), 6, 1}, 1.0,
+                         nn::Activation::kTanh, nn::Activation::kTanh);
+  ctrl.init_random(rng, 0.3);
+
+  reach::TmVerifier verifier(bench.system, bench.spec,
+                             std::make_shared<reach::PolarAbstraction>(), {});
+  const reach::Flowpipe fp = verifier.compute(bench.spec.x0, ctrl);
+  ASSERT_TRUE(fp.valid) << bench.name << ": " << fp.failure;
+
+  for (int trial = 0; trial < 15; ++trial) {
+    const Vec x0 = bench.spec.x0.sample(rng);
+    const sim::Trace tr = sim::simulate(*bench.system, ctrl, x0,
+                                        bench.spec.delta, bench.spec.steps,
+                                        {.substeps = 16});
+    for (std::size_t k = 0; k < tr.states.size(); ++k) {
+      EXPECT_TRUE(fp.step_sets[k].contains(tr.states[k]))
+          << bench.name << " step " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllB, SuiteFlowpipeSoundness,
+                         ::testing::Values(0, 1, 2, 3),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param + 1);
+                         });
+
+}  // namespace
+}  // namespace dwv::ode

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "transport/emd.hpp"
+#include "transport/measure.hpp"
+#include "transport/sinkhorn.hpp"
+
+namespace dwv::transport {
+namespace {
+
+using interval::Interval;
+using linalg::Vec;
+
+DiscreteMeasure point_mass(std::initializer_list<double> p) {
+  DiscreteMeasure m;
+  m.points.push_back(Vec(std::vector<double>(p)));
+  m.weights.push_back(1.0);
+  return m;
+}
+
+TEST(Measure, UniformOnBoxGridWeights) {
+  const geom::Box b{Interval(0.0, 1.0), Interval(0.0, 2.0)};
+  const DiscreteMeasure m = uniform_on_box(b, {2, 4});
+  EXPECT_EQ(m.size(), 8u);
+  double s = 0.0;
+  for (double w : m.weights) {
+    EXPECT_DOUBLE_EQ(w, 1.0 / 8.0);
+    s += w;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-12);
+  // Cell centers lie strictly inside the box.
+  for (const auto& p : m.points) {
+    EXPECT_GT(p[0], 0.0);
+    EXPECT_LT(p[0], 1.0);
+    EXPECT_GT(p[1], 0.0);
+    EXPECT_LT(p[1], 2.0);
+  }
+}
+
+TEST(Measure, UniformOnBoxDimsProjects) {
+  const geom::Box b{Interval(0.0, 1.0), Interval(5.0, 6.0),
+                    Interval(-2.0, 2.0)};
+  const DiscreteMeasure m = uniform_on_box_dims(b, {0, 2}, 3);
+  EXPECT_EQ(m.size(), 9u);
+  for (const auto& p : m.points) {
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_LT(p[0], 1.0);
+    EXPECT_LT(std::abs(p[1]), 2.0);
+  }
+}
+
+TEST(Emd, PointMassesDistance) {
+  const auto a = point_mass({0.0, 0.0});
+  const auto b = point_mass({3.0, 4.0});
+  EXPECT_NEAR(w1_exact(a, b), 5.0, 1e-10);
+}
+
+TEST(Emd, IdenticalMeasuresZero) {
+  const geom::Box box{Interval(0.0, 1.0), Interval(0.0, 1.0)};
+  const auto m = uniform_on_box(box, {3, 3});
+  EXPECT_NEAR(w1_exact(m, m), 0.0, 1e-10);
+}
+
+TEST(Emd, TranslationEqualsShiftDistance) {
+  // W1 between a measure and its translate is exactly the shift length.
+  const geom::Box a{Interval(0.0, 1.0), Interval(0.0, 1.0)};
+  const geom::Box b{Interval(2.5, 3.5), Interval(0.0, 1.0)};
+  const auto ma = uniform_on_box(a, {4, 4});
+  const auto mb = uniform_on_box(b, {4, 4});
+  EXPECT_NEAR(w1_exact(ma, mb), 2.5, 1e-9);
+}
+
+TEST(Emd, UnevenSupportSizes) {
+  // 1 source point vs 4 sinks: cost = weighted mean distance.
+  DiscreteMeasure a = point_mass({0.0});
+  DiscreteMeasure b;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    b.points.push_back(Vec{x});
+    b.weights.push_back(0.25);
+  }
+  EXPECT_NEAR(w1_exact(a, b), 0.25 * (1 + 2 + 3 + 4), 1e-10);
+}
+
+TEST(Emd, PlanMarginalsAreRespected) {
+  const geom::Box a{Interval(0.0, 1.0)};
+  const geom::Box b{Interval(4.0, 6.0)};
+  const auto ma = uniform_on_box(a, {3});
+  const auto mb = uniform_on_box(b, {5});
+  const EmdResult r = emd_exact(ma, mb);
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < mb.size(); ++j) row += r.plan[i][j];
+    EXPECT_NEAR(row, ma.weights[i], 1e-9);
+  }
+  for (std::size_t j = 0; j < mb.size(); ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < ma.size(); ++i) col += r.plan[i][j];
+    EXPECT_NEAR(col, mb.weights[j], 1e-9);
+  }
+}
+
+TEST(Emd, TriangleInequalityOnRandomMeasures) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  const auto random_measure = [&](std::size_t n) {
+    DiscreteMeasure m;
+    for (std::size_t i = 0; i < n; ++i) {
+      m.points.push_back(Vec{u(rng), u(rng)});
+      m.weights.push_back(1.0 + 0.5 * (u(rng) + 2.0));
+    }
+    m.normalize();
+    return m;
+  };
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto a = random_measure(6);
+    const auto b = random_measure(7);
+    const auto c = random_measure(5);
+    const double ab = w1_exact(a, b);
+    const double bc = w1_exact(b, c);
+    const double ac = w1_exact(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+    EXPECT_GE(ab, 0.0);
+    // Symmetry.
+    EXPECT_NEAR(ab, w1_exact(b, a), 1e-9);
+  }
+}
+
+TEST(Sinkhorn, ApproachesExactAsEpsilonShrinks) {
+  const geom::Box a{Interval(0.0, 1.0), Interval(0.0, 1.0)};
+  const geom::Box b{Interval(2.0, 3.0), Interval(1.0, 2.0)};
+  const auto ma = uniform_on_box(a, {4, 4});
+  const auto mb = uniform_on_box(b, {4, 4});
+  const double exact = w1_exact(ma, mb);
+  double prev_err = 1e9;
+  for (double eps : {0.3, 0.1, 0.03}) {
+    SinkhornOptions opt;
+    opt.epsilon = eps;
+    opt.max_iters = 2000;
+    const auto r = sinkhorn(ma, mb, opt);
+    const double err = std::abs(r.cost - exact);
+    EXPECT_LT(err, prev_err + 1e-9);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.02 * exact + 1e-3);
+}
+
+TEST(Sinkhorn, ConvergesAndReportsIterations) {
+  const geom::Box a{Interval(0.0, 1.0)};
+  const auto ma = uniform_on_box(a, {5});
+  const geom::Box b{Interval(3.0, 4.0)};
+  const auto mb = uniform_on_box(b, {5});
+  const auto r = sinkhorn(ma, mb, {.epsilon = 0.05, .max_iters = 1000});
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iters, 0u);
+  EXPECT_NEAR(r.cost, 3.0, 0.05);
+}
+
+TEST(Emd, OneDimensionalClosedForm) {
+  // W1(U[0,2], U[0,1]) = int_0^1 |2t - t| dt = 1/2 (quantile coupling);
+  // grid discretizations converge to it from below/near.
+  const geom::Box a{Interval(0.0, 2.0)};
+  const geom::Box b{Interval(0.0, 1.0)};
+  const auto ma = uniform_on_box(a, {64});
+  const auto mb = uniform_on_box(b, {64});
+  EXPECT_NEAR(w1_exact(ma, mb), 0.5, 0.02);
+}
+
+TEST(Emd, ScalesLinearlyWithDilation) {
+  // W1(c*mu, c*nu) = c * W1(mu, nu) for dilations about the origin.
+  const geom::Box a{Interval(0.0, 1.0), Interval(0.0, 1.0)};
+  const geom::Box b{Interval(2.0, 3.0), Interval(0.0, 1.0)};
+  const geom::Box a2{Interval(0.0, 2.0), Interval(0.0, 2.0)};
+  const geom::Box b2{Interval(4.0, 6.0), Interval(0.0, 2.0)};
+  const double w = w1_exact(uniform_on_box(a, {4, 4}),
+                            uniform_on_box(b, {4, 4}));
+  const double w2 = w1_exact(uniform_on_box(a2, {4, 4}),
+                             uniform_on_box(b2, {4, 4}));
+  EXPECT_NEAR(w2, 2.0 * w, 1e-9);
+}
+
+TEST(CostMatrix, EuclideanEntries) {
+  const auto a = point_mass({0.0, 0.0});
+  DiscreteMeasure b;
+  b.points = {Vec{3.0, 4.0}, Vec{1.0, 0.0}};
+  b.weights = {0.5, 0.5};
+  const auto c = cost_matrix(a, b);
+  EXPECT_DOUBLE_EQ(c[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(c[0][1], 1.0);
+}
+
+}  // namespace
+}  // namespace dwv::transport

@@ -1,0 +1,268 @@
+// dwv — command-line front-end for the design-while-verify pipeline.
+//
+//   dwv learn    <benchmark> [options]   run Algorithm 1 and save the result
+//   dwv verify   <benchmark> [options]   verify a saved controller
+//   dwv simulate <benchmark> [options]   Monte-Carlo SC/GR of a controller
+//   dwv list                             list the built-in benchmarks
+//
+// Benchmarks: acc, oscillator, sys3d, b1, b2, b3, b4.
+// Common options:
+//   --verifier linear|polar|reachnn|interval   (default: linear for acc,
+//                                               polar otherwise)
+//   --metric W|G              feedback metric for learning (default G)
+//   --controller FILE         controller file (learn: output; others: input)
+//   --seed N                  RNG seed (default 1)
+//   --iters N                 Algorithm-1 iteration budget
+//   --samples N               Monte-Carlo sample count (default 500)
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/initial_set.hpp"
+#include "core/learner.hpp"
+#include "core/verdict.hpp"
+#include "nn/serialize.hpp"
+#include "ode/expr_system.hpp"
+#include "ode/reachnn_suite.hpp"
+#include "reach/linear_reach.hpp"
+#include "reach/tm_flowpipe.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace dwv;
+
+struct Args {
+  std::string command;
+  std::string benchmark;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  long get_long(const std::string& key, long dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : std::strtol(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dwv <learn|verify|simulate|list> [benchmark] "
+               "[--option value]...\n"
+               "see the header of tools/dwv_cli.cpp for details\n");
+  return 2;
+}
+
+ode::Benchmark make_benchmark(const std::string& name) {
+  if (name == "acc") return ode::make_acc_benchmark();
+  if (name == "oscillator") return ode::make_oscillator_benchmark();
+  if (name == "sys3d" || name == "b5") return ode::make_3d_benchmark();
+  if (name == "b1") return ode::make_b1_benchmark();
+  if (name == "b2") return ode::make_b2_benchmark();
+  if (name == "b3") return ode::make_b3_benchmark();
+  if (name == "b4") return ode::make_b4_benchmark();
+  if (name == "pendulum") return ode::make_pendulum_benchmark();
+  throw std::runtime_error("unknown benchmark: " + name);
+}
+
+reach::VerifierPtr make_verifier(const ode::Benchmark& bench,
+                                 const std::string& kind,
+                                 const nn::Controller* ctrl) {
+  std::string k = kind;
+  const bool linear_ctrl =
+      dynamic_cast<const nn::LinearController*>(ctrl) != nullptr;
+  if (k.empty()) {
+    if (bench.name == "acc" && linear_ctrl) {
+      k = "linear";
+    } else if (linear_ctrl) {
+      k = "linctrl";  // linear feedback through the TM engine
+    } else {
+      k = "polar";
+    }
+  }
+  if (k == "linear") {
+    return std::make_shared<reach::LinearVerifier>(bench.system, bench.spec);
+  }
+  reach::ControlAbstractionPtr abs;
+  if (k == "linctrl") {
+    abs = std::make_shared<reach::LinearAbstraction>();
+  } else if (k == "polar") {
+    abs = std::make_shared<reach::PolarAbstraction>();
+  } else if (k == "reachnn") {
+    abs = std::make_shared<reach::ReachNnAbstraction>();
+  } else if (k == "interval") {
+    abs = std::make_shared<reach::IntervalAbstraction>();
+  } else if (k == "poly") {
+    abs = std::make_shared<reach::PolynomialAbstraction>();
+  } else {
+    throw std::runtime_error("unknown verifier: " + k);
+  }
+  return std::make_shared<reach::TmVerifier>(bench.system, bench.spec, abs,
+                                             reach::TmReachOptions{});
+}
+
+nn::ControllerPtr default_controller(const ode::Benchmark& bench,
+                                     std::uint64_t seed) {
+  if (bench.name == "pendulum") {
+    return std::make_unique<nn::LinearController>(
+        linalg::Mat(1, bench.system->state_dim()));
+  }
+  if (bench.name == "acc") {
+    return std::make_unique<nn::LinearController>(
+        linalg::Mat(1, bench.system->state_dim()));
+  }
+  const double scale = bench.name == "oscillator" ? 2.0 : 1.0;
+  auto ctrl = std::make_unique<nn::MlpController>(
+      std::vector<std::size_t>{bench.system->state_dim(), 6, 1}, scale,
+      nn::Activation::kTanh, nn::Activation::kTanh);
+  std::mt19937_64 rng(seed * 7 + 1);
+  ctrl->init_random(rng, 0.4);
+  return ctrl;
+}
+
+core::LearnerOptions learner_options(const ode::Benchmark& bench,
+                                     const Args& args) {
+  core::LearnerOptions opt;
+  opt.metric = args.get("--metric", "G") == "W"
+                   ? core::MetricKind::kWasserstein
+                   : core::MetricKind::kGeometric;
+  opt.alpha = opt.metric == core::MetricKind::kWasserstein ? 0.2 : 1.0;
+  opt.require_containment = true;
+  opt.seed = static_cast<std::uint64_t>(args.get_long("--seed", 1));
+  if (bench.name == "acc") {
+    opt.max_iters = 400;
+    opt.step_size = 0.5;
+    opt.perturbation = 0.05;
+    opt.gradient = core::GradientMode::kSpsaAveraged;
+    opt.spsa_samples = 2;
+    opt.restarts = 4;
+  } else {
+    opt.max_iters = 240;
+    opt.step_size = 0.25;
+    opt.restarts = 4;
+    opt.restart_scale = 0.4;
+  }
+  if (args.options.count("--iters")) {
+    opt.max_iters = static_cast<std::size_t>(args.get_long("--iters", 200));
+  }
+  return opt;
+}
+
+int cmd_list() {
+  std::printf("built-in benchmarks:\n");
+  std::printf("  acc         linear adaptive cruise control (DAC'22 paper)\n");
+  std::printf("  oscillator  Van der Pol oscillator (DAC'22 paper)\n");
+  std::printf("  sys3d (b5)  3-D numerical system (DAC'22 paper / ReachNN)\n");
+  std::printf("  b1..b4      remaining ReachNN suite instances\n");
+  std::printf("  pendulum    damped pendulum (expression-tree dynamics)\n");
+  return 0;
+}
+
+int cmd_learn(const Args& args) {
+  const ode::Benchmark bench = make_benchmark(args.benchmark);
+  nn::ControllerPtr ctrl = default_controller(
+      bench, static_cast<std::uint64_t>(args.get_long("--seed", 1)));
+  const auto verifier =
+      make_verifier(bench, args.get("--verifier", ""), ctrl.get());
+  const core::LearnerOptions opt = learner_options(bench, args);
+
+  std::printf("benchmark %s, verifier %s, metric %s, seed %llu\n",
+              bench.name.c_str(), verifier->name().c_str(),
+              core::to_string(opt.metric).c_str(),
+              static_cast<unsigned long long>(opt.seed));
+  core::Learner learner(verifier, bench.spec, opt);
+  const core::LearnResult res = learner.learn(*ctrl);
+  std::printf("%s after %zu iterations (%zu verifier calls, %.1fs)\n",
+              res.success ? "CONVERGED" : "did not converge",
+              res.iterations, res.verifier_calls, res.verifier_seconds);
+  if (!res.success) return 1;
+
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, *ctrl, bench.spec,
+      static_cast<std::size_t>(args.get_long("--samples", 500)), 99);
+  std::printf("simulation: SC %.1f%%  GR %.1f%%\n", 100.0 * mc.safe_rate,
+              100.0 * mc.goal_rate);
+
+  const std::string out = args.get("--controller", "");
+  if (!out.empty()) {
+    nn::save_controller_file(out, *ctrl);
+    std::printf("controller saved to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const ode::Benchmark bench = make_benchmark(args.benchmark);
+  const std::string path = args.get("--controller", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "verify requires --controller FILE\n");
+    return 2;
+  }
+  const nn::ControllerPtr ctrl = nn::load_controller_file(path);
+  const auto verifier =
+      make_verifier(bench, args.get("--verifier", ""), ctrl.get());
+  std::printf("verifying %s with %s...\n", ctrl->describe().c_str(),
+              verifier->name().c_str());
+  const core::VerificationReport rep = core::verify_controller(
+      *verifier, *bench.system, *ctrl, bench.spec);
+  std::printf("verdict: %s (%s)\n", core::to_string(rep.verdict).c_str(),
+              rep.detail.c_str());
+  if (rep.verdict != core::Verdict::kReachAvoid &&
+      rep.facts.safe_certified) {
+    // Try the initial-set search: goal-reaching may hold for part of X0.
+    const core::InitialSetResult xi =
+        core::search_initial_set(*verifier, bench.spec, *ctrl);
+    std::printf("X_I search: %.1f%% of X0 certified (%zu cells)\n",
+                100.0 * xi.coverage, xi.certified.size());
+  }
+  return rep.verdict == core::Verdict::kReachAvoid ? 0 : 1;
+}
+
+int cmd_simulate(const Args& args) {
+  const ode::Benchmark bench = make_benchmark(args.benchmark);
+  const std::string path = args.get("--controller", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "simulate requires --controller FILE\n");
+    return 2;
+  }
+  const nn::ControllerPtr ctrl = nn::load_controller_file(path);
+  const std::size_t samples =
+      static_cast<std::size_t>(args.get_long("--samples", 500));
+  const sim::McStats mc = sim::monte_carlo_rates(
+      *bench.system, *ctrl, bench.spec, samples,
+      static_cast<std::uint64_t>(args.get_long("--seed", 1)));
+  std::printf("%zu runs: SC %.1f%%  GR %.1f%%  mean reach step %.1f\n",
+              mc.samples, 100.0 * mc.safe_rate, 100.0 * mc.goal_rate,
+              mc.mean_reach_step);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  args.command = argv[1];
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') args.benchmark = argv[i++];
+  for (; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+    args.options[argv[i]] = argv[i + 1];
+  }
+
+  try {
+    if (args.command == "list") return cmd_list();
+    if (args.benchmark.empty()) return usage();
+    if (args.command == "learn") return cmd_learn(args);
+    if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
