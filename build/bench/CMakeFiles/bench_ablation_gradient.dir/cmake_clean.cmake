@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gradient.dir/bench_ablation_gradient.cpp.o"
+  "CMakeFiles/bench_ablation_gradient.dir/bench_ablation_gradient.cpp.o.d"
+  "bench_ablation_gradient"
+  "bench_ablation_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

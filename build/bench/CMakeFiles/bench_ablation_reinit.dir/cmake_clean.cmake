@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reinit.dir/bench_ablation_reinit.cpp.o"
+  "CMakeFiles/bench_ablation_reinit.dir/bench_ablation_reinit.cpp.o.d"
+  "bench_ablation_reinit"
+  "bench_ablation_reinit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reinit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

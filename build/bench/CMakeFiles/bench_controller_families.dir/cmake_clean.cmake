@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_controller_families.dir/bench_controller_families.cpp.o"
+  "CMakeFiles/bench_controller_families.dir/bench_controller_families.cpp.o.d"
+  "bench_controller_families"
+  "bench_controller_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controller_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_acc_learning.dir/bench_fig4_acc_learning.cpp.o"
+  "CMakeFiles/bench_fig4_acc_learning.dir/bench_fig4_acc_learning.cpp.o.d"
+  "bench_fig4_acc_learning"
+  "bench_fig4_acc_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_acc_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_acc_reachsets.dir/bench_fig6_acc_reachsets.cpp.o"
+  "CMakeFiles/bench_fig6_acc_reachsets.dir/bench_fig6_acc_reachsets.cpp.o.d"
+  "bench_fig6_acc_reachsets"
+  "bench_fig6_acc_reachsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_acc_reachsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_3d_reachsets.dir/bench_fig8_3d_reachsets.cpp.o"
+  "CMakeFiles/bench_fig8_3d_reachsets.dir/bench_fig8_3d_reachsets.cpp.o.d"
+  "bench_fig8_3d_reachsets"
+  "bench_fig8_3d_reachsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_3d_reachsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

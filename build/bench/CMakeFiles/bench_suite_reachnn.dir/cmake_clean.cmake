@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite_reachnn.dir/bench_suite_reachnn.cpp.o"
+  "CMakeFiles/bench_suite_reachnn.dir/bench_suite_reachnn.cpp.o.d"
+  "bench_suite_reachnn"
+  "bench_suite_reachnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite_reachnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_acc.dir/bench_table1_acc.cpp.o"
+  "CMakeFiles/bench_table1_acc.dir/bench_table1_acc.cpp.o.d"
+  "bench_table1_acc"
+  "bench_table1_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

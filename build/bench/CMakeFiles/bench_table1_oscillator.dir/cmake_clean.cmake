@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_oscillator.dir/bench_table1_oscillator.cpp.o"
+  "CMakeFiles/bench_table1_oscillator.dir/bench_table1_oscillator.cpp.o.d"
+  "bench_table1_oscillator"
+  "bench_table1_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

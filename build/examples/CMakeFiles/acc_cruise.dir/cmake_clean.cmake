@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_cruise.dir/acc_cruise.cpp.o"
+  "CMakeFiles/acc_cruise.dir/acc_cruise.cpp.o.d"
+  "acc_cruise"
+  "acc_cruise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_cruise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

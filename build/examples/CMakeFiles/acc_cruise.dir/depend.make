@@ -1,0 +1,2 @@
+# Empty dependencies file for acc_cruise.
+# This may be replaced when dependencies are built.

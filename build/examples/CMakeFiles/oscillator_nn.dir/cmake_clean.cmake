@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillator_nn.dir/oscillator_nn.cpp.o"
+  "CMakeFiles/oscillator_nn.dir/oscillator_nn.cpp.o.d"
+  "oscillator_nn"
+  "oscillator_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillator_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
