@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/dwv_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/reach/CMakeFiles/dwv_reach.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/dwv_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/transport/CMakeFiles/dwv_transport.dir/DependInfo.cmake"

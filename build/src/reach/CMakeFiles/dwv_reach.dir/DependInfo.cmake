@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/dwv_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
   "/root/repo/build/src/geom/CMakeFiles/dwv_geom.dir/DependInfo.cmake"

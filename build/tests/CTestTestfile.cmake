@@ -31,3 +31,4 @@ include("/root/repo/build/tests/test_falsify[1]_include.cmake")
 include("/root/repo/build/tests/test_export[1]_include.cmake")
 include("/root/repo/build/tests/test_expr[1]_include.cmake")
 include("/root/repo/build/tests/test_coverage_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")

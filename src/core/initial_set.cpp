@@ -1,6 +1,7 @@
 #include "core/initial_set.hpp"
 
 #include "core/verdict.hpp"
+#include "parallel/pool.hpp"
 
 namespace dwv::core {
 
@@ -14,32 +15,44 @@ InitialSetResult search_initial_set(const reach::Verifier& verifier,
     geom::Box box;
     std::size_t depth;
   };
-  std::vector<Cell> work{{spec.x0, 0}};
+  // Level-synchronous branch-and-refine: every cell of a refinement level
+  // is an independent verifier call, so the whole frontier fans out across
+  // the pool; certify/bisect/reject decisions are then applied in frontier
+  // order on this thread, keeping the result deterministic at any thread
+  // count (and identical to the serial breadth-first traversal).
+  std::vector<Cell> frontier{{spec.x0, 0}};
 
   double certified_volume = 0.0;
   const double total_volume = spec.x0.volume();
 
-  while (!work.empty()) {
-    const Cell cell = work.back();
-    work.pop_back();
+  while (!frontier.empty()) {
+    // vector<char>, not vector<bool>: tasks write distinct elements
+    // concurrently, which packed bits would turn into a data race.
+    std::vector<char> certify(frontier.size(), 0);
+    parallel::parallel_for(
+        opt.threads, frontier.size(), [&](std::size_t i) {
+          const reach::Flowpipe fp = verifier.compute(frontier[i].box, ctrl);
+          const FlowpipeFacts facts = analyze_flowpipe(fp, spec);
+          const bool safe_ok = !opt.check_safety || facts.safe_certified;
+          certify[i] = fp.valid && safe_ok && facts.goal_certified;
+        });
+    res.verifier_calls += frontier.size();
 
-    const reach::Flowpipe fp = verifier.compute(cell.box, ctrl);
-    ++res.verifier_calls;
-    const FlowpipeFacts facts = analyze_flowpipe(fp, spec);
-
-    const bool safe_ok = !opt.check_safety || facts.safe_certified;
-    if (fp.valid && safe_ok && facts.goal_certified) {
-      certified_volume += cell.box.volume();
-      res.certified.push_back(cell.box);
-      continue;
+    std::vector<Cell> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const Cell& cell = frontier[i];
+      if (certify[i]) {
+        certified_volume += cell.box.volume();
+        res.certified.push_back(cell.box);
+      } else if (cell.depth < opt.max_depth) {
+        auto [lo, hi] = cell.box.bisect();
+        next.push_back({lo, cell.depth + 1});
+        next.push_back({hi, cell.depth + 1});
+      } else {
+        res.rejected.push_back(cell.box);
+      }
     }
-    if (cell.depth < opt.max_depth) {
-      auto [lo, hi] = cell.box.bisect();
-      work.push_back({lo, cell.depth + 1});
-      work.push_back({hi, cell.depth + 1});
-    } else {
-      res.rejected.push_back(cell.box);
-    }
+    frontier = std::move(next);
   }
 
   res.coverage = total_volume > 0.0 ? certified_volume / total_volume : 0.0;

@@ -21,6 +21,11 @@ struct InitialSetOptions {
   /// Also require per-cell safety certification (safety already holds for
   /// all of X0 when Algorithm 1 succeeded, so this is usually redundant).
   bool check_safety = true;
+  /// Concurrent verifier calls: sibling sub-boxes of a refinement level
+  /// are verified in parallel. 0 = auto (DWV_THREADS env var, else
+  /// hardware concurrency); 1 = serial. Cells are certified/bisected in
+  /// frontier order, so the result is identical at any thread count.
+  std::size_t threads = 0;
 };
 
 struct InitialSetResult {

@@ -1,9 +1,12 @@
 #include "core/learner.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 
 #include "nn/adam.hpp"
+#include "parallel/pool.hpp"
 
 namespace dwv::core {
 
@@ -13,9 +16,19 @@ std::string to_string(MetricKind m) {
   return m == MetricKind::kGeometric ? "geometric" : "wasserstein";
 }
 
+LearnerOptions LearnerOptions::validated() const {
+  assert(perturbation > 0.0 && "SPSA perturbation must be positive");
+  assert(step_size > 0.0 && "ascent step size must be positive");
+  LearnerOptions v = *this;
+  v.spsa_samples = std::max<std::size_t>(1, v.spsa_samples);
+  return v;
+}
+
 Learner::Learner(reach::VerifierPtr verifier, ode::ReachAvoidSpec spec,
                  LearnerOptions opt)
-    : verifier_(std::move(verifier)), spec_(std::move(spec)), opt_(opt) {}
+    : verifier_(std::move(verifier)),
+      spec_(std::move(spec)),
+      opt_(opt.validated()) {}
 
 Learner::MetricPair Learner::measure(const reach::Flowpipe& fp) const {
   MetricPair m;
@@ -82,14 +95,31 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
     return fp;
   };
 
-  const auto measure_at = [&](const Vec& theta) {
-    auto probe = ctrl.clone();
-    probe->set_params(theta);
-    return measure(timed_compute(*probe));
-  };
-
   const auto objective = [&](const MetricPair& m) {
     return opt_.alpha * m.d_u + opt_.beta * m.d_g;
+  };
+
+  // Evaluates a batch of probe parameter vectors, concurrently when
+  // opt_.threads allows. Each task clones the controller and writes into
+  // its own index slot; timing and call counts are folded back here in
+  // index order, so serial and parallel runs agree bitwise on everything
+  // the gradient consumes.
+  const auto measure_probes = [&](const std::vector<Vec>& thetas) {
+    std::vector<double> obj(thetas.size());
+    std::vector<double> secs(thetas.size());
+    parallel::parallel_for(
+        opt_.threads, thetas.size(), [&](std::size_t i) {
+          auto probe = ctrl.clone();
+          probe->set_params(thetas[i]);
+          const auto t0 = std::chrono::steady_clock::now();
+          const reach::Flowpipe fp = verifier_->compute(spec_.x0, *probe);
+          const auto t1 = std::chrono::steady_clock::now();
+          secs[i] = std::chrono::duration<double>(t1 - t0).count();
+          obj[i] = objective(measure(fp));
+        });
+    for (double s : secs) res.verifier_seconds += s;
+    res.verifier_calls += thetas.size();
+    return obj;
   };
 
   const std::size_t attempts = std::max<std::size_t>(1, opt_.restarts);
@@ -98,6 +128,9 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
 
   Vec theta = ctrl.params();
   std::size_t global_iter = 0;
+  // Last flowpipe of a main (unperturbed) iterate; reported when every
+  // restart is exhausted so callers still see the final reachable set.
+  reach::Flowpipe last_fp;
 
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
@@ -140,51 +173,72 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
         res.final_flowpipe = fp;
         return res;
       }
-      if (global_iter == last_of_attempt) break;  // restart
+      if (global_iter == last_of_attempt) {
+        last_fp = fp;
+        break;  // restart
+      }
 
       // --- Difference-method gradient approximation (Eq. 5) ---
       // With a shared perturbation p, Algorithm 1's line-6 update
       // theta += alpha grad(d_u) + beta grad(d_g) equals SPSA ascent on
       // the combined objective J = alpha d_u + beta d_g.
+      //
+      // Every probe below is an independent verifier call, so the batch is
+      // evaluated through measure_probes (parallel when opt_.threads > 1).
+      // All RNG draws happen up front on this thread, in the same order
+      // the serial code consumed them, and the gradient is accumulated in
+      // sample order — bit-identical results at any thread count.
+      const double p = opt_.perturbation;
       Vec grad(d);
-      const auto accumulate_spsa = [&]() {
-        Vec delta(d);
-        for (std::size_t i = 0; i < d; ++i)
-          delta[i] = coin(rng) ? 1.0 : -1.0;
-        const double p = opt_.perturbation;
-        Vec tp = theta;
-        Vec tm = theta;
-        for (std::size_t i = 0; i < d; ++i) {
-          tp[i] += p * delta[i];
-          tm[i] -= p * delta[i];
-        }
-        const double jp = objective(measure_at(tp));
-        const double jm = objective(measure_at(tm));
-        for (std::size_t i = 0; i < d; ++i) {
-          grad[i] += (jp - jm) / (2.0 * p * delta[i]);
-        }
-      };
-
       switch (opt_.gradient) {
         case GradientMode::kSpsa:
-          accumulate_spsa();
-          break;
         case GradientMode::kSpsaAveraged: {
-          for (std::size_t s2 = 0; s2 < opt_.spsa_samples; ++s2)
-            accumulate_spsa();
-          grad /= static_cast<double>(opt_.spsa_samples);
+          const std::size_t samples =
+              opt_.gradient == GradientMode::kSpsaAveraged ? opt_.spsa_samples
+                                                           : 1;
+          std::vector<Vec> deltas(samples, Vec(d));
+          for (Vec& delta : deltas)
+            for (std::size_t i = 0; i < d; ++i)
+              delta[i] = coin(rng) ? 1.0 : -1.0;
+          std::vector<Vec> thetas;
+          thetas.reserve(2 * samples);
+          for (const Vec& delta : deltas) {
+            Vec tp = theta;
+            Vec tm = theta;
+            for (std::size_t i = 0; i < d; ++i) {
+              tp[i] += p * delta[i];
+              tm[i] -= p * delta[i];
+            }
+            thetas.push_back(std::move(tp));
+            thetas.push_back(std::move(tm));
+          }
+          const std::vector<double> j = measure_probes(thetas);
+          for (std::size_t s = 0; s < samples; ++s) {
+            const double jp = j[2 * s];
+            const double jm = j[2 * s + 1];
+            for (std::size_t i = 0; i < d; ++i) {
+              grad[i] += (jp - jm) / (2.0 * p * deltas[s][i]);
+            }
+          }
+          if (opt_.gradient == GradientMode::kSpsaAveraged) {
+            grad /= static_cast<double>(samples);
+          }
           break;
         }
         case GradientMode::kCoordinate: {
-          const double p = opt_.perturbation;
+          std::vector<Vec> thetas;
+          thetas.reserve(2 * d);
           for (std::size_t i = 0; i < d; ++i) {
             Vec tp = theta;
             Vec tm = theta;
             tp[i] += p;
             tm[i] -= p;
-            const double jp = objective(measure_at(tp));
-            const double jm = objective(measure_at(tm));
-            grad[i] = (jp - jm) / (2.0 * p);
+            thetas.push_back(std::move(tp));
+            thetas.push_back(std::move(tm));
+          }
+          const std::vector<double> j = measure_probes(thetas);
+          for (std::size_t i = 0; i < d; ++i) {
+            grad[i] = (j[2 * i] - j[2 * i + 1]) / (2.0 * p);
           }
           break;
         }
@@ -206,7 +260,9 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
     }
   }
   res.iterations = std::min(global_iter, opt_.max_iters);
-  if (!res.history.empty()) res.final_flowpipe = reach::Flowpipe{};
+  // All restarts exhausted: report the last real flowpipe (not a blank
+  // default) so export/plot consumers still see the final reachable set.
+  if (!res.history.empty()) res.final_flowpipe = std::move(last_fp);
   return res;
 }
 

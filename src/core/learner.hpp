@@ -29,7 +29,7 @@ enum class GradientMode {
 struct LearnerOptions {
   MetricKind metric = MetricKind::kGeometric;
   GradientMode gradient = GradientMode::kSpsa;
-  std::size_t spsa_samples = 2;    ///< for kSpsaAveraged
+  std::size_t spsa_samples = 2;    ///< for kSpsaAveraged; clamped to >= 1
   std::size_t max_iters = 100;     ///< N in Algorithm 1
   /// Weights of the combined ascent objective J = alpha d_u + beta d_g
   /// (Algorithm 1 line 6; with a shared perturbation the two-gradient
@@ -48,10 +48,28 @@ struct LearnerOptions {
   bool require_containment = false;
   /// Random re-initializations when a run stalls (Algorithm 1's "randomly
   /// initialize theta"); iterations keep accumulating across restarts.
+  /// Each attempt gets a budget of max(1, max_iters / restarts) iterations,
+  /// so the global iteration counter reaches `max_iters` (and the run
+  /// returns) after at most `max_iters` restarts — setting
+  /// `restarts > max_iters` never actually performs the extra restarts.
   std::size_t restarts = 3;
   double restart_scale = 1.0;  ///< stddev of the random re-initialization
   std::uint64_t seed = 42;
+  /// Concurrent verifier calls for the independent probe evaluations (the
+  /// SPSA tp/tm pair, all averaged samples, the 2d coordinate probes).
+  /// 0 = auto (DWV_THREADS env var, else hardware concurrency); 1 = the
+  /// exact serial path. All perturbations are drawn up front on the main
+  /// thread and reductions run in index order, so results are bit-identical
+  /// across thread counts.
+  std::size_t threads = 0;
   WassersteinOptions wopt;
+
+  /// Returns a copy with out-of-range fields clamped into their documented
+  /// domains (spsa_samples >= 1 — 0 would divide the averaged gradient by
+  /// zero and poison theta with NaNs) and asserts on nonsensical settings
+  /// (non-positive perturbation or step size). The Learner constructor
+  /// applies this automatically.
+  LearnerOptions validated() const;
 };
 
 /// One entry of the learning curve (Figs. 4 and 5).
@@ -67,7 +85,12 @@ struct LearnResult {
   std::size_t iterations = 0;      ///< convergence iterations (CI)
   std::vector<IterationRecord> history;
   std::size_t verifier_calls = 0;
-  double verifier_seconds = 0.0;   ///< wall time inside the verifier
+  /// Summed wall time of every verifier call (with threads > 1 concurrent
+  /// calls overlap, so this exceeds elapsed wall-clock time).
+  double verifier_seconds = 0.0;
+  /// Flowpipe of the last evaluated iterate — the certified pipe on
+  /// success, otherwise the final reachable-set estimate (also when every
+  /// restart is exhausted), so exports and plots always see a real pipe.
   reach::Flowpipe final_flowpipe;
 };
 

@@ -1,0 +1,137 @@
+#include "parallel/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+
+namespace dwv::parallel {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("DWV_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t workers) { ensure_workers(workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ensure_workers(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t target = std::min(n, kMaxWorkers);
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_.size();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;  // intentionally leaked-at-exit via static storage
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // jobs are noexcept by contract (parallel_for wraps user fns)
+  }
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  const std::size_t t = std::min(resolve_threads(threads), n);
+  if (t <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared between the calling thread and the pool-worker "drivers". Held
+  // by shared_ptr so a driver job that starts only after the loop finished
+  // (queue backlog) still finds live state, sees `next >= n`, and exits
+  // without ever touching `fn`.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t err_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr err;
+  };
+  auto sh = std::make_shared<Shared>();
+  sh->n = n;
+  sh->fn = &fn;
+
+  const auto drive = [sh] {
+    for (;;) {
+      const std::size_t i = sh->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sh->n) return;
+      try {
+        (*sh->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(sh->mu);
+        if (i < sh->err_index) {
+          sh->err_index = i;
+          sh->err = std::current_exception();
+        }
+      }
+      if (sh->done.fetch_add(1, std::memory_order_acq_rel) + 1 == sh->n) {
+        std::lock_guard<std::mutex> lk(sh->mu);  // pairs with the cv wait
+        sh->cv.notify_all();
+      }
+    }
+  };
+
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensure_workers(t - 1);
+  const std::size_t helpers = std::min(t - 1, pool.worker_count());
+  for (std::size_t h = 0; h < helpers; ++h) pool.enqueue(drive);
+
+  drive();  // the calling thread always participates: no deadlock, ever
+
+  std::unique_lock<std::mutex> lk(sh->mu);
+  sh->cv.wait(lk, [&] {
+    return sh->done.load(std::memory_order_acquire) >= sh->n;
+  });
+  // Take sole ownership of the exception before rethrowing: a straggler
+  // driver job may destroy its copy of the shared state after we return,
+  // and must not touch the exception object the caller is inspecting.
+  std::exception_ptr err = std::move(sh->err);
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace dwv::parallel

@@ -1,0 +1,78 @@
+// Work-queue thread pool for the independent-verifier-call fan-outs of the
+// design-while-verify loop (SPSA probe pairs, subdivision cells, sibling
+// refinement boxes). Determinism is preserved by construction: callers draw
+// all randomness up front on the submitting thread, tasks write results into
+// index-addressed slots, and reductions run on the submitting thread in
+// index order — so `threads = 1` and `threads = N` produce bit-identical
+// numbers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dwv::parallel {
+
+/// Resolves a user-facing thread-count knob: `0` means auto (the
+/// `DWV_THREADS` environment variable when set, otherwise
+/// `std::thread::hardware_concurrency()`); any other value is taken
+/// verbatim, including oversubscription. Always returns >= 1.
+std::size_t resolve_threads(std::size_t requested);
+
+/// A plain FIFO work queue served by detachable worker threads. Workers are
+/// spawned lazily (see `ensure_workers`) and live for the process lifetime
+/// of the shared instance.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; some worker will run it eventually. Jobs must not
+  /// block on other jobs' *queue slots* (blocking on their completion via
+  /// external state is fine as long as some thread makes progress —
+  /// `parallel_for` guarantees this by running work on the calling thread).
+  void enqueue(std::function<void()> job);
+
+  /// Grows the worker set to at least `n` threads (capped at
+  /// `kMaxWorkers`). Never shrinks.
+  void ensure_workers(std::size_t n);
+
+  std::size_t worker_count() const;
+
+  /// Process-wide pool shared by all `parallel_for` call sites. Sized on
+  /// demand from the requested thread counts, so a process that never asks
+  /// for parallelism never spawns a thread.
+  static ThreadPool& shared();
+
+  /// Backstop against pathological thread-count requests.
+  static constexpr std::size_t kMaxWorkers = 64;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Runs `fn(0) .. fn(n - 1)` with at most `threads` (after
+/// `resolve_threads`) calls in flight at once. With an effective thread
+/// count of 1 — or n <= 1 — every call runs inline on the calling thread in
+/// index order: the exact serial path. Otherwise the calling thread
+/// participates alongside up to `threads - 1` pool workers pulling indices
+/// from a shared counter, which makes nested parallel_for calls
+/// deadlock-free even when the pool is saturated. All indices are executed
+/// regardless of failures; if any call throws, the exception from the
+/// lowest failing index is rethrown after the loop completes.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace dwv::parallel

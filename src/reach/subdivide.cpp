@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/pool.hpp"
+
 namespace dwv::reach {
 
 Flowpipe SubdividingVerifier::compute(const geom::Box& x0,
@@ -9,12 +11,17 @@ Flowpipe SubdividingVerifier::compute(const geom::Box& x0,
   const std::vector<std::size_t> per_dim(x0.dim(), opt_.cells_per_dim);
   const std::vector<geom::Box> cells = x0.grid(per_dim);
 
-  std::vector<Flowpipe> pipes;
-  pipes.reserve(cells.size());
-  for (const geom::Box& cell : cells) {
-    Flowpipe fp = inner_->compute(cell, ctrl);
-    if (!fp.valid) return fp;  // propagate the failure verbatim
-    pipes.push_back(std::move(fp));
+  // Each cell's flowpipe is an independent verifier call: fan out across
+  // the pool, one index-addressed slot per cell, then merge on this thread
+  // in cell order — the merged pipe is bit-identical at any thread count.
+  std::vector<Flowpipe> pipes(cells.size());
+  parallel::parallel_for(opt_.threads, cells.size(), [&](std::size_t i) {
+    pipes[i] = inner_->compute(cells[i], ctrl);
+  });
+  // Propagate the lowest-index failure verbatim (deterministic regardless
+  // of which cell happened to finish first).
+  for (Flowpipe& fp : pipes) {
+    if (!fp.valid) return std::move(fp);
   }
 
   // Align to the LONGEST pipe. A cell that stopped early (goal containment
@@ -27,9 +34,14 @@ Flowpipe SubdividingVerifier::compute(const geom::Box& x0,
   const auto step_set = [](const Flowpipe& fp, std::size_t k) {
     return k < fp.step_sets.size() ? fp.step_sets[k] : fp.step_sets.back();
   };
+  // Padded slots are time-INTERVAL sets: repeat the final interval hull
+  // (which contains the final time-point set, so the pad stays a sound
+  // over-approximation of the stopped cell's tube); a time-point set here
+  // would under-represent the tube the safety check walks.
   const auto hull_at = [](const Flowpipe& fp, std::size_t k) {
-    return k < fp.interval_hulls.size() ? fp.interval_hulls[k]
-                                        : fp.step_sets.back();
+    if (k < fp.interval_hulls.size()) return fp.interval_hulls[k];
+    return fp.interval_hulls.empty() ? fp.step_sets.back()
+                                     : fp.interval_hulls.back();
   };
 
   Flowpipe merged;

@@ -13,6 +13,11 @@ namespace dwv::reach {
 struct SubdivideOptions {
   /// Cells per dimension of the initial box.
   std::size_t cells_per_dim = 2;
+  /// Concurrent per-cell flowpipe computations. 0 = auto (DWV_THREADS env
+  /// var, else hardware concurrency); 1 = serial. The hull merge runs in
+  /// cell order on the calling thread, so the merged pipe is bit-identical
+  /// at any thread count.
+  std::size_t threads = 0;
 };
 
 class SubdividingVerifier final : public Verifier {
@@ -25,9 +30,11 @@ class SubdividingVerifier final : public Verifier {
   }
 
   /// Merges the cell flowpipes by per-step box hull. The merged pipe is
-  /// valid only if EVERY cell pipe is valid; step counts are aligned to the
-  /// shortest cell pipe (stop-at-goal may truncate some cells earlier —
-  /// goal containment of the merged pipe then still holds per cell).
+  /// valid only if EVERY cell pipe is valid (all cells are computed and the
+  /// lowest-index failure is propagated verbatim); step counts are aligned
+  /// to the LONGEST cell pipe — a cell truncated earlier by stop-at-goal is
+  /// padded with its final time-point set (step sets) / final interval
+  /// hull (tube hulls), so the merge stays a sound over-approximation.
   Flowpipe compute(const geom::Box& x0,
                    const nn::Controller& ctrl) const override;
 

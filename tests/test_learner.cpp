@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/learner.hpp"
 #include "ode/benchmarks.hpp"
@@ -181,6 +182,51 @@ TEST(Learner, SinkhornModeAlsoConverges) {
   nn::LinearController ctrl(Mat{{0.0, 0.0}});
   const LearnResult res = learner.learn(ctrl);
   EXPECT_TRUE(res.success);
+}
+
+TEST(Learner, SpsaAveragedWithZeroSamplesIsClamped) {
+  // Regression: spsa_samples = 0 divided the averaged gradient by zero,
+  // turning theta into NaNs from the first update onward. Validation
+  // clamps to one sample.
+  const auto bench = ode::make_acc_benchmark();
+  LearnerOptions opt;
+  opt.gradient = GradientMode::kSpsaAveraged;
+  opt.spsa_samples = 0;
+  opt.max_iters = 5;
+  opt.restarts = 1;
+  opt.seed = 7;
+  EXPECT_EQ(opt.validated().spsa_samples, 1u);
+  Learner learner(acc_verifier(bench), bench.spec, opt);
+  nn::LinearController ctrl(Mat{{0.1, -0.4}});
+  const LearnResult res = learner.learn(ctrl);
+  ASSERT_FALSE(res.history.empty());
+  for (const IterationRecord& rec : res.history) {
+    EXPECT_TRUE(std::isfinite(rec.geo.d_u)) << "iter " << rec.iter;
+    EXPECT_TRUE(std::isfinite(rec.geo.d_g)) << "iter " << rec.iter;
+  }
+  const auto theta = ctrl.params();
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(theta[i]));
+  }
+}
+
+TEST(Learner, UnconvergedRunReportsLastRealFlowpipe) {
+  // Regression: exhausting the budget without success used to clobber
+  // final_flowpipe with a default-constructed (empty) pipe; exports and
+  // plots must instead see the final reachable set.
+  const auto bench = ode::make_acc_benchmark();
+  LearnerOptions opt;
+  opt.max_iters = 8;
+  opt.restarts = 3;
+  opt.step_size = 1e-7;  // cannot reach feasibility
+  opt.seed = 11;
+  Learner learner(acc_verifier(bench), bench.spec, opt);
+  nn::LinearController ctrl(Mat{{0.0, 0.0}});
+  const LearnResult res = learner.learn(ctrl);
+  ASSERT_FALSE(res.success);
+  ASSERT_FALSE(res.history.empty());
+  EXPECT_FALSE(res.final_flowpipe.step_sets.empty());
+  EXPECT_EQ(res.final_flowpipe.steps(), bench.spec.steps);
 }
 
 TEST(Learner, MetricKindNames) {

@@ -93,6 +93,63 @@ TEST(SubdividingVerifier, PropagatesInnerFailure) {
   EXPECT_FALSE(fp.failure.empty());
 }
 
+// Canned inner verifier producing pipes whose length depends on the cell:
+// the left half "stops at goal" after 1 step, the right half runs 3 steps.
+// Interval hulls are deliberately wider than the adjacent step sets, as in
+// any real sound flowpipe.
+class MixedLengthVerifier final : public Verifier {
+ public:
+  std::string name() const override { return "mixed-length-canned"; }
+
+  Flowpipe compute(const geom::Box& x0,
+                   const nn::Controller& /*ctrl*/) const override {
+    const bool left = x0[0].mid() < 0.0;
+    Flowpipe fp;
+    if (left) {
+      fp.step_sets = {geom::Box{{-1.0, -0.5}}, geom::Box{{-0.4, -0.2}}};
+      // Tube over the single interval: wider than both endpoint sets.
+      fp.interval_hulls = {geom::Box{{-1.1, -0.1}}};
+    } else {
+      fp.step_sets = {geom::Box{{0.5, 1.0}}, geom::Box{{0.3, 0.8}},
+                      geom::Box{{0.2, 0.6}}, geom::Box{{0.1, 0.4}}};
+      fp.interval_hulls = {geom::Box{{0.25, 1.05}}, geom::Box{{0.15, 0.85}},
+                           geom::Box{{0.05, 0.65}}};
+    }
+    return fp;
+  }
+};
+
+TEST(SubdividingVerifier, PadsStoppedCellsWithIntervalHulls) {
+  // Regression: a stopped cell used to be padded with its final STEP set (a
+  // time-point set) in the time-interval hull sequence, shrinking the
+  // merged tube below the cell's own certified tube. The pad must be the
+  // cell's final interval hull, which contains its final step set.
+  const auto inner = std::make_shared<MixedLengthVerifier>();
+  SubdividingVerifier sub(inner, {.cells_per_dim = 2});
+  nn::LinearController dummy(linalg::Mat{{0.0}});
+  const geom::Box x0{{-1.0, 1.0}};
+  const Flowpipe merged = sub.compute(x0, dummy);
+  ASSERT_TRUE(merged.valid);
+
+  // Aligned to the longest pipe: 3 steps -> 4 step sets, 3 interval hulls.
+  ASSERT_EQ(merged.step_sets.size(), 4u);
+  ASSERT_EQ(merged.interval_hulls.size(), 3u);
+
+  const geom::Box left_tube{{-1.1, -0.1}};  // the stopped cell's last hull
+  for (std::size_t k = 0; k < merged.interval_hulls.size(); ++k) {
+    // Sound over-approximation: the merged tube keeps covering the stopped
+    // cell's certified tube at every padded slot (pre-fix, hulls at k = 1, 2
+    // only reached down to the final step set [-0.4, -0.2]).
+    EXPECT_TRUE(merged.interval_hulls[k].contains(left_tube))
+        << "interval hull " << k << " lost the stopped cell's tube";
+    // ... and still covers the live cell's hull at every slot.
+    EXPECT_TRUE(merged.interval_hulls[k].contains(
+        inner->compute(geom::Box{{0.0, 1.0}}, dummy).interval_hulls[k]));
+  }
+  // Step sets pad with the final time-point set, as before.
+  EXPECT_TRUE(merged.step_sets[3].contains(geom::Box{{-0.4, -0.2}}));
+}
+
 TEST(SubdividingVerifier, NamePropagates) {
   const auto bench = ode::make_oscillator_benchmark();
   SubdividingVerifier sub(polar_verifier(bench));

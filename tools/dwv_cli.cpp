@@ -14,6 +14,10 @@
 //   --seed N                  RNG seed (default 1)
 //   --iters N                 Algorithm-1 iteration budget
 //   --samples N               Monte-Carlo sample count (default 500)
+//   --threads N               concurrent verifier calls (SPSA probes,
+//                             initial-set refinement); 0 = hardware
+//                             concurrency (default), 1 = serial. Results
+//                             are bit-identical across thread counts.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -149,6 +153,7 @@ core::LearnerOptions learner_options(const ode::Benchmark& bench,
   if (args.options.count("--iters")) {
     opt.max_iters = static_cast<std::size_t>(args.get_long("--iters", 200));
   }
+  opt.threads = static_cast<std::size_t>(args.get_long("--threads", 0));
   return opt;
 }
 
@@ -214,8 +219,10 @@ int cmd_verify(const Args& args) {
   if (rep.verdict != core::Verdict::kReachAvoid &&
       rep.facts.safe_certified) {
     // Try the initial-set search: goal-reaching may hold for part of X0.
+    core::InitialSetOptions iopt;
+    iopt.threads = static_cast<std::size_t>(args.get_long("--threads", 0));
     const core::InitialSetResult xi =
-        core::search_initial_set(*verifier, bench.spec, *ctrl);
+        core::search_initial_set(*verifier, bench.spec, *ctrl, iopt);
     std::printf("X_I search: %.1f%% of X0 certified (%zu cells)\n",
                 100.0 * xi.coverage, xi.certified.size());
   }
