@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("parallel")
+subdirs("linalg")
+subdirs("interval")
+subdirs("geom")
+subdirs("poly")
+subdirs("taylor")
+subdirs("ode")
+subdirs("sim")
+subdirs("nn")
+subdirs("transport")
+subdirs("reach")
+subdirs("rl")
+subdirs("core")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_core.dir/export.cpp.o"
+  "CMakeFiles/dwv_core.dir/export.cpp.o.d"
+  "CMakeFiles/dwv_core.dir/falsify.cpp.o"
+  "CMakeFiles/dwv_core.dir/falsify.cpp.o.d"
+  "CMakeFiles/dwv_core.dir/initial_set.cpp.o"
+  "CMakeFiles/dwv_core.dir/initial_set.cpp.o.d"
+  "CMakeFiles/dwv_core.dir/learner.cpp.o"
+  "CMakeFiles/dwv_core.dir/learner.cpp.o.d"
+  "CMakeFiles/dwv_core.dir/metrics.cpp.o"
+  "CMakeFiles/dwv_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/dwv_core.dir/verdict.cpp.o"
+  "CMakeFiles/dwv_core.dir/verdict.cpp.o.d"
+  "libdwv_core.a"
+  "libdwv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cpp" "src/geom/CMakeFiles/dwv_geom.dir/box.cpp.o" "gcc" "src/geom/CMakeFiles/dwv_geom.dir/box.cpp.o.d"
+  "/root/repo/src/geom/polygon2d.cpp" "src/geom/CMakeFiles/dwv_geom.dir/polygon2d.cpp.o" "gcc" "src/geom/CMakeFiles/dwv_geom.dir/polygon2d.cpp.o.d"
+  "/root/repo/src/geom/zonotope.cpp" "src/geom/CMakeFiles/dwv_geom.dir/zonotope.cpp.o" "gcc" "src/geom/CMakeFiles/dwv_geom.dir/zonotope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

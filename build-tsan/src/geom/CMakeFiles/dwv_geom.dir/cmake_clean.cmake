@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_geom.dir/box.cpp.o"
+  "CMakeFiles/dwv_geom.dir/box.cpp.o.d"
+  "CMakeFiles/dwv_geom.dir/polygon2d.cpp.o"
+  "CMakeFiles/dwv_geom.dir/polygon2d.cpp.o.d"
+  "CMakeFiles/dwv_geom.dir/zonotope.cpp.o"
+  "CMakeFiles/dwv_geom.dir/zonotope.cpp.o.d"
+  "libdwv_geom.a"
+  "libdwv_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_interval.dir/interval.cpp.o"
+  "CMakeFiles/dwv_interval.dir/interval.cpp.o.d"
+  "libdwv_interval.a"
+  "libdwv_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

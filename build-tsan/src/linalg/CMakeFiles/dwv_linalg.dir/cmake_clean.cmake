@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_linalg.dir/expm.cpp.o"
+  "CMakeFiles/dwv_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/dwv_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/dwv_linalg.dir/matrix.cpp.o.d"
+  "libdwv_linalg.a"
+  "libdwv_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

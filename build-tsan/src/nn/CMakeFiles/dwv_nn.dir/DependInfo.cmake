@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/dwv_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/dwv_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/controller.cpp" "src/nn/CMakeFiles/dwv_nn.dir/controller.cpp.o" "gcc" "src/nn/CMakeFiles/dwv_nn.dir/controller.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/dwv_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/dwv_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/poly_controller.cpp" "src/nn/CMakeFiles/dwv_nn.dir/poly_controller.cpp.o" "gcc" "src/nn/CMakeFiles/dwv_nn.dir/poly_controller.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dwv_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dwv_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poly/CMakeFiles/dwv_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_nn.dir/adam.cpp.o"
+  "CMakeFiles/dwv_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/dwv_nn.dir/controller.cpp.o"
+  "CMakeFiles/dwv_nn.dir/controller.cpp.o.d"
+  "CMakeFiles/dwv_nn.dir/mlp.cpp.o"
+  "CMakeFiles/dwv_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/dwv_nn.dir/poly_controller.cpp.o"
+  "CMakeFiles/dwv_nn.dir/poly_controller.cpp.o.d"
+  "CMakeFiles/dwv_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dwv_nn.dir/serialize.cpp.o.d"
+  "libdwv_nn.a"
+  "libdwv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/benchmarks.cpp" "src/ode/CMakeFiles/dwv_ode.dir/benchmarks.cpp.o" "gcc" "src/ode/CMakeFiles/dwv_ode.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/ode/expr.cpp" "src/ode/CMakeFiles/dwv_ode.dir/expr.cpp.o" "gcc" "src/ode/CMakeFiles/dwv_ode.dir/expr.cpp.o.d"
+  "/root/repo/src/ode/expr_system.cpp" "src/ode/CMakeFiles/dwv_ode.dir/expr_system.cpp.o" "gcc" "src/ode/CMakeFiles/dwv_ode.dir/expr_system.cpp.o.d"
+  "/root/repo/src/ode/reachnn_suite.cpp" "src/ode/CMakeFiles/dwv_ode.dir/reachnn_suite.cpp.o" "gcc" "src/ode/CMakeFiles/dwv_ode.dir/reachnn_suite.cpp.o.d"
+  "/root/repo/src/ode/systems.cpp" "src/ode/CMakeFiles/dwv_ode.dir/systems.cpp.o" "gcc" "src/ode/CMakeFiles/dwv_ode.dir/systems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/dwv_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poly/CMakeFiles/dwv_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

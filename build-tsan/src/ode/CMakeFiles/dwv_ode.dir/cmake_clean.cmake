@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_ode.dir/benchmarks.cpp.o"
+  "CMakeFiles/dwv_ode.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/dwv_ode.dir/expr.cpp.o"
+  "CMakeFiles/dwv_ode.dir/expr.cpp.o.d"
+  "CMakeFiles/dwv_ode.dir/expr_system.cpp.o"
+  "CMakeFiles/dwv_ode.dir/expr_system.cpp.o.d"
+  "CMakeFiles/dwv_ode.dir/reachnn_suite.cpp.o"
+  "CMakeFiles/dwv_ode.dir/reachnn_suite.cpp.o.d"
+  "CMakeFiles/dwv_ode.dir/systems.cpp.o"
+  "CMakeFiles/dwv_ode.dir/systems.cpp.o.d"
+  "libdwv_ode.a"
+  "libdwv_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

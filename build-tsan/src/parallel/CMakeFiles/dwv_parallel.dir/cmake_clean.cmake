@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_parallel.dir/pool.cpp.o"
+  "CMakeFiles/dwv_parallel.dir/pool.cpp.o.d"
+  "libdwv_parallel.a"
+  "libdwv_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_poly.dir/bernstein.cpp.o"
+  "CMakeFiles/dwv_poly.dir/bernstein.cpp.o.d"
+  "CMakeFiles/dwv_poly.dir/poly.cpp.o"
+  "CMakeFiles/dwv_poly.dir/poly.cpp.o.d"
+  "libdwv_poly.a"
+  "libdwv_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reach/control_abstraction.cpp" "src/reach/CMakeFiles/dwv_reach.dir/control_abstraction.cpp.o" "gcc" "src/reach/CMakeFiles/dwv_reach.dir/control_abstraction.cpp.o.d"
+  "/root/repo/src/reach/interval_reach.cpp" "src/reach/CMakeFiles/dwv_reach.dir/interval_reach.cpp.o" "gcc" "src/reach/CMakeFiles/dwv_reach.dir/interval_reach.cpp.o.d"
+  "/root/repo/src/reach/linear_reach.cpp" "src/reach/CMakeFiles/dwv_reach.dir/linear_reach.cpp.o" "gcc" "src/reach/CMakeFiles/dwv_reach.dir/linear_reach.cpp.o.d"
+  "/root/repo/src/reach/subdivide.cpp" "src/reach/CMakeFiles/dwv_reach.dir/subdivide.cpp.o" "gcc" "src/reach/CMakeFiles/dwv_reach.dir/subdivide.cpp.o.d"
+  "/root/repo/src/reach/tm_dynamics.cpp" "src/reach/CMakeFiles/dwv_reach.dir/tm_dynamics.cpp.o" "gcc" "src/reach/CMakeFiles/dwv_reach.dir/tm_dynamics.cpp.o.d"
+  "/root/repo/src/reach/tm_flowpipe.cpp" "src/reach/CMakeFiles/dwv_reach.dir/tm_flowpipe.cpp.o" "gcc" "src/reach/CMakeFiles/dwv_reach.dir/tm_flowpipe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/dwv_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/dwv_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poly/CMakeFiles/dwv_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/taylor/CMakeFiles/dwv_taylor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ode/CMakeFiles/dwv_ode.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/dwv_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

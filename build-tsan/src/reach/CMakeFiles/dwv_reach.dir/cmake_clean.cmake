@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_reach.dir/control_abstraction.cpp.o"
+  "CMakeFiles/dwv_reach.dir/control_abstraction.cpp.o.d"
+  "CMakeFiles/dwv_reach.dir/interval_reach.cpp.o"
+  "CMakeFiles/dwv_reach.dir/interval_reach.cpp.o.d"
+  "CMakeFiles/dwv_reach.dir/linear_reach.cpp.o"
+  "CMakeFiles/dwv_reach.dir/linear_reach.cpp.o.d"
+  "CMakeFiles/dwv_reach.dir/subdivide.cpp.o"
+  "CMakeFiles/dwv_reach.dir/subdivide.cpp.o.d"
+  "CMakeFiles/dwv_reach.dir/tm_dynamics.cpp.o"
+  "CMakeFiles/dwv_reach.dir/tm_dynamics.cpp.o.d"
+  "CMakeFiles/dwv_reach.dir/tm_flowpipe.cpp.o"
+  "CMakeFiles/dwv_reach.dir/tm_flowpipe.cpp.o.d"
+  "libdwv_reach.a"
+  "libdwv_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

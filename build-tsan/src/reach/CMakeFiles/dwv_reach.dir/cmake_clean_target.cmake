@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdwv_reach.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dwv_reach.
+# This may be replaced when dependencies are built.

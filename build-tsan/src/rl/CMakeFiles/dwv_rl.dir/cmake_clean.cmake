@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_rl.dir/ddpg.cpp.o"
+  "CMakeFiles/dwv_rl.dir/ddpg.cpp.o.d"
+  "CMakeFiles/dwv_rl.dir/env.cpp.o"
+  "CMakeFiles/dwv_rl.dir/env.cpp.o.d"
+  "CMakeFiles/dwv_rl.dir/svg.cpp.o"
+  "CMakeFiles/dwv_rl.dir/svg.cpp.o.d"
+  "libdwv_rl.a"
+  "libdwv_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/monte_carlo.cpp" "src/sim/CMakeFiles/dwv_sim.dir/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/dwv_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/simulate.cpp" "src/sim/CMakeFiles/dwv_sim.dir/simulate.cpp.o" "gcc" "src/sim/CMakeFiles/dwv_sim.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ode/CMakeFiles/dwv_ode.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/dwv_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/dwv_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poly/CMakeFiles/dwv_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

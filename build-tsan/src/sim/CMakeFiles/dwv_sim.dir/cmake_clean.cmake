@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/dwv_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/dwv_sim.dir/simulate.cpp.o"
+  "CMakeFiles/dwv_sim.dir/simulate.cpp.o.d"
+  "libdwv_sim.a"
+  "libdwv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

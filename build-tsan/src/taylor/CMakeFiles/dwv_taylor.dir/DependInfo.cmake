@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taylor/activations.cpp" "src/taylor/CMakeFiles/dwv_taylor.dir/activations.cpp.o" "gcc" "src/taylor/CMakeFiles/dwv_taylor.dir/activations.cpp.o.d"
+  "/root/repo/src/taylor/taylor_model.cpp" "src/taylor/CMakeFiles/dwv_taylor.dir/taylor_model.cpp.o" "gcc" "src/taylor/CMakeFiles/dwv_taylor.dir/taylor_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/poly/CMakeFiles/dwv_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

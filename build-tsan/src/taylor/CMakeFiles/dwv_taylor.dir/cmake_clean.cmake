@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_taylor.dir/activations.cpp.o"
+  "CMakeFiles/dwv_taylor.dir/activations.cpp.o.d"
+  "CMakeFiles/dwv_taylor.dir/taylor_model.cpp.o"
+  "CMakeFiles/dwv_taylor.dir/taylor_model.cpp.o.d"
+  "libdwv_taylor.a"
+  "libdwv_taylor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_taylor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/emd.cpp" "src/transport/CMakeFiles/dwv_transport.dir/emd.cpp.o" "gcc" "src/transport/CMakeFiles/dwv_transport.dir/emd.cpp.o.d"
+  "/root/repo/src/transport/measure.cpp" "src/transport/CMakeFiles/dwv_transport.dir/measure.cpp.o" "gcc" "src/transport/CMakeFiles/dwv_transport.dir/measure.cpp.o.d"
+  "/root/repo/src/transport/sinkhorn.cpp" "src/transport/CMakeFiles/dwv_transport.dir/sinkhorn.cpp.o" "gcc" "src/transport/CMakeFiles/dwv_transport.dir/sinkhorn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/dwv_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

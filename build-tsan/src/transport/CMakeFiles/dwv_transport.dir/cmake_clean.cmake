@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv_transport.dir/emd.cpp.o"
+  "CMakeFiles/dwv_transport.dir/emd.cpp.o.d"
+  "CMakeFiles/dwv_transport.dir/measure.cpp.o"
+  "CMakeFiles/dwv_transport.dir/measure.cpp.o.d"
+  "CMakeFiles/dwv_transport.dir/sinkhorn.cpp.o"
+  "CMakeFiles/dwv_transport.dir/sinkhorn.cpp.o.d"
+  "libdwv_transport.a"
+  "libdwv_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

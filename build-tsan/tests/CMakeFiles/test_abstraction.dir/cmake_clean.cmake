@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abstraction.dir/test_abstraction.cpp.o"
+  "CMakeFiles/test_abstraction.dir/test_abstraction.cpp.o.d"
+  "test_abstraction"
+  "test_abstraction.pdb"
+  "test_abstraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

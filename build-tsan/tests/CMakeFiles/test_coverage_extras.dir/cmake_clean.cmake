@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage_extras.dir/test_coverage_extras.cpp.o"
+  "CMakeFiles/test_coverage_extras.dir/test_coverage_extras.cpp.o.d"
+  "test_coverage_extras"
+  "test_coverage_extras.pdb"
+  "test_coverage_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_falsify.dir/test_falsify.cpp.o"
+  "CMakeFiles/test_falsify.dir/test_falsify.cpp.o.d"
+  "test_falsify"
+  "test_falsify.pdb"
+  "test_falsify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_falsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowpipe.dir/test_flowpipe.cpp.o"
+  "CMakeFiles/test_flowpipe.dir/test_flowpipe.cpp.o.d"
+  "test_flowpipe"
+  "test_flowpipe.pdb"
+  "test_flowpipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_initial_set.dir/test_initial_set.cpp.o"
+  "CMakeFiles/test_initial_set.dir/test_initial_set.cpp.o.d"
+  "test_initial_set"
+  "test_initial_set.pdb"
+  "test_initial_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_initial_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

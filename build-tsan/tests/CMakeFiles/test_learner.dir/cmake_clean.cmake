@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learner.dir/test_learner.cpp.o"
+  "CMakeFiles/test_learner.dir/test_learner.cpp.o.d"
+  "test_learner"
+  "test_learner.pdb"
+  "test_learner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

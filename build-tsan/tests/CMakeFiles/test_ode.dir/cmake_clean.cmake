@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode.dir/test_ode.cpp.o"
+  "CMakeFiles/test_ode.dir/test_ode.cpp.o.d"
+  "test_ode"
+  "test_ode.pdb"
+  "test_ode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rl/CMakeFiles/dwv_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/dwv_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/dwv_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/transport/CMakeFiles/dwv_transport.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/reach/CMakeFiles/dwv_reach.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/dwv_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/taylor/CMakeFiles/dwv_taylor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ode/CMakeFiles/dwv_ode.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/dwv_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/dwv_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poly/CMakeFiles/dwv_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interval/CMakeFiles/dwv_interval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/dwv_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poly_controller.dir/test_poly_controller.cpp.o"
+  "CMakeFiles/test_poly_controller.dir/test_poly_controller.cpp.o.d"
+  "test_poly_controller"
+  "test_poly_controller.pdb"
+  "test_poly_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poly_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reach_linear.dir/test_reach_linear.cpp.o"
+  "CMakeFiles/test_reach_linear.dir/test_reach_linear.cpp.o.d"
+  "test_reach_linear"
+  "test_reach_linear.pdb"
+  "test_reach_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reach_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

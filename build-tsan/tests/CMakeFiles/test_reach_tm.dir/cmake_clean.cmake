@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reach_tm.dir/test_reach_tm.cpp.o"
+  "CMakeFiles/test_reach_tm.dir/test_reach_tm.cpp.o.d"
+  "test_reach_tm"
+  "test_reach_tm.pdb"
+  "test_reach_tm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reach_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subdivide.dir/test_subdivide.cpp.o"
+  "CMakeFiles/test_subdivide.dir/test_subdivide.cpp.o.d"
+  "test_subdivide"
+  "test_subdivide.pdb"
+  "test_subdivide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subdivide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

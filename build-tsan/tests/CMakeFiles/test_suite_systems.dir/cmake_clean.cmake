@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_systems.dir/test_suite_systems.cpp.o"
+  "CMakeFiles/test_suite_systems.dir/test_suite_systems.cpp.o.d"
+  "test_suite_systems"
+  "test_suite_systems.pdb"
+  "test_suite_systems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taylor.dir/test_taylor.cpp.o"
+  "CMakeFiles/test_taylor.dir/test_taylor.cpp.o.d"
+  "test_taylor"
+  "test_taylor.pdb"
+  "test_taylor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taylor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verdict.dir/test_verdict.cpp.o"
+  "CMakeFiles/test_verdict.dir/test_verdict.cpp.o.d"
+  "test_verdict"
+  "test_verdict.pdb"
+  "test_verdict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verdict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_interval[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_geom[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_poly[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_taylor[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ode[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_transport[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_reach_linear[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_reach_tm[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_abstraction[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_verdict[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_learner[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_initial_set[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_rl[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_suite_systems[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_poly_controller[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_subdivide[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_flowpipe[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_falsify[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_export[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_expr[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_coverage_extras[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwv.dir/dwv_cli.cpp.o"
+  "CMakeFiles/dwv.dir/dwv_cli.cpp.o.d"
+  "dwv"
+  "dwv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
