@@ -38,7 +38,8 @@ int main() {
       std::make_shared<reach::LinearVerifier>(bench.system, bench.spec);
 
   std::printf("ACC: keep distance s in [145,155] with v ~ 40, never let\n");
-  std::printf("s drop below 120, starting from s in [122,124], v in [48,52].\n\n");
+  std::printf(
+      "s drop below 120, starting from s in [122,124], v in [48,52].\n\n");
 
   // --- design-then-verify: train a linear policy with model-based RL ---
   rl::ControlEnv env(bench.system, bench.spec, 7);

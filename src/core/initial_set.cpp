@@ -2,6 +2,8 @@
 
 #include "core/verdict.hpp"
 #include "parallel/pool.hpp"
+#include "reach/cache.hpp"
+#include "reach/tm_flowpipe.hpp"
 
 namespace dwv::core {
 
@@ -11,16 +13,34 @@ InitialSetResult search_initial_set(const reach::Verifier& verifier,
                                     const InitialSetOptions& opt) {
   InitialSetResult res;
 
+  // Parent-prefix reuse needs the symbolic TmVerifier interface; unwrap
+  // one CachingVerifier layer if present (a within-search cache would
+  // never hit anyway — branch-and-refine visits each box exactly once).
+  const reach::TmVerifier* tmv = nullptr;
+  if (opt.reuse_parent_prefix) {
+    tmv = dynamic_cast<const reach::TmVerifier*>(&verifier);
+    if (tmv == nullptr) {
+      if (const auto* cv =
+              dynamic_cast<const reach::CachingVerifier*>(&verifier)) {
+        tmv = dynamic_cast<const reach::TmVerifier*>(cv->inner().get());
+      }
+    }
+  }
+
   struct Cell {
     geom::Box box;
     std::size_t depth;
+    /// Symbolic prefix of the parent cell's flowpipe (null at the root or
+    /// when reuse is off): the child restricts it instead of
+    /// re-integrating the shared prefix from t = 0.
+    std::shared_ptr<const reach::TmSymbolicPrefix> parent;
   };
   // Level-synchronous branch-and-refine: every cell of a refinement level
   // is an independent verifier call, so the whole frontier fans out across
   // the pool; certify/bisect/reject decisions are then applied in frontier
   // order on this thread, keeping the result deterministic at any thread
   // count (and identical to the serial breadth-first traversal).
-  std::vector<Cell> frontier{{spec.x0, 0}};
+  std::vector<Cell> frontier{{spec.x0, 0, nullptr}};
 
   double certified_volume = 0.0;
   const double total_volume = spec.x0.volume();
@@ -29,9 +49,19 @@ InitialSetResult search_initial_set(const reach::Verifier& verifier,
     // vector<char>, not vector<bool>: tasks write distinct elements
     // concurrently, which packed bits would turn into a data race.
     std::vector<char> certify(frontier.size(), 0);
+    std::vector<std::shared_ptr<const reach::TmSymbolicPrefix>> prefixes(
+        tmv != nullptr ? frontier.size() : 0);
     parallel::parallel_for(
         opt.threads, frontier.size(), [&](std::size_t i) {
-          const reach::Flowpipe fp = verifier.compute(frontier[i].box, ctrl);
+          reach::Flowpipe fp;
+          if (tmv != nullptr) {
+            reach::TmComputeResult r = tmv->compute_symbolic(
+                frontier[i].box, ctrl, frontier[i].parent.get());
+            fp = std::move(r.fp);
+            prefixes[i] = std::move(r.prefix);
+          } else {
+            fp = verifier.compute(frontier[i].box, ctrl);
+          }
           const FlowpipeFacts facts = analyze_flowpipe(fp, spec);
           const bool safe_ok = !opt.check_safety || facts.safe_certified;
           certify[i] = fp.valid && safe_ok && facts.goal_certified;
@@ -46,8 +76,10 @@ InitialSetResult search_initial_set(const reach::Verifier& verifier,
         res.certified.push_back(cell.box);
       } else if (cell.depth < opt.max_depth) {
         auto [lo, hi] = cell.box.bisect();
-        next.push_back({lo, cell.depth + 1});
-        next.push_back({hi, cell.depth + 1});
+        std::shared_ptr<const reach::TmSymbolicPrefix> prefix;
+        if (tmv != nullptr) prefix = std::move(prefixes[i]);
+        next.push_back({lo, cell.depth + 1, prefix});
+        next.push_back({hi, cell.depth + 1, std::move(prefix)});
       } else {
         res.rejected.push_back(cell.box);
       }

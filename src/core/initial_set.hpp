@@ -26,6 +26,19 @@ struct InitialSetOptions {
   /// hardware concurrency); 1 = serial. Cells are certified/bisected in
   /// frontier order, so the result is identical at any thread count.
   std::size_t threads = 0;
+  /// Reuse each parent cell's validated symbolic flowpipe prefix when
+  /// verifying its children: a child's pipe starts by restricting the
+  /// parent's Taylor models to the child sub-domain (one polynomial
+  /// composition per step) instead of re-integrating from t = 0, up to the
+  /// parent's first state re-initialization (DESIGN.md §8). Takes effect
+  /// when the verifier is a TmVerifier or a CachingVerifier over one
+  /// (otherwise ignored). Sound, but a replayed prefix carries the
+  /// parent's remainders (validated over the larger domain), so pipes are
+  /// generally a little looser than with reuse off — certification
+  /// verdicts can only flip toward "refine further", never toward an
+  /// unsound "certified". Results remain identical across thread counts
+  /// for a fixed setting of this flag.
+  bool reuse_parent_prefix = false;
 };
 
 struct InitialSetResult {

@@ -28,7 +28,23 @@ Learner::Learner(reach::VerifierPtr verifier, ode::ReachAvoidSpec spec,
                  LearnerOptions opt)
     : verifier_(std::move(verifier)),
       spec_(std::move(spec)),
-      opt_(opt.validated()) {}
+      opt_(opt.validated()) {
+  // A caller-supplied CachingVerifier is adopted as-is (its cache may be
+  // shared with a subdivider or Algorithm 2); otherwise opt_.cache wraps
+  // the verifier here so every probe/iterate evaluation below memoizes.
+  if (const auto* cv =
+          dynamic_cast<const reach::CachingVerifier*>(verifier_.get())) {
+    cache_ = cv->cache();
+  } else if (opt_.cache) {
+    reach::FlowpipeCache::Config cfg;
+    cfg.capacity = opt_.cache_capacity;
+    cfg.shards = opt_.cache_shards;
+    auto cached =
+        std::make_shared<const reach::CachingVerifier>(verifier_, cfg);
+    cache_ = cached->cache();
+    verifier_ = std::move(cached);
+  }
+}
 
 Learner::MetricPair Learner::measure(const reach::Flowpipe& fp) const {
   MetricPair m;
@@ -99,6 +115,14 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
     return opt_.alpha * m.d_u + opt_.beta * m.d_g;
   };
 
+  // Stamps the cache counters onto the result at every return site (the
+  // cache is cumulative across learn() calls on a shared verifier; the
+  // snapshot reports its state at the end of this run).
+  const auto finish = [&]() -> LearnResult& {
+    if (cache_) res.cache_stats = cache_->stats();
+    return res;
+  };
+
   // Evaluates a batch of probe parameter vectors, concurrently when
   // opt_.threads allows. Each task clones the controller and writes into
   // its own index slot; timing and call counts are folded back here in
@@ -166,12 +190,12 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
         res.success = true;
         res.iterations = global_iter;
         res.final_flowpipe = fp;
-        return res;
+        return finish();
       }
       if (global_iter == opt_.max_iters) {
         res.iterations = global_iter;
         res.final_flowpipe = fp;
-        return res;
+        return finish();
       }
       if (global_iter == last_of_attempt) {
         last_fp = fp;
@@ -263,7 +287,7 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
   // All restarts exhausted: report the last real flowpipe (not a blank
   // default) so export/plot consumers still see the final reachable set.
   if (!res.history.empty()) res.final_flowpipe = std::move(last_fp);
-  return res;
+  return finish();
 }
 
 }  // namespace dwv::core

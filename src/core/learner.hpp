@@ -13,6 +13,7 @@
 #include "core/metrics.hpp"
 #include "core/verdict.hpp"
 #include "nn/controller.hpp"
+#include "reach/cache.hpp"
 #include "reach/verifier.hpp"
 
 namespace dwv::core {
@@ -62,6 +63,15 @@ struct LearnerOptions {
   /// thread and reductions run in index order, so results are bit-identical
   /// across thread counts.
   std::size_t threads = 0;
+  /// Memoize verifier calls across iterations (reach/cache.hpp): averaged
+  /// SPSA re-draws probe pairs from a set of only 2^(d-1) distinct
+  /// unordered pairs, and restarts re-evaluate recurring iterates. Hits
+  /// return exactly what recomputation would (exact-material keys over a
+  /// deterministic verifier), so enabling the cache changes no result bit
+  /// at any thread count — only the wall clock.
+  bool cache = false;
+  std::size_t cache_capacity = 4096;  ///< resident flowpipes when caching
+  std::size_t cache_shards = 16;      ///< lock stripes (contention knob)
   WassersteinOptions wopt;
 
   /// Returns a copy with out-of-range fields clamped into their documented
@@ -92,6 +102,11 @@ struct LearnResult {
   /// success, otherwise the final reachable-set estimate (also when every
   /// restart is exhausted), so exports and plots always see a real pipe.
   reach::Flowpipe final_flowpipe;
+  /// Snapshot of the flowpipe-cache counters at the end of the run (all
+  /// zero when `LearnerOptions::cache` is off and no caching verifier was
+  /// supplied). `verifier_seconds` already reflects the savings; this
+  /// explains them (hits, misses, per-phase overhead/compute split).
+  reach::CacheStats cache_stats;
 };
 
 class Learner {
@@ -116,6 +131,10 @@ class Learner {
   reach::VerifierPtr verifier_;
   ode::ReachAvoidSpec spec_;
   LearnerOptions opt_;
+  /// Non-null when this learner memoizes verifier calls — either because
+  /// `opt_.cache` wrapped the verifier here, or because the caller already
+  /// passed a CachingVerifier (reused as-is, never double-wrapped).
+  std::shared_ptr<reach::FlowpipeCache> cache_;
 };
 
 }  // namespace dwv::core

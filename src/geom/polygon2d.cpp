@@ -33,7 +33,8 @@ std::vector<P2> convex_hull(std::vector<P2> pts) {
 
 }  // namespace
 
-Polygon2d::Polygon2d(std::vector<P2> points) : vs_(convex_hull(std::move(points))) {}
+Polygon2d::Polygon2d(std::vector<P2> points)
+    : vs_(convex_hull(std::move(points))) {}
 
 Polygon2d Polygon2d::from_box(const Box& b) {
   assert(b.dim() == 2);

@@ -1,6 +1,10 @@
 #include "linalg/expm.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 namespace dwv::linalg {
 
@@ -56,6 +60,105 @@ ZohDiscretization discretize_zoh(const Mat& a, const Mat& b, double delta) {
   }
   const Mat e = expm(aug);
   return {e.block(0, 0, n, n), e.block(0, n, n, m)};
+}
+
+namespace {
+
+// Exact (A, B, delta) key material: dimensions plus raw double bits.
+struct ZohKey {
+  std::vector<std::uint64_t> words;
+  std::uint64_t hash = 0;
+  bool operator==(const ZohKey& o) const { return words == o.words; }
+};
+
+struct ZohKeyHash {
+  std::size_t operator()(const ZohKey& k) const {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+std::uint64_t bits_of(double x) {
+  if (x == 0.0) x = 0.0;  // fold -0.0 onto +0.0
+  std::uint64_t w;
+  std::memcpy(&w, &x, sizeof(w));
+  return w;
+}
+
+ZohKey make_zoh_key(const Mat& a, const Mat& b, double delta) {
+  ZohKey key;
+  key.words.reserve(3 + a.rows() * a.cols() + b.rows() * b.cols());
+  key.words.push_back(a.rows());
+  key.words.push_back(b.cols());
+  key.words.push_back(bits_of(delta));
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    key.words.push_back(bits_of(a.data()[i]));
+  }
+  for (std::size_t i = 0; i < b.rows() * b.cols(); ++i) {
+    key.words.push_back(bits_of(b.data()[i]));
+  }
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : key.words) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  key.hash = h;
+  return key;
+}
+
+struct ZohCache {
+  std::mutex mu;
+  std::unordered_map<ZohKey, ZohDiscretization, ZohKeyHash> table;
+  ZohCacheStats stats;
+  static constexpr std::size_t kBudget = 512;
+};
+
+ZohCache& zoh_cache() {
+  static ZohCache cache;
+  return cache;
+}
+
+}  // namespace
+
+ZohDiscretization discretize_zoh_cached(const Mat& a, const Mat& b,
+                                        double delta) {
+  const ZohKey key = make_zoh_key(a, b, delta);
+  ZohCache& cache = zoh_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.table.find(key);
+    if (it != cache.table.end()) {
+      ++cache.stats.hits;
+      return it->second;
+    }
+    ++cache.stats.misses;
+  }
+  // Compute outside the lock: the discretization is deterministic, so two
+  // racing threads store identical values.
+  ZohDiscretization zoh = discretize_zoh(a, b, delta);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.table.size() >= ZohCache::kBudget) {
+      cache.table.clear();
+      ++cache.stats.flushes;
+    }
+    cache.table.emplace(key, zoh);
+  }
+  return zoh;
+}
+
+ZohCacheStats zoh_cache_stats() {
+  ZohCache& cache = zoh_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.stats;
+}
+
+void zoh_cache_reset() {
+  ZohCache& cache = zoh_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.table.clear();
+  cache.stats = {};
 }
 
 }  // namespace dwv::linalg

@@ -1,6 +1,8 @@
 // Matrix exponential and zero-order-hold discretization of LTI systems.
 #pragma once
 
+#include <cstdint>
+
 #include "linalg/matrix.hpp"
 
 namespace dwv::linalg {
@@ -19,5 +21,24 @@ struct ZohDiscretization {
   Mat bd;
 };
 ZohDiscretization discretize_zoh(const Mat& a, const Mat& b, double delta);
+
+/// Memoized `discretize_zoh`. The discretization depends only on (A, B,
+/// delta) — never on the controller — so every verifier construction in a
+/// learning run (probes, restarts, benches) after the first reuses the
+/// augmented matrix exponential instead of recomputing it. Keys compare the
+/// full (A, B, delta) material bit-exactly; a hit returns exactly what
+/// `discretize_zoh` would. Thread-safe behind a process-wide mutex; the
+/// table is cleared wholesale when it exceeds an internal budget (the
+/// working set of distinct systems is tiny).
+ZohDiscretization discretize_zoh_cached(const Mat& a, const Mat& b,
+                                        double delta);
+
+struct ZohCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t flushes = 0;  ///< whole-table resets on budget overflow
+};
+ZohCacheStats zoh_cache_stats();
+void zoh_cache_reset();
 
 }  // namespace dwv::linalg

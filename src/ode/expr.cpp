@@ -44,7 +44,9 @@ ExprPtr operator+(ExprPtr a, ExprPtr b) {
   return node(ExprOp::kAdd, std::move(a), std::move(b));
 }
 
-ExprPtr operator-(ExprPtr a, ExprPtr b) { return std::move(a) + (-std::move(b)); }
+ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return std::move(a) + (-std::move(b));
+}
 
 ExprPtr operator*(ExprPtr a, ExprPtr b) {
   if (is_const(a, 0.0) || is_const(b, 0.0)) return constant(0.0);

@@ -1,0 +1,202 @@
+#include "reach/cache.hpp"
+
+#include <bit>
+#include <chrono>
+
+namespace dwv::reach {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t word) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (word >> (8 * b)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t canonical_bits(double x) {
+  // Fold -0.0 onto +0.0 so the two (numerically equal) keys coincide; all
+  // other values (including NaN payloads) keep their exact bits.
+  if (x == 0.0) x = 0.0;
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t hash_words(std::uint64_t seed, const std::uint64_t* words,
+                         std::size_t n) {
+  std::uint64_t h = seed ^ kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) h = fnv_step(h, words[i]);
+  return h;
+}
+
+std::uint64_t hash_string(std::uint64_t seed, const std::string& s) {
+  std::uint64_t h = seed ^ kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+FlowpipeCache::Key FlowpipeCache::make_key(std::uint64_t id,
+                                           const geom::Box& x0,
+                                           const linalg::Vec& params) {
+  Key key;
+  key.id = id;
+  key.words.reserve(2 * x0.dim() + params.size());
+  for (std::size_t i = 0; i < x0.dim(); ++i) {
+    key.words.push_back(canonical_bits(x0[i].lo()));
+    key.words.push_back(canonical_bits(x0[i].hi()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    key.words.push_back(canonical_bits(params[i]));
+  }
+  key.hash = hash_words(id, key.words.data(), key.words.size());
+  return key;
+}
+
+FlowpipeCache::FlowpipeCache(Config cfg) : cfg_(cfg) {
+  if (cfg_.shards == 0) cfg_.shards = 1;
+  if (cfg_.capacity < cfg_.shards) cfg_.capacity = cfg_.shards;
+  per_shard_capacity_ = (cfg_.capacity + cfg_.shards - 1) / cfg_.shards;
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<Flowpipe> FlowpipeCache::lookup(const Key& key) {
+  const std::uint64_t t0 = now_ns();
+  Shard& sh = shard_for(key);
+  std::optional<Flowpipe> out;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      out = it->second->second;
+    }
+  }
+  if (out) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  overhead_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  return out;
+}
+
+void FlowpipeCache::insert(const Key& key, const Flowpipe& fp) {
+  const std::uint64_t t0 = now_ns();
+  Shard& sh = shard_for(key);
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      // Concurrent miss on the same key: both threads computed the same
+      // (deterministic) pipe; refresh rather than duplicate.
+      it->second->second = fp;
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    } else {
+      sh.lru.emplace_front(key, fp);
+      sh.index.emplace(key, sh.lru.begin());
+      while (sh.lru.size() > per_shard_capacity_) {
+        sh.index.erase(sh.lru.back().first);
+        sh.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  overhead_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+CacheStats FlowpipeCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.overhead_seconds =
+      1e-9 * static_cast<double>(overhead_ns_.load(std::memory_order_relaxed));
+  s.miss_compute_seconds =
+      1e-9 *
+      static_cast<double>(miss_compute_ns_.load(std::memory_order_relaxed));
+  return s;
+}
+
+void FlowpipeCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  overhead_ns_.store(0, std::memory_order_relaxed);
+  miss_compute_ns_.store(0, std::memory_order_relaxed);
+}
+
+void FlowpipeCache::clear() {
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->lru.clear();
+    sh->index.clear();
+  }
+}
+
+std::size_t FlowpipeCache::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    n += sh->lru.size();
+  }
+  return n;
+}
+
+void FlowpipeCache::add_miss_compute_seconds(double s) {
+  miss_compute_ns_.fetch_add(static_cast<std::uint64_t>(s * 1e9),
+                             std::memory_order_relaxed);
+}
+
+CachingVerifier::CachingVerifier(VerifierPtr inner,
+                                 std::shared_ptr<FlowpipeCache> cache)
+    : inner_(std::move(inner)),
+      cache_(std::move(cache)),
+      name_seed_(hash_string(0x9e3779b97f4a7c15ull, inner_->name())) {}
+
+CachingVerifier::CachingVerifier(VerifierPtr inner, FlowpipeCache::Config cfg)
+    : CachingVerifier(std::move(inner),
+                      std::make_shared<FlowpipeCache>(cfg)) {}
+
+Flowpipe CachingVerifier::compute(const geom::Box& x0,
+                                  const nn::Controller& ctrl) const {
+  // The controller's architecture string keeps two different controller
+  // families with coincidentally equal flat parameter vectors apart.
+  const std::uint64_t id = hash_string(name_seed_, ctrl.describe());
+  const FlowpipeCache::Key key =
+      FlowpipeCache::make_key(id, x0, ctrl.params());
+  if (std::optional<Flowpipe> hit = cache_->lookup(key)) {
+    return std::move(*hit);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  Flowpipe fp = inner_->compute(x0, ctrl);
+  const auto t1 = std::chrono::steady_clock::now();
+  cache_->add_miss_compute_seconds(
+      std::chrono::duration<double>(t1 - t0).count());
+  cache_->insert(key, fp);
+  return fp;
+}
+
+}  // namespace dwv::reach

@@ -1,0 +1,163 @@
+// Cross-iteration flowpipe cache for the verify-in-the-loop hot path.
+//
+// Algorithm 1 re-verifies controller parameter vectors that recur exactly:
+// averaged SPSA draws Bernoulli perturbation vectors from a set of only
+// 2^(d-1) distinct unordered probe pairs (tiny for the paper's low-d
+// controllers), exhausted-restart and post-learning pipelines re-evaluate
+// the same iterate, and subdivision cells repeat across calls with the same
+// parameters. `FlowpipeCache` memoizes `Verifier::compute` results behind
+// an exact-match key, so a hit returns byte-for-byte what recomputation
+// would (verifiers are deterministic pure functions of (x0, theta)).
+//
+// Thread safety: the cache is sharded; each shard is an independently
+// locked LRU map, so concurrent probe evaluations under the PR-1 work
+// queue contend only when they land on the same shard. Statistics are
+// relaxed atomics — counters, not synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "reach/verifier.hpp"
+
+namespace dwv::reach {
+
+/// Plain-value snapshot of the cache counters (see FlowpipeCache::stats).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  /// Wall time spent inside cache bookkeeping (lookups + inserts).
+  double overhead_seconds = 0.0;
+  /// Wall time spent in the wrapped verifier on misses — the per-phase
+  /// split: total verify time = overhead + miss_compute (+ ~0 on hits).
+  double miss_compute_seconds = 0.0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Sharded LRU map from (verifier identity, initial box, controller
+/// parameters) to the computed Flowpipe. Keys compare the full floating-
+/// point material bit-exactly (never only a hash), so a hit cannot alias:
+/// it returns exactly what recomputation would.
+/// Sizing knobs for FlowpipeCache (top-level so it can serve as a default
+/// argument; a nested struct with default member initializers cannot).
+struct FlowpipeCacheConfig {
+  /// Maximum resident entries across all shards (>= shards enforced).
+  std::size_t capacity = 4096;
+  /// Lock stripes; more shards = less contention under the thread pool.
+  std::size_t shards = 16;
+};
+
+class FlowpipeCache {
+ public:
+  using Config = FlowpipeCacheConfig;
+
+  /// Exact-material cache key. `id` distinguishes verifier + controller
+  /// structure (name/architecture); `words` holds the raw double bits of
+  /// the initial box bounds followed by the flat parameter vector.
+  struct Key {
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> words;
+    std::uint64_t hash = 0;
+
+    bool operator==(const Key& o) const {
+      return id == o.id && hash == o.hash && words == o.words;
+    }
+  };
+
+  static Key make_key(std::uint64_t id, const geom::Box& x0,
+                      const linalg::Vec& params);
+
+  explicit FlowpipeCache(Config cfg = {});
+
+  /// Returns a copy of the cached pipe and refreshes its LRU position.
+  std::optional<Flowpipe> lookup(const Key& key);
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
+  /// over budget.
+  void insert(const Key& key, const Flowpipe& fp);
+
+  CacheStats stats() const;
+  void reset_stats();
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return cfg_.capacity; }
+
+  /// Accounting hook for the time the caller spent computing a miss.
+  void add_miss_compute_seconds(double s);
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Key, Flowpipe>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Flowpipe>>::iterator,
+                       KeyHash>
+        index;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return *shards_[key.hash % shards_.size()];
+  }
+
+  Config cfg_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> insertions_{0};
+  mutable std::atomic<std::uint64_t> overhead_ns_{0};
+  mutable std::atomic<std::uint64_t> miss_compute_ns_{0};
+};
+
+/// FNV-1a over a word stream; the canonical hash used for cache keys.
+std::uint64_t hash_words(std::uint64_t seed, const std::uint64_t* words,
+                         std::size_t n);
+std::uint64_t hash_string(std::uint64_t seed, const std::string& s);
+
+/// Decorator memoizing any Verifier. Bit-identity of hits follows from the
+/// wrapped verifier being a deterministic pure function of (x0, theta):
+/// the cache stores exactly what `inner->compute` returned for the same
+/// exact key material, so enabling the cache (at any thread count) cannot
+/// change a single bit of any result the caller observes.
+class CachingVerifier final : public Verifier {
+ public:
+  CachingVerifier(VerifierPtr inner, std::shared_ptr<FlowpipeCache> cache);
+  explicit CachingVerifier(VerifierPtr inner,
+                           FlowpipeCache::Config cfg = {});
+
+  std::string name() const override {
+    return "cached(" + inner_->name() + ")";
+  }
+
+  Flowpipe compute(const geom::Box& x0,
+                   const nn::Controller& ctrl) const override;
+
+  const std::shared_ptr<FlowpipeCache>& cache() const { return cache_; }
+  const VerifierPtr& inner() const { return inner_; }
+
+ private:
+  VerifierPtr inner_;
+  std::shared_ptr<FlowpipeCache> cache_;
+  std::uint64_t name_seed_;
+};
+
+}  // namespace dwv::reach

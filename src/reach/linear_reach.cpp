@@ -30,12 +30,15 @@ LinearVerifier::LinearVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
     cc.set_col(0, c_);
     baug = linalg::Mat::hcat(b_, cc);
   }
-  full_ = linalg::discretize_zoh(a_, baug, spec_.delta);
+  // Memoized: the discretizations depend only on (A, B, delta), so every
+  // verifier constructed for the same plant (probe fan-outs, benches,
+  // repeated CLI invocations in one process) reuses the first computation.
+  full_ = linalg::discretize_zoh_cached(a_, baug, spec_.delta);
   partial_.reserve(opt_.subdivisions);
   for (std::size_t j = 1; j <= opt_.subdivisions; ++j) {
     const double t = spec_.delta * static_cast<double>(j) /
                      static_cast<double>(opt_.subdivisions);
-    partial_.push_back(linalg::discretize_zoh(a_, baug, t));
+    partial_.push_back(linalg::discretize_zoh_cached(a_, baug, t));
   }
 }
 
@@ -57,17 +60,24 @@ Flowpipe LinearVerifier::compute(const Box& x0,
   const bool affine = c_.size() == n;
   const std::size_t m = b_.cols();
 
+  // The closed-loop sub-sample maps x(t_j) = (Ad_j + Bd_j K) x + cd_j
+  // depend only on K — hoist them out of the step loop (they used to be
+  // rebuilt every period; same arithmetic, computed once per call).
+  std::vector<Mat> mj(opt_.subdivisions);
+  std::vector<Vec> cd(opt_.subdivisions, Vec(n));
+  for (std::size_t j = 0; j < opt_.subdivisions; ++j) {
+    const Mat bd = partial_[j].bd.block(0, 0, n, m);
+    mj[j] = partial_[j].ad + bd * k;
+    if (affine) cd[j] = partial_[j].bd.col(m);
+  }
+
   for (std::size_t step = 0; step < spec_.steps; ++step) {
     // Sub-sampled sets within the period:
     // x(t_j) = (Ad_j + Bd_j K) x + cd_j (with u = K x held over the step).
     Box period_hull = z.bounding_box();
     Zonotope z_next = z;
     for (std::size_t j = 0; j < opt_.subdivisions; ++j) {
-      const Mat bd = partial_[j].bd.block(0, 0, n, m);
-      const Mat mj = partial_[j].ad + bd * k;
-      Vec cd(n);
-      if (affine) cd = partial_[j].bd.col(m);
-      Zonotope zj = z.affine(mj, cd);
+      Zonotope zj = z.affine(mj[j], cd[j]);
       period_hull = period_hull.hull_with(zj.bounding_box());
       if (j + 1 == opt_.subdivisions) z_next = zj;
     }

@@ -6,6 +6,7 @@
 // "extra tight" end of the verification-tightness ablation.
 #pragma once
 
+#include "reach/cache.hpp"
 #include "reach/verifier.hpp"
 
 namespace dwv::reach {
@@ -18,12 +19,24 @@ struct SubdivideOptions {
   /// cell order on the calling thread, so the merged pipe is bit-identical
   /// at any thread count.
   std::size_t threads = 0;
+  /// When non-null, per-cell flowpipes are memoized here (the inner
+  /// verifier is wrapped in a CachingVerifier keyed by cell box +
+  /// controller parameters), so repeated compute() calls with recurring
+  /// parameters — SPSA probe pairs, exhausted-restart re-evaluations —
+  /// skip every cell they have seen. Share one cache across learner and
+  /// subdivider to also hit across call sites.
+  std::shared_ptr<FlowpipeCache> cache = nullptr;
 };
 
 class SubdividingVerifier final : public Verifier {
  public:
   SubdividingVerifier(VerifierPtr inner, SubdivideOptions opt = {})
-      : inner_(std::move(inner)), opt_(opt) {}
+      : inner_(std::move(inner)), opt_(opt) {
+    if (opt_.cache) {
+      inner_ = std::make_shared<const CachingVerifier>(std::move(inner_),
+                                                       opt_.cache);
+    }
+  }
 
   std::string name() const override {
     return "subdivide(" + inner_->name() + ")";

@@ -1,6 +1,9 @@
 #include "reach/tm_flowpipe.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "ode/expr_system.hpp"
@@ -223,6 +226,7 @@ TmStepResult tm_integrate_step(const TmEnv& env_set, const TmVec& state,
         TaylorModel end = taylor::tm_subst_var(env, validated[i], tau, h);
         res.at_end[i] = {drop_last_var(end.poly), end.rem};
       }
+      res.tube_tm = std::move(validated);
       res.ok = true;
       return res;
     }
@@ -276,8 +280,76 @@ std::string TmVerifier::name() const {
   return os.str();
 }
 
+namespace {
+
+// Affine arguments mapping the child's unit parameterization into the
+// parent's: s_parent_i = m_i + rho_i * s_child_i, computed so the image of
+// [-1, 1] covers the child's exact sub-domain (a few-ulp outward widening
+// absorbs the division rounding) while staying inside the parent's
+// validated domain. When `time_var` is set the argument list is extended
+// with the identity model for tau, so tube models (set vars + tau) can be
+// composed with the same machinery.
+TmVec restriction_args(const TmEnv& env, const geom::Box& parent_box,
+                       const geom::Box& child_box, bool time_var) {
+  const std::size_t n = parent_box.dim();
+  constexpr double kUlp = 4.0 * std::numeric_limits<double>::epsilon();
+  TmVec args;
+  args.reserve(env.nvars());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pc = parent_box[i].mid();
+    const double pr = parent_box[i].rad();
+    if (pr <= 0.0) {
+      // Degenerate parent dimension: the variable never entered the
+      // parent's polynomials (zero initial coefficient), any constant in
+      // the domain is a sound stand-in.
+      args.push_back(TaylorModel::constant(env, 0.0));
+      continue;
+    }
+    double lo = (child_box[i].lo() - pc) / pr;
+    double hi = (child_box[i].hi() - pc) / pr;
+    lo = std::max(-1.0, lo - kUlp * (1.0 + std::abs(lo)));
+    hi = std::min(1.0, hi + kUlp * (1.0 + std::abs(hi)));
+    const double m = 0.5 * (lo + hi);
+    const double rho = 0.5 * (hi - lo);
+    Poly p = Poly::constant(env.nvars(), m) +
+             Poly::variable(env.nvars(), i) * rho;
+    args.push_back({std::move(p), Interval(0.0)});
+  }
+  if (time_var) args.push_back(TaylorModel::variable(env, n));
+  return args;
+}
+
+// Composes a parent model with the restriction arguments; the parent's
+// validated remainder holds pointwise over its domain, so it transfers
+// verbatim to the sub-domain.
+TaylorModel restrict_tm(const TmEnv& env, const TaylorModel& tm,
+                        const TmVec& args) {
+  TaylorModel out = taylor::tm_eval_poly(env, tm.poly, args);
+  out.rem = out.rem + tm.rem;
+  return out;
+}
+
+}  // namespace
+
 Flowpipe TmVerifier::compute(const geom::Box& x0,
                              const nn::Controller& ctrl) const {
+  return run(x0, ctrl, nullptr, nullptr);
+}
+
+TmComputeResult TmVerifier::compute_symbolic(
+    const geom::Box& x0, const nn::Controller& ctrl,
+    const TmSymbolicPrefix* parent) const {
+  auto prefix = std::make_shared<TmSymbolicPrefix>();
+  prefix->x0 = x0;
+  TmComputeResult out;
+  out.fp = run(x0, ctrl, prefix.get(), parent);
+  if (!prefix->periods.empty()) out.prefix = std::move(prefix);
+  return out;
+}
+
+Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
+                         TmSymbolicPrefix* record,
+                         const TmSymbolicPrefix* parent) const {
   const std::size_t n = sys_->state_dim();
   assert(x0.dim() == n);
 
@@ -302,36 +374,34 @@ Flowpipe TmVerifier::compute(const geom::Box& x0,
 
   const double h = spec_.delta / static_cast<double>(opt_.substeps);
 
-  for (std::size_t step = 0; step < spec_.steps; ++step) {
-    const TmVec u = abs_->abstract(env, x, ctrl);
+  // Recording stops at the first re-initialization: afterwards the state
+  // models no longer depend on the initial-set variables, so a child cell
+  // could not soundly restrict them.
+  bool recording = record != nullptr;
+  std::size_t step = 0;
 
-    IVec period_hull;
-    for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
-      TmStepResult sr = tm_integrate_step(env, x, u, *dynamics_, h, opt_);
-      if (!sr.ok) {
-        fp.valid = false;
-        fp.failure = sr.failure;
-        return fp;
-      }
-      period_hull = (sub == 0) ? sr.tube_range
-                               : interval::hull(period_hull, sr.tube_range);
-      x = std::move(sr.at_end);
-    }
-
+  // Shared helper for both the replay and integration paths: books the
+  // period into the pipe, applies the stop/divergence/re-init policy.
+  // Returns nonzero when the pipe is finished (1) or failed (2).
+  const auto finish_period = [&](const IVec& period_hull,
+                                 std::vector<TmVec>&& tube_rec) -> int {
     fp.interval_hulls.emplace_back(period_hull);
     const IVec end_range = taylor::tm_vec_range(env, x);
     fp.step_sets.emplace_back(end_range);
+    if (recording) {
+      record->periods.push_back({std::move(tube_rec), x});
+    }
 
     // Reach-avoid semantics: the run ends when the goal is provably
     // reached; tracking the post-goal flow would only inflate the pipe.
     if (spec_.stop_at_goal && spec_.goal.contains(geom::Box(end_range))) {
-      return fp;
+      return 1;
     }
 
     if (end_range.max_mag() > opt_.divergence_bound) {
       fp.valid = false;
       fp.failure = "flowpipe enclosure diverged";
-      return fp;
+      return 2;
     }
 
     // Adaptive re-initialization: when the interval remainder dominates the
@@ -352,8 +422,85 @@ Flowpipe TmVerifier::compute(const geom::Box& x0,
           break;
         }
       }
-      if (reinit) x = reinitialize(x, end_range);
+      if (reinit) {
+        x = reinitialize(x, end_range);
+        recording = false;
+      }
     }
+    return 0;
+  };
+
+  // --- Parent-prefix replay (branch-and-refine reuse) ---------------------
+  // Each replayed period costs a polynomial composition instead of a Picard
+  // fixpoint + remainder validation. Replay ends at the parent's recorded
+  // horizon or as soon as the (restricted) state re-initializes, whichever
+  // comes first; integration resumes from the restricted symbolic state.
+  if (parent != nullptr && !parent->periods.empty() &&
+      parent->x0.dim() == n && parent->x0.contains(x0)) {
+    TmEnv env_time;
+    env_time.dom = IVec(n + 1);
+    for (std::size_t i = 0; i < n; ++i) env_time.dom[i] = Interval(-1.0, 1.0);
+    env_time.dom[n] = Interval(0.0, h);
+    env_time.order = opt_.order;
+    env_time.cutoff = opt_.cutoff;
+
+    const TmVec args_set = restriction_args(env, parent->x0, x0, false);
+    const TmVec args_time = restriction_args(env_time, parent->x0, x0, true);
+
+    const bool was_recording = recording;
+    while (step < parent->periods.size() && step < spec_.steps &&
+           recording == was_recording) {
+      const TmSymbolicPrefix::Period& period = parent->periods[step];
+
+      IVec period_hull;
+      std::vector<TmVec> tube_rec;
+      if (recording) tube_rec.reserve(period.tube.size());
+      for (std::size_t sub = 0; sub < period.tube.size(); ++sub) {
+        TmVec restricted(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          restricted[i] = restrict_tm(env_time, period.tube[sub][i],
+                                      args_time);
+        }
+        const IVec range = taylor::tm_vec_range(env_time, restricted);
+        period_hull =
+            (sub == 0) ? range : interval::hull(period_hull, range);
+        if (recording) tube_rec.push_back(std::move(restricted));
+      }
+
+      TmVec x_end(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x_end[i] = restrict_tm(env, period.at_end[i], args_set);
+      }
+      x = std::move(x_end);
+      ++step;
+
+      const int status = finish_period(period_hull, std::move(tube_rec));
+      if (status != 0) return fp;
+    }
+  }
+
+  // --- Taylor-model integration ------------------------------------------
+  for (; step < spec_.steps; ++step) {
+    const TmVec u = abs_->abstract(env, x, ctrl);
+
+    IVec period_hull;
+    std::vector<TmVec> tube_rec;
+    if (recording) tube_rec.reserve(opt_.substeps);
+    for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
+      TmStepResult sr = tm_integrate_step(env, x, u, *dynamics_, h, opt_);
+      if (!sr.ok) {
+        fp.valid = false;
+        fp.failure = sr.failure;
+        return fp;
+      }
+      period_hull = (sub == 0) ? sr.tube_range
+                               : interval::hull(period_hull, sr.tube_range);
+      x = std::move(sr.at_end);
+      if (recording) tube_rec.push_back(std::move(sr.tube_tm));
+    }
+
+    const int status = finish_period(period_hull, std::move(tube_rec));
+    if (status != 0) return fp;
   }
   return fp;
 }

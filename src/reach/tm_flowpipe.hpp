@@ -47,6 +47,10 @@ struct TmReachOptions {
 struct TmStepResult {
   taylor::TmVec at_end;        ///< state TMs at tau = h (tau substituted)
   interval::IVec tube_range;   ///< box hull of the enclosure over [0, h]
+  /// Validated symbolic tube models over (set vars..., tau in [0, h]) —
+  /// the functional enclosure `tube_range` is the box hull of. Kept so the
+  /// branch-and-refine prefix reuse can restrict them to sub-domains.
+  taylor::TmVec tube_tm;
   bool ok = false;
   std::string failure;
 };
@@ -68,6 +72,39 @@ TmStepResult tm_integrate_step(const taylor::TmEnv& env_set,
                                const std::vector<poly::Poly>& f_polys,
                                double h, const TmReachOptions& opt);
 
+/// Symbolic prefix of a TM flowpipe: the validated Taylor models of every
+/// integration substep and control instant as FUNCTIONS of the initial-set
+/// parameterization x_i = c_i + r_i s_i, s in [-1, 1]^n, recorded up to the
+/// first state re-initialization (after a re-parameterization the models no
+/// longer depend on the initial set, so restriction becomes unsound).
+///
+/// Because the models are functional enclosures — for every x0 in the box
+/// and tau in the substep, the true flow lies inside the model evaluated at
+/// the matching (s, tau) — restricting s to the sub-domain of a child cell
+/// yields a sound flowpipe prefix for that cell WITHOUT re-integrating from
+/// t = 0. This is the branch-and-refine "parent prefix reuse" of DESIGN.md
+/// §8: a replayed step costs one polynomial composition instead of a full
+/// Picard fixpoint + remainder validation.
+struct TmSymbolicPrefix {
+  struct Period {
+    /// Validated tube models per substep, over (set vars..., tau).
+    std::vector<taylor::TmVec> tube;
+    /// Validated state models at the period end, over the set vars.
+    taylor::TmVec at_end;
+  };
+  std::vector<Period> periods;
+  geom::Box x0;  ///< the initial box the models are parameterized over
+};
+
+struct TmComputeResult {
+  Flowpipe fp;
+  /// Non-null when at least one period completed before the first
+  /// re-initialization (kept even for invalid pipes: the periods recorded
+  /// before a failure are validated enclosures and exactly what a child
+  /// cell of a to-be-bisected box wants to reuse).
+  std::shared_ptr<const TmSymbolicPrefix> prefix;
+};
+
 /// Verifier built on the TM flowpipe.
 class TmVerifier final : public Verifier {
  public:
@@ -85,7 +122,23 @@ class TmVerifier final : public Verifier {
   Flowpipe compute(const geom::Box& x0,
                    const nn::Controller& ctrl) const override;
 
+  /// Like `compute`, but records the symbolic prefix of the result and,
+  /// when `parent` is non-null with parent->x0 containing `x0`, replays the
+  /// parent's restricted models for the shared prefix instead of
+  /// re-integrating from t = 0. The replayed pipe is sound but generally a
+  /// little looser than a cold computation (the parent's remainders were
+  /// validated over the larger domain); cold and replayed runs therefore
+  /// agree on soundness, not bit-for-bit — use it where only verdicts
+  /// matter (Algorithm 2). A parent that does not contain `x0` is ignored.
+  TmComputeResult compute_symbolic(
+      const geom::Box& x0, const nn::Controller& ctrl,
+      const TmSymbolicPrefix* parent = nullptr) const;
+
  private:
+  Flowpipe run(const geom::Box& x0, const nn::Controller& ctrl,
+               TmSymbolicPrefix* record,
+               const TmSymbolicPrefix* parent) const;
+
   ode::SystemPtr sys_;
   ode::ReachAvoidSpec spec_;
   ControlAbstractionPtr abs_;

@@ -24,7 +24,8 @@ McStats monte_carlo_rates(const ode::System& sys, const nn::Controller& ctrl,
   }
   st.safe_rate = static_cast<double>(safe) / static_cast<double>(samples);
   st.goal_rate = static_cast<double>(reached) / static_cast<double>(samples);
-  st.mean_reach_step = reached ? reach_steps / static_cast<double>(reached) : 0.0;
+  st.mean_reach_step =
+      reached ? reach_steps / static_cast<double>(reached) : 0.0;
   return st;
 }
 

@@ -62,7 +62,8 @@ SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
     }
   }
 
-  // Transport cost of the implied plan P_ij = exp((f_i+g_j-c_ij)/eps+loga+logb).
+  // Transport cost of the implied plan
+  // P_ij = exp((f_i+g_j-c_ij)/eps+loga+logb).
   double cost = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < m; ++j) {

@@ -18,6 +18,12 @@
 //                             initial-set refinement); 0 = hardware
 //                             concurrency (default), 1 = serial. Results
 //                             are bit-identical across thread counts.
+//   --cache                   memoize verifier calls across iterations
+//                             (bit-identical results, fewer re-computations)
+//   --cache-stats             print cache hit/miss/eviction counters and
+//                             the per-phase timing split (implies --cache)
+//   --reuse-prefix            (verify) child cells of the X_I search reuse
+//                             the parent's symbolic flowpipe prefix
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -25,10 +31,12 @@
 
 #include "core/initial_set.hpp"
 #include "core/learner.hpp"
+#include "linalg/expm.hpp"
 #include "core/verdict.hpp"
 #include "nn/serialize.hpp"
 #include "ode/expr_system.hpp"
 #include "ode/reachnn_suite.hpp"
+#include "reach/cache.hpp"
 #include "reach/linear_reach.hpp"
 #include "reach/tm_flowpipe.hpp"
 #include "sim/monte_carlo.hpp"
@@ -154,7 +162,25 @@ core::LearnerOptions learner_options(const ode::Benchmark& bench,
     opt.max_iters = static_cast<std::size_t>(args.get_long("--iters", 200));
   }
   opt.threads = static_cast<std::size_t>(args.get_long("--threads", 0));
+  opt.cache = args.options.count("--cache") != 0 ||
+              args.options.count("--cache-stats") != 0;
   return opt;
+}
+
+void print_cache_stats(const reach::CacheStats& s) {
+  std::printf(
+      "cache: %llu hits / %llu lookups (%.1f%%), %llu insertions, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.lookups()), 100.0 * s.hit_rate(),
+      static_cast<unsigned long long>(s.insertions),
+      static_cast<unsigned long long>(s.evictions));
+  std::printf("cache: %.3fs bookkeeping overhead, %.3fs miss compute\n",
+              s.overhead_seconds, s.miss_compute_seconds);
+  const linalg::ZohCacheStats z = linalg::zoh_cache_stats();
+  std::printf("zoh:   %llu hits / %llu lookups\n",
+              static_cast<unsigned long long>(z.hits),
+              static_cast<unsigned long long>(z.hits + z.misses));
 }
 
 int cmd_list() {
@@ -184,6 +210,7 @@ int cmd_learn(const Args& args) {
   std::printf("%s after %zu iterations (%zu verifier calls, %.1fs)\n",
               res.success ? "CONVERGED" : "did not converge",
               res.iterations, res.verifier_calls, res.verifier_seconds);
+  if (args.options.count("--cache-stats")) print_cache_stats(res.cache_stats);
   if (!res.success) return 1;
 
   const sim::McStats mc = sim::monte_carlo_rates(
@@ -208,8 +235,14 @@ int cmd_verify(const Args& args) {
     return 2;
   }
   const nn::ControllerPtr ctrl = nn::load_controller_file(path);
-  const auto verifier =
+  reach::VerifierPtr verifier =
       make_verifier(bench, args.get("--verifier", ""), ctrl.get());
+  std::shared_ptr<reach::FlowpipeCache> cache;
+  if (args.options.count("--cache") || args.options.count("--cache-stats")) {
+    auto cached = std::make_shared<const reach::CachingVerifier>(verifier);
+    cache = cached->cache();
+    verifier = std::move(cached);
+  }
   std::printf("verifying %s with %s...\n", ctrl->describe().c_str(),
               verifier->name().c_str());
   const core::VerificationReport rep = core::verify_controller(
@@ -221,10 +254,14 @@ int cmd_verify(const Args& args) {
     // Try the initial-set search: goal-reaching may hold for part of X0.
     core::InitialSetOptions iopt;
     iopt.threads = static_cast<std::size_t>(args.get_long("--threads", 0));
+    iopt.reuse_parent_prefix = args.options.count("--reuse-prefix") != 0;
     const core::InitialSetResult xi =
         core::search_initial_set(*verifier, bench.spec, *ctrl, iopt);
     std::printf("X_I search: %.1f%% of X0 certified (%zu cells)\n",
                 100.0 * xi.coverage, xi.certified.size());
+  }
+  if (cache && args.options.count("--cache-stats")) {
+    print_cache_stats(cache->stats());
   }
   return rep.verdict == core::Verdict::kReachAvoid ? 0 : 1;
 }
@@ -256,9 +293,16 @@ int main(int argc, char** argv) {
   args.command = argv[1];
   int i = 2;
   if (i < argc && argv[i][0] != '-') args.benchmark = argv[i++];
-  for (; i + 1 < argc; i += 2) {
+  for (; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) return usage();
-    args.options[argv[i]] = argv[i + 1];
+    // Options take a value; a trailing option or one followed by another
+    // --option is a boolean flag (--cache, --cache-stats, --reuse-prefix).
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[argv[i]] = argv[i + 1];
+      ++i;
+    } else {
+      args.options[argv[i]] = "1";
+    }
   }
 
   try {
