@@ -1,0 +1,181 @@
+// Microbenchmarks for the packed-monomial polynomial kernel: raw polynomial
+// multiply/compose, the same operations on the retained map-based reference
+// implementation (the pre-packing representation), and the Taylor-model
+// flowpipe step that dominates verifier runtime. Results are printed as a
+// table and written to BENCH_poly_kernel.json.
+//
+// The file intentionally compiles against the pre-packing tree as well
+// (sections needing new APIs are gated on the poly_ref header), so the same
+// workload source produces the before/after numbers quoted in the PR.
+//
+//   $ ./bench_poly_kernel
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "poly/poly.hpp"
+#include "reach/tm_dynamics.hpp"
+#include "reach/tm_flowpipe.hpp"
+#include "taylor/taylor_model.hpp"
+
+#if __has_include("poly/poly_ref.hpp")
+#include "poly/poly_ref.hpp"
+#define DWV_HAVE_POLY_REF 1
+#endif
+
+using namespace dwv;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Results {
+  std::vector<std::pair<std::string, double>> rows;  // name -> ns/op
+
+  void add(const std::string& name, double ns) {
+    rows.emplace_back(name, ns);
+    std::printf("%-28s %12.1f ns/op\n", name.c_str(), ns);
+  }
+
+  void write_json(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) return;
+    std::fprintf(f, "{\n  \"bench\": \"poly_kernel\",\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.1f%s\n", rows[i].first.c_str(),
+                   rows[i].second, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+};
+
+// Times `reps` invocations of `fn` and returns ns per invocation. A short
+// warm-up run fills caches/scratch before the measured pass.
+template <typename Fn>
+double time_ns(std::size_t reps, Fn&& fn) {
+  for (std::size_t i = 0; i < reps / 10 + 1; ++i) fn();
+  const double t0 = now_seconds();
+  for (std::size_t i = 0; i < reps; ++i) fn();
+  return (now_seconds() - t0) * 1e9 / static_cast<double>(reps);
+}
+
+// The hot polynomial shape in the verifiers: 3 variables (2 state + 1
+// control or 2 set vars + time), ~8 terms, total degree <= 3.
+poly::Poly make_poly(std::uint64_t seed, std::size_t nvars,
+                     std::size_t terms, std::uint32_t max_per_var) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coeff(-1.5, 1.5);
+  poly::Poly p(nvars);
+  for (std::size_t t = 0; t < terms; ++t) {
+    poly::Exponents e(nvars);
+    for (auto& x : e)
+      x = static_cast<std::uint32_t>(rng() % (max_per_var + 1));
+    p.add_term(e, coeff(rng));
+  }
+  return p;
+}
+
+double g_sink = 0.0;  // defeat dead-code elimination
+
+void bench_poly_ops(Results& out) {
+  const poly::Poly a = make_poly(11, 3, 8, 2);
+  const poly::Poly b = make_poly(17, 3, 8, 2);
+  out.add("poly_mul_packed", time_ns(100000, [&] {
+            const poly::Poly c = a * b;
+            g_sink += c.max_abs_coeff();
+          }));
+
+  std::vector<poly::Poly> subs;
+  for (std::uint64_t i = 0; i < 3; ++i)
+    subs.push_back(make_poly(23 + i, 3, 4, 1));
+  out.add("poly_compose_packed", time_ns(20000, [&] {
+            const poly::Poly c = a.compose(subs);
+            g_sink += c.max_abs_coeff();
+          }));
+
+#ifdef DWV_HAVE_POLY_REF
+  // The same workloads on the retained map-based representation — the exact
+  // data structure the kernel replaced, kept as the differential oracle.
+  const poly::ref::RefPoly ra = poly::ref::to_ref(a);
+  const poly::ref::RefPoly rb = poly::ref::to_ref(b);
+  out.add("poly_mul_mapref", time_ns(100000, [&] {
+            const poly::ref::RefPoly c = ra * rb;
+            g_sink += c.max_abs_coeff();
+          }));
+  std::vector<poly::ref::RefPoly> rsubs;
+  for (const auto& s : subs) rsubs.push_back(poly::ref::to_ref(s));
+  out.add("poly_compose_mapref", time_ns(20000, [&] {
+            const poly::ref::RefPoly c = ra.compose(rsubs);
+            g_sink += c.max_abs_coeff();
+          }));
+#endif
+}
+
+// One validated Taylor-model integration step of a 2-D polynomial system
+// under constant control — the inner loop of every TM verifier call.
+struct StepWorkload {
+  taylor::TmEnv env;
+  taylor::TmVec state;
+  taylor::TmVec control;
+  reach::PolyTmDynamics dyn;
+  reach::TmReachOptions opt;
+
+  StepWorkload()
+      : dyn([] {
+          poly::Poly f0(3);
+          f0.add_term({0, 1, 0}, 1.0);
+          poly::Poly f1(3);
+          f1.add_term({1, 0, 0}, -1.0);
+          f1.add_term({0, 1, 0}, -0.5);
+          f1.add_term({1, 1, 0}, 0.1);
+          f1.add_term({0, 0, 1}, 1.0);
+          return std::vector<poly::Poly>{f0, f1};
+        }()) {
+    env.dom = interval::IVec(2, interval::Interval(-0.1, 0.1));
+    env.order = 3;
+    env.cutoff = 1e-12;
+    state.push_back(taylor::TaylorModel::variable(env, 0));
+    state.push_back(taylor::TaylorModel::variable(env, 1));
+    control.push_back(taylor::TaylorModel::constant(env, 0.25));
+  }
+};
+
+void bench_tm_step(Results& out) {
+  StepWorkload w;
+  out.add("tm_flowpipe_step", time_ns(2000, [&] {
+            const reach::TmStepResult r = reach::tm_integrate_step(
+                w.env, w.state, w.control, w.dyn, 0.05, w.opt);
+            g_sink += r.tube_range[0].hi();
+          }));
+
+#ifdef DWV_HAVE_POLY_REF
+  // Steady-state variant: warm out-parameter buffers, zero heap
+  // allocations per step (only available with the packed kernel).
+  reach::TmStepResult res;
+  out.add("tm_flowpipe_step_steady", time_ns(2000, [&] {
+            reach::tm_integrate_step(w.env, w.state, w.control, w.dyn, 0.05,
+                                     w.opt, res);
+            g_sink += res.tube_range[0].hi();
+          }));
+#endif
+}
+
+}  // namespace
+
+int main() {
+  std::printf("packed-monomial kernel microbenchmarks\n");
+  std::printf("--------------------------------------\n");
+  Results out;
+  bench_poly_ops(out);
+  bench_tm_step(out);
+  out.write_json("BENCH_poly_kernel.json");
+  std::printf("\nwrote BENCH_poly_kernel.json (sink %.3g)\n", g_sink);
+  return 0;
+}

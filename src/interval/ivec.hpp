@@ -26,6 +26,10 @@ class IVec {
   }
 
   std::size_t size() const { return data_.size(); }
+  /// Resizes in place (new components set to `fill`); keeps capacity.
+  void resize(std::size_t n, Interval fill = Interval()) {
+    data_.resize(n, fill);
+  }
   Interval& operator[](std::size_t i) { return data_[i]; }
   const Interval& operator[](std::size_t i) const { return data_[i]; }
   auto begin() { return data_.begin(); }

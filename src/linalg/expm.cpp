@@ -4,9 +4,39 @@
 #include <cstring>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace dwv::linalg {
+
+namespace {
+
+// Preallocated Padé work matrices, reused across calls so the
+// scaling-and-squaring loop allocates nothing after warm-up. Every
+// intermediate is built with the same statement forms (one scale, one
+// elementwise add/sub, one product per statement) as the original
+// temporary-chain expression, so results stay bit-identical.
+struct ExpmWorkspace {
+  Mat x, x2, x4, x6, even, odd_core, odd, num, den, r, tmp;
+};
+
+// even/odd accumulators: start from b0 * I (the identity scaled term has
+// b0 on the diagonal and +0.0 elsewhere), then fold in coef * m one
+// product-statement and one add-statement at a time, matching the
+// left-to-right evaluation of `I*b0 + x2*b2 + x4*b4 + ...`.
+void pade_accumulate(Mat& acc, Mat& tmp, std::size_t n, double b0,
+                     const Mat* mats[], const double* coefs,
+                     std::size_t count) {
+  acc.reshape_zero(n, n);
+  for (std::size_t i = 0; i < n; ++i) acc(i, i) = b0;
+  for (std::size_t t = 0; t < count; ++t) {
+    tmp = *mats[t];
+    tmp *= coefs[t];
+    acc += tmp;
+  }
+}
+
+}  // namespace
 
 Mat expm(const Mat& a) {
   assert(a.rows() == a.cols());
@@ -18,8 +48,10 @@ Mat expm(const Mat& a) {
   if (nrm > 0.5) s = static_cast<int>(std::ceil(std::log2(nrm / 0.5)));
   const double scale = std::ldexp(1.0, -s);
 
-  Mat x = a;
-  x *= scale;
+  thread_local ExpmWorkspace w;
+
+  w.x = a;
+  w.x *= scale;
 
   // Padé(6,6) coefficients for exp (numerator p; denominator is p(-x)):
   // c_j = (12-j)! 6! / (12! j! (6-j)!).
@@ -31,21 +63,30 @@ Mat expm(const Mat& a) {
                                  1.0 / 15840.0,
                                  1.0 / 665280.0};
 
-  const Mat x2 = x * x;
-  const Mat x4 = x2 * x2;
-  const Mat x6 = x4 * x2;
-  const Mat ident = Mat::identity(n);
+  multiply_into(w.x, w.x, w.x2);
+  multiply_into(w.x2, w.x2, w.x4);
+  multiply_into(w.x4, w.x2, w.x6);
 
-  Mat even = ident * b[0] + x2 * b[2] + x4 * b[4] + x6 * b[6];
-  Mat odd_core = ident * b[1] + x2 * b[3] + x4 * b[5];
-  Mat odd = x * odd_core;
+  // even = I*b0 + x2*b2 + x4*b4 + x6*b6; odd = x * (I*b1 + x2*b3 + x4*b5).
+  const Mat* even_mats[] = {&w.x2, &w.x4, &w.x6};
+  const double even_coefs[] = {b[2], b[4], b[6]};
+  pade_accumulate(w.even, w.tmp, n, b[0], even_mats, even_coefs, 3);
+  const Mat* odd_mats[] = {&w.x2, &w.x4};
+  const double odd_coefs[] = {b[3], b[5]};
+  pade_accumulate(w.odd_core, w.tmp, n, b[1], odd_mats, odd_coefs, 2);
+  multiply_into(w.x, w.odd_core, w.odd);
 
-  Mat num = even + odd;
-  Mat den = even - odd;
+  w.num = w.even;
+  w.num += w.odd;
+  w.den = w.even;
+  w.den -= w.odd;
 
-  Mat r = lu_solve(lu_factor(den), num);
-  for (int i = 0; i < s; ++i) r = r * r;
-  return r;
+  w.r = lu_solve(lu_factor(w.den), w.num);
+  for (int i = 0; i < s; ++i) {
+    multiply_into(w.r, w.r, w.tmp);
+    std::swap(w.r, w.tmp);
+  }
+  return w.r;
 }
 
 ZohDiscretization discretize_zoh(const Mat& a, const Mat& b, double delta) {
@@ -53,7 +94,8 @@ ZohDiscretization discretize_zoh(const Mat& a, const Mat& b, double delta) {
   const std::size_t m = b.cols();
   assert(a.cols() == n && b.rows() == n);
 
-  Mat aug(n + m, n + m);
+  thread_local Mat aug;
+  aug.reshape_zero(n + m, n + m);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) aug(i, j) = a(i, j) * delta;
     for (std::size_t j = 0; j < m; ++j) aug(i, n + j) = b(i, j) * delta;

@@ -45,16 +45,22 @@ Mat& Mat::operator*=(double s) {
   return *this;
 }
 
-Mat operator*(const Mat& a, const Mat& b) {
-  assert(a.cols_ == b.rows_);
-  Mat c(a.rows_, b.cols_);
-  for (std::size_t i = 0; i < a.rows_; ++i) {
-    for (std::size_t k = 0; k < a.cols_; ++k) {
+void multiply_into(const Mat& a, const Mat& b, Mat& c) {
+  assert(&c != &a && &c != &b);
+  assert(a.cols() == b.rows());
+  c.reshape_zero(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
       if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
     }
   }
+}
+
+Mat operator*(const Mat& a, const Mat& b) {
+  Mat c;
+  multiply_into(a, b, c);
   return c;
 }
 

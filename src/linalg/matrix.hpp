@@ -42,6 +42,14 @@ class Mat {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Re-targets the shape and zero-fills in place (capacity retained);
+  /// the reuse hook for preallocated work matrices.
+  void reshape_zero(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   Mat& operator+=(const Mat& o);
   Mat& operator-=(const Mat& o);
   Mat& operator*=(double s);
@@ -95,6 +103,10 @@ struct Lu {
   std::vector<std::size_t> perm;  ///< row permutation
   bool singular = false;
 };
+
+/// c = a * b into a reusable matrix (c must not alias a or b). Same
+/// accumulation order as operator*, so results are bit-identical.
+void multiply_into(const Mat& a, const Mat& b, Mat& c);
 
 /// Factors a square matrix; `singular` is set when a pivot underflows.
 Lu lu_factor(const Mat& a);

@@ -48,7 +48,12 @@ PolynomialController::PolynomialController(std::size_t state_dim,
       input_dim_(input_dim),
       degree_(degree),
       basis_(monomial_basis(state_dim, degree)),
-      coeffs_(input_dim, std::vector<double>(basis_.size(), 0.0)) {}
+      coeffs_(input_dim, std::vector<double>(basis_.size(), 0.0)) {
+  flat_basis_.reserve(basis_.size() * state_dim_);
+  for (const poly::Exponents& e : basis_) {
+    flat_basis_.insert(flat_basis_.end(), e.begin(), e.end());
+  }
+}
 
 std::string PolynomialController::describe() const {
   std::ostringstream os;
@@ -62,11 +67,12 @@ linalg::Vec PolynomialController::act(const linalg::Vec& x) const {
   linalg::Vec u(input_dim_);
   for (std::size_t k = 0; k < input_dim_; ++k) {
     double s = 0.0;
-    for (std::size_t j = 0; j < basis_.size(); ++j) {
+    const std::uint32_t* exps = flat_basis_.data();
+    for (std::size_t j = 0; j < basis_.size(); ++j, exps += state_dim_) {
       double m = coeffs_[k][j];
       if (m == 0.0) continue;
       for (std::size_t i = 0; i < state_dim_; ++i) {
-        for (std::uint32_t p = 0; p < basis_[j][i]; ++p) m *= x[i];
+        for (std::uint32_t p = 0; p < exps[i]; ++p) m *= x[i];
       }
       s += m;
     }

@@ -41,6 +41,9 @@ class PolynomialController final : public Controller {
   std::size_t input_dim_;
   std::uint32_t degree_;
   std::vector<poly::Exponents> basis_;
+  // basis_ flattened row-major (basis index x state variable) so act() scans
+  // one contiguous array instead of chasing per-monomial vectors.
+  std::vector<std::uint32_t> flat_basis_;
   // coeffs_[k][j]: coefficient of basis_[j] in output k.
   std::vector<std::vector<double>> coeffs_;
 };

@@ -21,8 +21,8 @@ interval::Interval bernstein_range_1d(const Poly& p, double lo, double hi) {
   // Power-basis coefficients of q(t) = p(lo + (hi - lo) t), t in [0, 1].
   std::vector<double> a(d + 1, 0.0);
   const double w = hi - lo;
-  for (const auto& [e, c] : p.terms()) {
-    const std::uint32_t k = e[0];
+  for (const auto& [key, c] : p.terms()) {
+    const std::uint32_t k = key_exp(key, 1, 0);
     // (lo + w t)^k = sum_j C(k, j) lo^(k-j) w^j t^j.
     for (std::uint32_t j = 0; j <= k; ++j) {
       a[j] += c * binomial(k, j) * std::pow(lo, static_cast<int>(k - j)) *
@@ -75,9 +75,9 @@ BernsteinApprox bernstein_approximate(
       const Poly b1 = bernstein_basis_1d(deg[i], k);
       // Lift x0 -> x_i in n variables.
       Poly lift(n);
-      for (const auto& [e, c] : b1.terms()) {
+      for (const auto& [key, c] : b1.terms()) {
         Exponents en(n, 0);
-        en[i] = e[0];
+        en[i] = key_exp(key, 1, 0);
         lift.add_term(en, c);
       }
       basis[i].push_back(std::move(lift));

@@ -1,0 +1,213 @@
+#include "poly/poly_ref.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dwv::poly::ref {
+
+RefPoly RefPoly::constant(std::size_t nvars, double c) {
+  RefPoly p(nvars);
+  if (c != 0.0) p.terms_[Exponents(nvars, 0)] = c;
+  return p;
+}
+
+RefPoly RefPoly::variable(std::size_t nvars, std::size_t i) {
+  assert(i < nvars);
+  RefPoly p(nvars);
+  Exponents e(nvars, 0);
+  e[i] = 1;
+  p.terms_[e] = 1.0;
+  return p;
+}
+
+std::uint32_t RefPoly::degree() const {
+  std::uint32_t d = 0;
+  for (const auto& [e, c] : terms_) d = std::max(d, total_degree(e));
+  return d;
+}
+
+double RefPoly::coeff(const Exponents& e) const {
+  const auto it = terms_.find(e);
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+void RefPoly::add_term(const Exponents& e, double c) {
+  assert(e.size() == nvars_);
+  if (c == 0.0) return;
+  auto [it, inserted] = terms_.emplace(e, c);
+  if (!inserted) {
+    it->second += c;
+    if (it->second == 0.0) terms_.erase(it);
+  }
+}
+
+double RefPoly::constant_term() const { return coeff(Exponents(nvars_, 0)); }
+
+RefPoly& RefPoly::operator+=(const RefPoly& o) {
+  assert(nvars_ == o.nvars_ || is_zero() || o.is_zero());
+  if (nvars_ == 0) nvars_ = o.nvars_;
+  for (const auto& [e, c] : o.terms_) add_term(e, c);
+  return *this;
+}
+
+RefPoly& RefPoly::operator-=(const RefPoly& o) {
+  assert(nvars_ == o.nvars_ || is_zero() || o.is_zero());
+  if (nvars_ == 0) nvars_ = o.nvars_;
+  for (const auto& [e, c] : o.terms_) add_term(e, -c);
+  return *this;
+}
+
+RefPoly& RefPoly::operator*=(double s) {
+  if (s == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [e, c] : terms_) c *= s;
+  return *this;
+}
+
+RefPoly operator*(const RefPoly& a, const RefPoly& b) {
+  assert(a.nvars_ == b.nvars_ || a.is_zero() || b.is_zero());
+  RefPoly r(std::max(a.nvars_, b.nvars_));
+  for (const auto& [ea, ca] : a.terms_) {
+    for (const auto& [eb, cb] : b.terms_) {
+      Exponents e(ea.size());
+      for (std::size_t i = 0; i < e.size(); ++i) e[i] = ea[i] + eb[i];
+      r.add_term(e, ca * cb);
+    }
+  }
+  return r;
+}
+
+double RefPoly::eval(const linalg::Vec& x) const {
+  assert(x.size() == nvars_);
+  double s = 0.0;
+  for (const auto& [e, c] : terms_) {
+    double m = c;
+    for (std::size_t i = 0; i < nvars_; ++i) {
+      for (std::uint32_t k = 0; k < e[i]; ++k) m *= x[i];
+    }
+    s += m;
+  }
+  return s;
+}
+
+interval::Interval RefPoly::eval_range(const interval::IVec& dom) const {
+  assert(dom.size() == nvars_);
+  interval::Interval s(0.0);
+  for (const auto& [e, c] : terms_) {
+    interval::Interval m(c);
+    for (std::size_t i = 0; i < nvars_; ++i) {
+      if (e[i] > 0) m *= interval::pow_n(dom[i], e[i]);
+    }
+    s += m;
+  }
+  return s;
+}
+
+RefPoly RefPoly::compose(const std::vector<RefPoly>& subs) const {
+  assert(subs.size() == nvars_);
+  const std::size_t out_vars = subs.empty() ? 0 : subs[0].nvars();
+  RefPoly r(out_vars);
+  for (const auto& [e, c] : terms_) {
+    RefPoly m = RefPoly::constant(out_vars, c);
+    for (std::size_t i = 0; i < nvars_; ++i) {
+      if (e[i] > 0) m = m * pow(subs[i], e[i]);
+    }
+    r += m;
+  }
+  return r;
+}
+
+RefPoly RefPoly::derivative(std::size_t i) const {
+  assert(i < nvars_);
+  RefPoly r(nvars_);
+  for (const auto& [e, c] : terms_) {
+    if (e[i] == 0) continue;
+    Exponents d = e;
+    d[i] -= 1;
+    r.add_term(d, c * static_cast<double>(e[i]));
+  }
+  return r;
+}
+
+std::pair<RefPoly, RefPoly> RefPoly::split_by_degree(
+    std::uint32_t max_degree) const {
+  RefPoly kept(nvars_);
+  RefPoly dropped(nvars_);
+  for (const auto& [e, c] : terms_) {
+    if (total_degree(e) <= max_degree)
+      kept.terms_[e] = c;
+    else
+      dropped.terms_[e] = c;
+  }
+  return {kept, dropped};
+}
+
+RefPoly RefPoly::prune_small(double tol) {
+  RefPoly dropped(nvars_);
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    if (std::abs(it->second) <= tol && total_degree(it->first) > 0) {
+      dropped.terms_[it->first] = it->second;
+      it = terms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+double RefPoly::max_abs_coeff() const {
+  double m = 0.0;
+  for (const auto& [e, c] : terms_) m = std::max(m, std::abs(c));
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const RefPoly& p) {
+  if (p.terms_.empty()) return os << '0';
+  bool first = true;
+  for (const auto& [e, c] : p.terms_) {
+    if (!first) os << (c >= 0 ? " + " : " - ");
+    else if (c < 0) os << '-';
+    first = false;
+    os << std::abs(c);
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      if (e[i] == 0) continue;
+      os << "*x" << i;
+      if (e[i] > 1) os << '^' << e[i];
+    }
+  }
+  return os;
+}
+
+RefPoly pow(const RefPoly& base, std::uint32_t n) {
+  RefPoly r = RefPoly::constant(base.nvars(), 1.0);
+  RefPoly b = base;
+  std::uint32_t k = n;
+  while (k > 0) {
+    if (k & 1u) r = r * b;
+    k >>= 1u;
+    if (k) b = b * b;
+  }
+  return r;
+}
+
+Poly to_packed(const RefPoly& p) {
+  Poly out(p.nvars());
+  // Map iteration is lex order == ascending packed-key order.
+  for (const auto& [e, c] : p.terms()) out.push_term(encode_key(e), c);
+  return out;
+}
+
+RefPoly to_ref(const Poly& p) {
+  RefPoly out(p.nvars());
+  Exponents e;
+  for (const auto& [k, c] : p.terms()) {
+    decode_key(k, p.nvars(), e);
+    out.set_term_raw(e, c);
+  }
+  return out;
+}
+
+}  // namespace dwv::poly::ref

@@ -1,0 +1,92 @@
+// Reference sparse polynomial: the original std::map-based implementation,
+// retained verbatim as the differential-testing oracle for the packed
+// kernel in poly.hpp. Every operation here iterates the map in exponent
+// lex order; the packed kernel must reproduce these results bit for bit
+// (tests/test_poly_packed.cpp). Not used by any production code path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "interval/ivec.hpp"
+#include "linalg/vec.hpp"
+#include "poly/poly.hpp"
+
+namespace dwv::poly::ref {
+
+/// Sparse polynomial in `nvars` real variables (map-based reference).
+class RefPoly {
+ public:
+  RefPoly() = default;
+  explicit RefPoly(std::size_t nvars) : nvars_(nvars) {}
+
+  /// The constant polynomial c.
+  static RefPoly constant(std::size_t nvars, double c);
+  /// The coordinate polynomial x_i.
+  static RefPoly variable(std::size_t nvars, std::size_t i);
+
+  std::size_t nvars() const { return nvars_; }
+  bool is_zero() const { return terms_.empty(); }
+  std::size_t term_count() const { return terms_.size(); }
+  std::uint32_t degree() const;
+
+  /// Coefficient of a monomial (0 when absent).
+  double coeff(const Exponents& e) const;
+  /// Adds `c` to the coefficient of monomial `e`; drops resulting zeros.
+  void add_term(const Exponents& e, double c);
+  /// The constant term.
+  double constant_term() const;
+  /// Direct map assignment (test/conversion plumbing; keeps zeros).
+  void set_term_raw(const Exponents& e, double c) { terms_[e] = c; }
+
+  const std::map<Exponents, double>& terms() const { return terms_; }
+
+  RefPoly& operator+=(const RefPoly& o);
+  RefPoly& operator-=(const RefPoly& o);
+  RefPoly& operator*=(double s);
+  friend RefPoly operator+(RefPoly a, const RefPoly& b) { return a += b; }
+  friend RefPoly operator-(RefPoly a, const RefPoly& b) { return a -= b; }
+  friend RefPoly operator*(RefPoly a, double s) { return a *= s; }
+  friend RefPoly operator*(double s, RefPoly a) { return a *= s; }
+  friend RefPoly operator-(RefPoly a) { return a *= -1.0; }
+  friend RefPoly operator*(const RefPoly& a, const RefPoly& b);
+
+  /// Point evaluation.
+  double eval(const linalg::Vec& x) const;
+
+  /// Sound interval enclosure of the range over box `dom`.
+  interval::Interval eval_range(const interval::IVec& dom) const;
+
+  /// Substitutes polynomial `subs[i]` for variable i (composition).
+  RefPoly compose(const std::vector<RefPoly>& subs) const;
+
+  /// Partial derivative with respect to variable i.
+  RefPoly derivative(std::size_t i) const;
+
+  /// Splits into (kept, dropped) by total degree.
+  std::pair<RefPoly, RefPoly> split_by_degree(std::uint32_t max_degree) const;
+
+  /// Removes terms with |coeff| <= tol, returning the dropped part.
+  RefPoly prune_small(double tol);
+
+  double max_abs_coeff() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const RefPoly& p);
+
+ private:
+  std::size_t nvars_ = 0;
+  std::map<Exponents, double> terms_;
+};
+
+/// Power of a polynomial by repeated squaring.
+RefPoly pow(const RefPoly& base, std::uint32_t n);
+
+/// Converts a reference polynomial to the packed representation.
+Poly to_packed(const RefPoly& p);
+/// Converts a packed polynomial to the reference representation. Copies
+/// terms verbatim (including any persisted zero coefficients).
+RefPoly to_ref(const Poly& p);
+
+}  // namespace dwv::poly::ref

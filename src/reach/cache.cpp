@@ -10,11 +10,12 @@ namespace {
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
-std::uint64_t fnv_step(std::uint64_t h, std::uint64_t word) {
-  for (int b = 0; b < 8; ++b) {
-    h ^= (word >> (8 * b)) & 0xffu;
-    h *= kFnvPrime;
-  }
+// One multiply + xor-shift per 8-byte word (vs. 8 FNV byte rounds): keys
+// are built per verifier call, so this is on the learning hot path.
+std::uint64_t mix_step(std::uint64_t h, std::uint64_t word) {
+  h ^= word;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
   return h;
 }
 
@@ -37,7 +38,7 @@ std::uint64_t now_ns() {
 std::uint64_t hash_words(std::uint64_t seed, const std::uint64_t* words,
                          std::size_t n) {
   std::uint64_t h = seed ^ kFnvOffset;
-  for (std::size_t i = 0; i < n; ++i) h = fnv_step(h, words[i]);
+  for (std::size_t i = 0; i < n; ++i) h = mix_step(h, words[i]);
   return h;
 }
 
@@ -172,9 +173,14 @@ void FlowpipeCache::add_miss_compute_seconds(double s) {
 
 CachingVerifier::CachingVerifier(VerifierPtr inner,
                                  std::shared_ptr<FlowpipeCache> cache)
-    : inner_(std::move(inner)),
-      cache_(std::move(cache)),
-      name_seed_(hash_string(0x9e3779b97f4a7c15ull, inner_->name())) {}
+    : inner_(std::move(inner)), cache_(std::move(cache)) {
+  // Fold the verifier's configuration fingerprint (dynamics coefficients,
+  // spec boxes, ...) in with its name: two same-named verifiers over
+  // different systems sharing one cache must never alias.
+  name_seed_ = hash_string(0x9e3779b97f4a7c15ull, inner_->name());
+  const std::uint64_t salt = inner_->cache_salt();
+  name_seed_ = hash_words(name_seed_, &salt, 1);
+}
 
 CachingVerifier::CachingVerifier(VerifierPtr inner, FlowpipeCache::Config cfg)
     : CachingVerifier(std::move(inner),

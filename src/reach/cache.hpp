@@ -128,9 +128,13 @@ class FlowpipeCache {
   mutable std::atomic<std::uint64_t> miss_compute_ns_{0};
 };
 
-/// FNV-1a over a word stream; the canonical hash used for cache keys.
+/// Word-at-a-time mix over a word stream; the canonical hash used for
+/// cache keys. Only ever used to pick shards/buckets — keys still compare
+/// the full material bit-exactly, so hash quality affects speed, not
+/// correctness.
 std::uint64_t hash_words(std::uint64_t seed, const std::uint64_t* words,
                          std::size_t n);
+/// FNV-1a over a byte string (short identity strings; not hot).
 std::uint64_t hash_string(std::uint64_t seed, const std::string& s);
 
 /// Decorator memoizing any Verifier. Bit-identity of hits follows from the

@@ -1,9 +1,11 @@
 #include "reach/linear_reach.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "geom/zonotope.hpp"
 #include "interval/ivec.hpp"
+#include "reach/cache.hpp"
 
 namespace dwv::reach {
 
@@ -40,6 +42,35 @@ LinearVerifier::LinearVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
                      static_cast<double>(opt_.subdivisions);
     partial_.push_back(linalg::discretize_zoh_cached(a_, baug, t));
   }
+}
+
+std::uint64_t LinearVerifier::cache_salt() const {
+  std::vector<std::uint64_t> w;
+  const auto push_mat = [&w](const Mat& m) {
+    w.push_back(m.rows());
+    w.push_back(m.cols());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j)
+        w.push_back(std::bit_cast<std::uint64_t>(m(i, j)));
+  };
+  push_mat(a_);
+  push_mat(b_);
+  w.push_back(c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i)
+    w.push_back(std::bit_cast<std::uint64_t>(c_[i]));
+  w.push_back(std::bit_cast<std::uint64_t>(spec_.delta));
+  w.push_back(spec_.steps);
+  w.push_back(spec_.stop_at_goal ? 1 : 0);
+  const auto push_box = [&w](const geom::Box& b) {
+    w.push_back(b.dim());
+    for (std::size_t i = 0; i < b.dim(); ++i) {
+      w.push_back(std::bit_cast<std::uint64_t>(b[i].lo()));
+      w.push_back(std::bit_cast<std::uint64_t>(b[i].hi()));
+    }
+  };
+  push_box(spec_.goal);
+  push_box(spec_.unsafe);
+  return hash_words(0x452821e638d01377ull, w.data(), w.size());
 }
 
 Flowpipe LinearVerifier::compute(const Box& x0,

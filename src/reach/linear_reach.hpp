@@ -30,6 +30,9 @@ class LinearVerifier final : public Verifier {
 
   std::string name() const override { return "linear-zonotope"; }
 
+  /// Fingerprints the LTI matrices and the spec (the name is constant).
+  std::uint64_t cache_salt() const override;
+
   /// `ctrl` must be a LinearController.
   Flowpipe compute(const geom::Box& x0,
                    const nn::Controller& ctrl) const override;

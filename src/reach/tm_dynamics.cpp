@@ -11,11 +11,17 @@ using taylor::TmEnv;
 using taylor::TmVec;
 
 TmVec PolyTmDynamics::eval(const TmEnv& env, const TmVec& args) const {
-  TmVec out(f_.size());
-  for (std::size_t i = 0; i < f_.size(); ++i) {
-    out[i] = taylor::tm_eval_poly(env, f_[i], args);
-  }
+  TmVec out;
+  eval_into(env, args, out);
   return out;
+}
+
+void PolyTmDynamics::eval_into(const TmEnv& env, const TmVec& args,
+                               TmVec& out) const {
+  out.resize(f_.size());
+  for (std::size_t i = 0; i < f_.size(); ++i) {
+    taylor::tm_eval_poly_into(env, f_[i], args, out[i]);
+  }
 }
 
 TaylorModel ExprTmDynamics::eval_expr(const TmEnv& env, const ode::Expr& e,

@@ -19,6 +19,13 @@ class TmDynamics {
   /// args = (state TMs..., control TMs...); returns the n derivative TMs.
   virtual taylor::TmVec eval(const taylor::TmEnv& env,
                              const taylor::TmVec& args) const = 0;
+  /// In-place evaluation into a reusable vector (out must not alias args).
+  /// The default falls back to eval(); PolyTmDynamics overrides it with an
+  /// allocation-free path.
+  virtual void eval_into(const taylor::TmEnv& env, const taylor::TmVec& args,
+                         taylor::TmVec& out) const {
+    out = eval(env, args);
+  }
 };
 
 using TmDynamicsPtr = std::shared_ptr<const TmDynamics>;
@@ -30,6 +37,11 @@ class PolyTmDynamics final : public TmDynamics {
   std::size_t state_dim() const override { return f_.size(); }
   taylor::TmVec eval(const taylor::TmEnv& env,
                      const taylor::TmVec& args) const override;
+  void eval_into(const taylor::TmEnv& env, const taylor::TmVec& args,
+                 taylor::TmVec& out) const override;
+
+  /// The component polynomials (cache-key fingerprinting).
+  const std::vector<poly::Poly>& polys() const { return f_; }
 
  private:
   std::vector<poly::Poly> f_;

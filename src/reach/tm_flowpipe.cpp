@@ -1,12 +1,14 @@
 #include "reach/tm_flowpipe.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "ode/expr_system.hpp"
+#include "reach/cache.hpp"
 
 namespace dwv::reach {
 
@@ -18,35 +20,6 @@ using taylor::TmEnv;
 using taylor::TmVec;
 
 namespace {
-
-// Lifts a polynomial over k variables to k+1 (appending the new variable
-// with exponent zero).
-Poly lift_poly(const Poly& p, std::size_t new_nvars) {
-  assert(new_nvars >= p.nvars());
-  Poly q(new_nvars);
-  for (const auto& [e, c] : p.terms()) {
-    poly::Exponents e2 = e;
-    e2.resize(new_nvars, 0);
-    q.add_term(e2, c);
-  }
-  return q;
-}
-
-// Drops the last variable (must have exponent 0 everywhere).
-Poly drop_last_var(const Poly& p) {
-  assert(p.nvars() >= 1);
-  Poly q(p.nvars() - 1);
-  for (const auto& [e, c] : p.terms()) {
-    assert(e.back() == 0 && "cannot drop a live variable");
-    poly::Exponents e2(e.begin(), e.end() - 1);
-    q.add_term(e2, c);
-  }
-  return q;
-}
-
-TaylorModel lift_tm(const TaylorModel& tm, std::size_t new_nvars) {
-  return {lift_poly(tm.poly, new_nvars), tm.rem};
-}
 
 Interval widen(const Interval& v, double factor, double bump) {
   const double r = v.rad() * factor + bump;
@@ -78,16 +51,16 @@ TmVec reinitialize(const TmVec& x, const IVec& end_range) {
   linalg::Vec r(n);
   for (std::size_t i = 0; i < n; ++i) {
     Poly nonlin(n);
-    for (const auto& [e, coeff] : x[i].poly.terms()) {
-      const std::uint32_t deg = poly::total_degree(e);
+    for (const auto& [key, coeff] : x[i].poly.terms()) {
+      const std::uint32_t deg = poly::key_degree(key, n);
       if (deg == 0) {
         c[i] = coeff;
       } else if (deg == 1) {
         for (std::size_t j = 0; j < n; ++j) {
-          if (e[j] == 1) a(i, j) = coeff;
+          if (poly::key_exp(key, n, j) == 1) a(i, j) = coeff;
         }
       } else {
-        nonlin.add_term(e, coeff);
+        nonlin.add_term_key(key, coeff);
       }
     }
     const Interval resid = nonlin.eval_range(unit) + x[i].rem;
@@ -151,35 +124,59 @@ TmStepResult tm_integrate_step(const TmEnv& env_set, const TmVec& state,
 TmStepResult tm_integrate_step(const TmEnv& env_set, const TmVec& state,
                                const TmVec& control, const TmDynamics& f,
                                double h, const TmReachOptions& opt) {
+  TmStepResult res;
+  tm_integrate_step(env_set, state, control, f, h, opt, res);
+  return res;
+}
+
+void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
+                       const TmVec& control, const TmDynamics& f, double h,
+                       const TmReachOptions& opt, TmStepResult& res) {
   const std::size_t n = state.size();
   const std::size_t m = control.size();
   const std::size_t nv = env_set.nvars();
   assert(f.state_dim() == n);
 
+  taylor::TmScratch& s = env_set.scratch();
+
   // Time-extended environment: variables (set vars..., tau in [0, h]).
-  TmEnv env;
-  env.dom = IVec(nv + 1);
+  // Lives in the scratch so its domain vector (and the buffers of the TM
+  // ops it is passed to, which it borrows from env_set) persist across
+  // steps.
+  TmEnv& env = s.env_time;
+  if (!s.env_time_init) {
+    env.borrow_scratch(env_set);
+    s.env_time_init = true;
+  }
+  env.dom.resize(nv + 1);
   for (std::size_t i = 0; i < nv; ++i) env.dom[i] = env_set.dom[i];
   env.dom[nv] = Interval(0.0, h);
   env.order = env_set.order;
   env.cutoff = env_set.cutoff;
   const std::size_t tau = nv;
 
-  TmVec x0(n);
-  for (std::size_t i = 0; i < n; ++i) x0[i] = lift_tm(state[i], nv + 1);
-  TmVec u(m);
-  for (std::size_t j = 0; j < m; ++j) u[j] = lift_tm(control[j], nv + 1);
+  s.x0.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state[i].poly.lift_vars_into(nv + 1, s.x0[i].poly);
+    s.x0[i].rem = state[i].rem;
+  }
+  s.u.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    control[j].poly.lift_vars_into(nv + 1, s.u[j].poly);
+    s.u[j].rem = control[j].rem;
+  }
 
-  const auto picard = [&](const TmVec& phi) {
-    TmVec args = phi;
-    args.insert(args.end(), u.begin(), u.end());
-    const TmVec g = f.eval(env, args);
-    TmVec out(n);
+  const auto picard = [&](const TmVec& phi, TmVec& out) {
+    s.args.resize(n + m);
+    for (std::size_t i = 0; i < n; ++i) s.args[i] = phi[i];
+    for (std::size_t j = 0; j < m; ++j) s.args[n + j] = s.u[j];
+    f.eval_into(env, s.args, s.g);
+    out.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] =
-          taylor::tm_add(x0[i], taylor::tm_integrate_time(env, g[i], tau));
+      taylor::tm_integrate_time_into(env, s.g[i], tau, s.integ);
+      Poly::add_into(s.x0[i].poly, s.integ.poly, out[i].poly);
+      out[i].rem = s.x0[i].rem + s.integ.rem;
     }
-    return out;
   };
 
   // Polynomial fixpoint by iteration (tau-degree grows by one per pass).
@@ -187,58 +184,68 @@ TmStepResult tm_integrate_step(const TmEnv& env_set, const TmVec& state,
   // polynomial part, and letting interval remainders compound across the
   // passes would inflate the validated remainder by (1 + hL)^iters instead
   // of (1 + hL) per step.
-  TmVec phi = x0;
+  s.phi.resize(n);
+  for (std::size_t i = 0; i < n; ++i) s.phi[i] = s.x0[i];
   for (std::size_t it = 0; it < opt.picard_iters; ++it) {
-    phi = picard(phi);
-    for (auto& tm : phi) tm.rem = Interval(0.0);
+    picard(s.phi, s.picard_out);
+    std::swap(s.phi, s.picard_out);
+    for (auto& tm : s.phi) tm.rem = Interval(0.0);
   }
 
   // Remainder validation: find J with P(poly + J) inside poly + J.
-  std::vector<Interval> j(n);
+  s.rem_j.resize(n);
   for (std::size_t i = 0; i < n; ++i)
-    j[i] = interval::hull(x0[i].rem, Interval::symmetric(opt.rem_init));
+    s.rem_j[i] = interval::hull(s.x0[i].rem, Interval::symmetric(opt.rem_init));
 
-  TmStepResult res;
+  res.ok = false;
+  res.failure.clear();
   for (std::size_t attempt = 0; attempt <= opt.max_inflations; ++attempt) {
-    TmVec cand(n);
-    for (std::size_t i = 0; i < n; ++i) cand[i] = {phi[i].poly, j[i]};
-    const TmVec p = picard(cand);
+    s.cand.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.cand[i].poly = s.phi[i].poly;
+      s.cand[i].rem = s.rem_j[i];
+    }
+    picard(s.cand, s.pnext);
 
     bool contained = true;
-    std::vector<Interval> d_range(n);
+    s.d_range.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const TaylorModel d =
-          taylor::tm_sub(p[i], TaylorModel{cand[i].poly, Interval(0.0)});
-      d_range[i] = taylor::tm_range(env, d);
-      if (!j[i].contains(d_range[i])) contained = false;
+      // d = P(cand)_i - {cand_i.poly, 0}; the interval subtraction of the
+      // zero interval outward-widens exactly like the legacy tm_sub did.
+      Poly::sub_into(s.pnext[i].poly, s.cand[i].poly, s.diff.poly);
+      s.diff.rem = s.pnext[i].rem - Interval(0.0);
+      s.d_range[i] = taylor::tm_range(env, s.diff);
+      if (!s.rem_j[i].contains(s.d_range[i])) contained = false;
     }
 
     if (contained) {
       // P(cand) encloses the flow and is at least as tight as cand.
-      TmVec validated(n);
-      for (std::size_t i = 0; i < n; ++i)
-        validated[i] = {cand[i].poly, d_range[i]};
+      s.validated.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        s.validated[i].poly = s.cand[i].poly;
+        s.validated[i].rem = s.d_range[i];
+      }
 
-      res.tube_range = IVec(n);
+      res.tube_range.resize(n);
       res.at_end.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        res.tube_range[i] = taylor::tm_range(env, validated[i]);
-        TaylorModel end = taylor::tm_subst_var(env, validated[i], tau, h);
-        res.at_end[i] = {drop_last_var(end.poly), end.rem};
+        res.tube_range[i] = taylor::tm_range(env, s.validated[i]);
+        taylor::tm_subst_var_into(env, s.validated[i], tau, h, s.subst);
+        s.subst.poly.drop_last_var_into(res.at_end[i].poly);
+        res.at_end[i].rem = s.subst.rem;
       }
-      res.tube_tm = std::move(validated);
+      res.tube_tm = s.validated;
       res.ok = true;
-      return res;
+      return;
     }
 
     for (std::size_t i = 0; i < n; ++i) {
-      j[i] = widen(interval::hull(j[i], d_range[i]), opt.rem_inflate,
-                   opt.rem_init);
+      s.rem_j[i] = widen(interval::hull(s.rem_j[i], s.d_range[i]),
+                         opt.rem_inflate, opt.rem_init);
     }
   }
 
   res.failure = "remainder validation failed (Picard operator not contracting)";
-  return res;
 }
 
 namespace {
@@ -278,6 +285,41 @@ std::string TmVerifier::name() const {
   os << "tm-flowpipe(" << abs_->name() << ", order=" << opt_.order
      << ", substeps=" << opt_.substeps << ')';
   return os.str();
+}
+
+namespace {
+
+void hash_box(std::vector<std::uint64_t>& w, const geom::Box& b) {
+  w.push_back(b.dim());
+  for (std::size_t i = 0; i < b.dim(); ++i) {
+    w.push_back(std::bit_cast<std::uint64_t>(b[i].lo()));
+    w.push_back(std::bit_cast<std::uint64_t>(b[i].hi()));
+  }
+}
+
+void hash_poly(std::vector<std::uint64_t>& w, const Poly& p) {
+  w.push_back(p.nvars());
+  w.push_back(p.term_count());
+  for (const auto& [key, c] : p.terms()) {
+    w.push_back(key);
+    w.push_back(std::bit_cast<std::uint64_t>(c));
+  }
+}
+
+}  // namespace
+
+std::uint64_t TmVerifier::cache_salt() const {
+  std::vector<std::uint64_t> w;
+  w.push_back(std::bit_cast<std::uint64_t>(spec_.delta));
+  w.push_back(spec_.steps);
+  w.push_back(spec_.stop_at_goal ? 1 : 0);
+  hash_box(w, spec_.goal);
+  hash_box(w, spec_.unsafe);
+  if (const auto* pd =
+          dynamic_cast<const PolyTmDynamics*>(dynamics_.get())) {
+    for (const Poly& p : pd->polys()) hash_poly(w, p);
+  }
+  return hash_words(0x7ad870c830358979ull, w.data(), w.size());
 }
 
 namespace {
@@ -480,6 +522,7 @@ Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
   }
 
   // --- Taylor-model integration ------------------------------------------
+  TmStepResult sr;  // persistent across steps so its buffers stay warm
   for (; step < spec_.steps; ++step) {
     const TmVec u = abs_->abstract(env, x, ctrl);
 
@@ -487,7 +530,7 @@ Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
     std::vector<TmVec> tube_rec;
     if (recording) tube_rec.reserve(opt_.substeps);
     for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
-      TmStepResult sr = tm_integrate_step(env, x, u, *dynamics_, h, opt_);
+      tm_integrate_step(env, x, u, *dynamics_, h, opt_, sr);
       if (!sr.ok) {
         fp.valid = false;
         fp.failure = sr.failure;
@@ -495,7 +538,7 @@ Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
       }
       period_hull = (sub == 0) ? sr.tube_range
                                : interval::hull(period_hull, sr.tube_range);
-      x = std::move(sr.at_end);
+      std::swap(x, sr.at_end);
       if (recording) tube_rec.push_back(std::move(sr.tube_tm));
     }
 

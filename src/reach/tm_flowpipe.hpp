@@ -64,6 +64,15 @@ TmStepResult tm_integrate_step(const taylor::TmEnv& env_set,
                                const TmDynamics& f, double h,
                                const TmReachOptions& opt);
 
+/// In-place variant: writes the step into `res`, reusing its buffers and
+/// the scratch owned by `env_set`. With warm buffers (after the first call
+/// on a given env) a step performs no heap allocations in the poly/TM
+/// arithmetic. `state`/`control` must not alias `res` members.
+void tm_integrate_step(const taylor::TmEnv& env_set,
+                       const taylor::TmVec& state,
+                       const taylor::TmVec& control, const TmDynamics& f,
+                       double h, const TmReachOptions& opt, TmStepResult& res);
+
 /// Convenience overload for polynomial vector fields over
 /// (x_0..x_{n-1}, u_0..u_{m-1}).
 TmStepResult tm_integrate_step(const taylor::TmEnv& env_set,
@@ -118,6 +127,11 @@ class TmVerifier final : public Verifier {
              TmReachOptions opt);
 
   std::string name() const override;
+
+  /// Fingerprints what name() omits: the dynamics polynomials and the spec
+  /// (horizon, goal/unsafe boxes) — two TmVerifiers over different systems
+  /// sharing a FlowpipeCache must not alias.
+  std::uint64_t cache_salt() const override;
 
   Flowpipe compute(const geom::Box& x0,
                    const nn::Controller& ctrl) const override;

@@ -17,6 +17,14 @@ class Verifier {
 
   virtual std::string name() const = 0;
 
+  /// Fingerprint of the configuration that `name()` does not capture —
+  /// dynamics coefficients, spec boxes, horizon. Two verifier instances
+  /// whose compute() can differ on some (x0, theta) must differ in
+  /// name() or cache_salt(); FlowpipeCache folds the salt into its keys so
+  /// same-named verifiers over different systems never alias. The default
+  /// (0) is for verifiers whose name alone pins the behavior.
+  virtual std::uint64_t cache_salt() const { return 0; }
+
   /// Computes a sound flowpipe of the closed-loop sampled-data system from
   /// the initial box `x0` under controller `ctrl`, over the verifier's
   /// configured horizon.

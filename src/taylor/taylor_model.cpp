@@ -1,6 +1,8 @@
 #include "taylor/taylor_model.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <utility>
 
 namespace dwv::taylor {
 
@@ -25,34 +27,88 @@ TaylorModel tm_add_const(const TaylorModel& a, double c) {
   return r;
 }
 
-TaylorModel tm_truncate(const TmEnv& env, TaylorModel tm) {
-  auto [kept, dropped] = tm.poly.split_by_degree(env.order);
+void tm_truncate_inplace(const TmEnv& env, TaylorModel& tm) {
+  TmScratch& s = env.scratch();
+  tm.poly.split_by_degree_into(env.order, s.dropped);
   Interval extra(0.0);
-  if (!dropped.is_zero()) extra += dropped.eval_range(env.dom);
+  if (!s.dropped.is_zero()) extra += s.dropped.eval_range(env.dom);
   if (env.cutoff > 0.0) {
-    Poly small = kept.prune_small(env.cutoff);
-    if (!small.is_zero()) extra += small.eval_range(env.dom);
+    tm.poly.prune_small_into(env.cutoff, s.small);
+    if (!s.small.is_zero()) extra += s.small.eval_range(env.dom);
   }
-  tm.poly = std::move(kept);
   tm.rem += extra;
+}
+
+TaylorModel tm_truncate(const TmEnv& env, TaylorModel tm) {
+  tm_truncate_inplace(env, tm);
   return tm;
+}
+
+void tm_mul_into(const TmEnv& env, const TaylorModel& a, const TaylorModel& b,
+                 TaylorModel& out) {
+  assert(&out != &a && &out != &b);
+  // (pa + Ia)(pb + Ib) = pa pb + pa Ib + pb Ia + Ia Ib.
+  Poly::mul_into(a.poly, b.poly, out.poly, env.scratch().pscratch);
+  const Interval ra = a.poly.eval_range(env.dom);
+  const Interval rb = b.poly.eval_range(env.dom);
+  out.rem = ra * b.rem + rb * a.rem + a.rem * b.rem;
+  tm_truncate_inplace(env, out);
 }
 
 TaylorModel tm_mul(const TmEnv& env, const TaylorModel& a,
                    const TaylorModel& b) {
-  // (pa + Ia)(pb + Ib) = pa pb + pa Ib + pb Ia + Ia Ib.
   TaylorModel r;
-  r.poly = a.poly * b.poly;
-  const Interval ra = a.poly.eval_range(env.dom);
-  const Interval rb = b.poly.eval_range(env.dom);
-  r.rem = ra * b.rem + rb * a.rem + a.rem * b.rem;
-  return tm_truncate(env, std::move(r));
+  tm_mul_into(env, a, b, r);
+  return r;
+}
+
+void tm_pow_into(const TmEnv& env, const TaylorModel& a, std::uint32_t n,
+                 TaylorModel& out) {
+  assert(&out != &a);
+  TmScratch& s = env.scratch();
+  switch (n) {
+    case 0:
+      out.assign_constant(env.nvars(), 1.0);
+      return;
+    case 1:
+      out = a;
+      return;
+    case 2:
+      tm_mul_into(env, a, a, out);
+      return;
+    case 3:
+      // Legacy left-to-right chain ((a*a)*a), kept bit-identical.
+      tm_mul_into(env, a, a, s.pow_tmp);
+      tm_mul_into(env, s.pow_tmp, a, out);
+      return;
+    default:
+      break;
+  }
+  // Square-and-multiply; tm_mul truncates, so each squaring is truncated.
+  s.pow_base = a;
+  bool has_r = false;
+  std::uint32_t k = n;
+  while (k > 0) {
+    if (k & 1u) {
+      if (!has_r) {
+        out = s.pow_base;
+        has_r = true;
+      } else {
+        tm_mul_into(env, out, s.pow_base, s.pow_tmp);
+        std::swap(out, s.pow_tmp);
+      }
+    }
+    k >>= 1u;
+    if (k) {
+      tm_mul_into(env, s.pow_base, s.pow_base, s.pow_tmp);
+      std::swap(s.pow_base, s.pow_tmp);
+    }
+  }
 }
 
 TaylorModel tm_pow(const TmEnv& env, const TaylorModel& a, std::uint32_t n) {
-  if (n == 0) return TaylorModel::constant(env, 1.0);
-  TaylorModel r = a;
-  for (std::uint32_t i = 1; i < n; ++i) r = tm_mul(env, r, a);
+  TaylorModel r;
+  tm_pow_into(env, a, n, r);
   return r;
 }
 
@@ -60,50 +116,99 @@ interval::Interval tm_range(const TmEnv& env, const TaylorModel& tm) {
   return tm.poly.eval_range(env.dom) + tm.rem;
 }
 
+void tm_eval_poly_into(const TmEnv& env, const poly::Poly& f,
+                       const TmVec& args, TaylorModel& out) {
+  assert(f.nvars() == args.size());
+  TmScratch& s = env.scratch();
+  s.acc.assign_constant(env.nvars(), 0.0);
+  for (const auto& [key, c] : f.terms()) {
+    s.term.assign_constant(env.nvars(), c);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::uint32_t e = poly::key_exp(key, f.nvars(), i);
+      if (e > 0) {
+        tm_pow_into(env, args[i], e, s.pow_out);
+        tm_mul_into(env, s.term, s.pow_out, s.mul_out);
+        std::swap(s.term, s.mul_out);
+      }
+    }
+    Poly::add_into(s.acc.poly, s.term.poly, s.add_out.poly);
+    s.add_out.rem = s.acc.rem + s.term.rem;
+    std::swap(s.acc, s.add_out);
+  }
+  std::swap(out, s.acc);
+  tm_truncate_inplace(env, out);
+}
+
 TaylorModel tm_eval_poly(const TmEnv& env, const poly::Poly& f,
                          const TmVec& args) {
-  assert(f.nvars() == args.size());
-  TaylorModel acc = TaylorModel::constant(env, 0.0);
-  for (const auto& [e, c] : f.terms()) {
-    TaylorModel term = TaylorModel::constant(env, c);
-    for (std::size_t i = 0; i < args.size(); ++i) {
-      if (e[i] > 0) term = tm_mul(env, term, tm_pow(env, args[i], e[i]));
+  TaylorModel r;
+  tm_eval_poly_into(env, f, args, r);
+  return r;
+}
+
+void tm_integrate_time_into(const TmEnv& env, const TaylorModel& tm,
+                            std::size_t time_var, TaylorModel& out) {
+  assert(time_var < env.nvars());
+  assert(&out != &tm);
+  const std::size_t nv = tm.poly.nvars();
+  out.poly.reset(nv);
+  const std::uint64_t unit = 1ull << poly::key_shift(nv, time_var);
+  const std::uint32_t cap = poly::key_max_exp(nv);
+  // Adding `unit` to every key preserves order and injectivity, so terms
+  // can be appended directly; zero quotients are skipped like add_term.
+  for (const auto& [key, c] : tm.poly.terms()) {
+    const std::uint32_t e2t = poly::key_exp(key, nv, time_var) + 1;
+    if (e2t > cap) {
+      throw std::overflow_error(
+          "tm_integrate_time: time exponent exceeds the packed-key budget");
     }
-    acc = tm_add(acc, term);
+    const double q = c / static_cast<double>(e2t);
+    if (q == 0.0) continue;
+    out.poly.push_term(key + unit, q);
   }
-  return tm_truncate(env, std::move(acc));
+  // integral_0^tau e dtau' for |tau| <= tmax: contained in hull(0, rem*tmax).
+  const double tmax = env.dom[time_var].mag();
+  out.rem = interval::hull(Interval(0.0), tm.rem * Interval(tmax));
+  tm_truncate_inplace(env, out);
 }
 
 TaylorModel tm_integrate_time(const TmEnv& env, const TaylorModel& tm,
                               std::size_t time_var) {
-  assert(time_var < env.nvars());
   TaylorModel r;
-  r.poly = Poly(tm.poly.nvars());
-  for (const auto& [e, c] : tm.poly.terms()) {
-    poly::Exponents e2 = e;
-    e2[time_var] += 1;
-    r.poly.add_term(e2, c / static_cast<double>(e2[time_var]));
+  tm_integrate_time_into(env, tm, time_var, r);
+  return r;
+}
+
+void tm_subst_var_into(const TmEnv& env, const TaylorModel& tm,
+                       std::size_t var, double c, TaylorModel& out) {
+  assert(var < env.nvars());
+  assert(env.dom[var].contains(c) && "substitution outside domain");
+  assert(&out != &tm);
+  const std::size_t nv = tm.poly.nvars();
+  out.poly.reset(nv);
+  poly::PolyScratch& ps = env.scratch().pscratch;
+  std::vector<poly::Term>& buf = ps.prod;
+  buf.clear();
+  const std::uint64_t mask = poly::key_field_mask(nv)
+                             << poly::key_shift(nv, var);
+  for (const auto& [key, coeff] : tm.poly.terms()) {
+    double scale = 1.0;
+    const std::uint32_t e = poly::key_exp(key, nv, var);
+    for (std::uint32_t k = 0; k < e; ++k) scale *= c;
+    buf.push_back({key & ~mask, coeff * scale});
   }
-  // integral_0^tau e dtau' for |tau| <= tmax: contained in hull(0, rem*tmax).
-  const double tmax = env.dom[time_var].mag();
-  r.rem = interval::hull(Interval(0.0), tm.rem * Interval(tmax));
-  return tm_truncate(env, std::move(r));
+  // Clearing the last variable's (least significant) field keeps keys
+  // sorted; clearing any other field needs a stable re-sort so equal keys
+  // stay in the original accumulation order.
+  if (var + 1 != nv) poly::stable_sort_terms(buf, ps.tmp);
+  Poly::coalesce_into(buf, out.poly);
+  out.rem = tm.rem;
 }
 
 TaylorModel tm_subst_var(const TmEnv& env, const TaylorModel& tm,
                          std::size_t var, double c) {
-  assert(var < env.nvars());
-  assert(env.dom[var].contains(c) && "substitution outside domain");
   TaylorModel r;
-  r.poly = Poly(tm.poly.nvars());
-  for (const auto& [e, coeff] : tm.poly.terms()) {
-    double scale = 1.0;
-    for (std::uint32_t k = 0; k < e[var]; ++k) scale *= c;
-    poly::Exponents e2 = e;
-    e2[var] = 0;
-    r.poly.add_term(e2, coeff * scale);
-  }
-  r.rem = tm.rem;
+  tm_subst_var_into(env, tm, var, c, r);
   return r;
 }
 

@@ -4,15 +4,21 @@
 //
 // The environment (domain box over the symbolic variables, truncation order,
 // coefficient cutoff) is shared by all models of a computation and passed
-// explicitly, mirroring how Flow* scopes its TM arithmetic settings.
+// explicitly, mirroring how Flow* scopes its TM arithmetic settings. It also
+// owns the scratch buffers (TmScratch) that the in-place `*_into` kernels
+// reuse, so steady-state flowpipe arithmetic performs no heap allocations
+// (ownership rules: DESIGN.md section 9).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "interval/ivec.hpp"
 #include "poly/poly.hpp"
 
 namespace dwv::taylor {
+
+struct TmScratch;
 
 /// Shared settings for a Taylor-model computation.
 struct TmEnv {
@@ -25,7 +31,29 @@ struct TmEnv {
   /// keep polynomials short. 0 disables sweeping.
   double cutoff = 1e-12;
 
+  TmEnv() = default;
+  /// Copies settings but NOT the scratch: each copy lazily builds its own
+  /// buffers, so envs handed to different worker threads never race.
+  TmEnv(const TmEnv& o) : dom(o.dom), order(o.order), cutoff(o.cutoff) {}
+  TmEnv& operator=(const TmEnv& o) {
+    dom = o.dom;
+    order = o.order;
+    cutoff = o.cutoff;
+    return *this;  // this env keeps its own (possibly borrowed) scratch
+  }
+
   std::size_t nvars() const { return dom.size(); }
+
+  /// Scratch buffers for the in-place TM kernels; created lazily, private
+  /// to this env instance (copies do not share them).
+  TmScratch& scratch() const;
+  /// Points this env's scratch at `owner`'s without taking ownership — used
+  /// for envs stored inside a TmScratch (non-owning aliasing pointer avoids
+  /// a shared_ptr cycle).
+  void borrow_scratch(const TmEnv& owner) const;
+
+ private:
+  mutable std::shared_ptr<TmScratch> scratch_;
 };
 
 /// Polynomial with interval remainder.
@@ -48,10 +76,74 @@ struct TaylorModel {
   static TaylorModel variable(const TmEnv& env, std::size_t i) {
     return {poly::Poly::variable(env.nvars(), i), interval::Interval(0.0)};
   }
+
+  /// In-place equivalent of constant(env, c): reuses the poly's storage.
+  void assign_constant(std::size_t nvars, double c) {
+    poly.reset(nvars);
+    if (c != 0.0) poly.push_term(0, c);
+    rem = interval::Interval(0.0);
+  }
 };
 
 /// Vector of Taylor models (one per state/output dimension).
 using TmVec = std::vector<TaylorModel>;
+
+/// Reusable buffers for allocation-free TM arithmetic. Owned by a TmEnv and
+/// handed to every `*_into` kernel through env.scratch(). Buffer ownership
+/// is static (each kernel touches a fixed, disjoint subset — see DESIGN.md
+/// section 9), so kernels can nest without clobbering each other:
+///  - Poly layer: pscratch (multiply/sort), dropped/small (truncation).
+///  - tm_mul_into: leaf — uses only the Poly-layer buffers.
+///  - tm_pow_into: pow_base, pow_tmp (and the Poly layer via tm_mul_into).
+///  - tm_eval_poly_into: acc, term, add_out, mul_out, pow_out (and tm_pow).
+///  - tm_subst_var_into: pscratch (as the term stream buffer).
+///  - Flowpipe step (tm_integrate_step): the step workspace below.
+struct TmScratch {
+  // Poly layer.
+  poly::PolyScratch pscratch;
+  poly::Poly dropped;
+  poly::Poly small;
+
+  // TM composition buffers.
+  TaylorModel acc;
+  TaylorModel term;
+  TaylorModel add_out;
+  TaylorModel mul_out;
+  TaylorModel pow_out;
+  TaylorModel pow_base;
+  TaylorModel pow_tmp;
+  TaylorModel integ;
+  TaylorModel diff;
+  TaylorModel subst;
+
+  // Flowpipe-step workspace (reach::tm_integrate_step).
+  TmVec x0;
+  TmVec u;
+  TmVec args;
+  TmVec g;
+  TmVec phi;
+  TmVec picard_out;
+  TmVec cand;
+  TmVec pnext;
+  TmVec validated;
+  std::vector<interval::Interval> rem_j;
+  std::vector<interval::Interval> d_range;
+
+  /// The step's time-extended environment; its scratch borrows from the
+  /// owner env's (aliasing pointer — no ownership cycle).
+  TmEnv env_time;
+  bool env_time_init = false;
+};
+
+inline TmScratch& TmEnv::scratch() const {
+  if (!scratch_) scratch_ = std::make_shared<TmScratch>();
+  return *scratch_;
+}
+
+inline void TmEnv::borrow_scratch(const TmEnv& owner) const {
+  scratch_ = std::shared_ptr<TmScratch>(std::shared_ptr<TmScratch>(),
+                                        &owner.scratch());
+}
 
 TaylorModel tm_add(const TaylorModel& a, const TaylorModel& b);
 TaylorModel tm_sub(const TaylorModel& a, const TaylorModel& b);
@@ -61,12 +153,23 @@ TaylorModel tm_add_const(const TaylorModel& a, double c);
 /// Product with truncation to env.order and remainder bookkeeping.
 TaylorModel tm_mul(const TmEnv& env, const TaylorModel& a,
                    const TaylorModel& b);
+/// In-place product: out must not alias a or b.
+void tm_mul_into(const TmEnv& env, const TaylorModel& a, const TaylorModel& b,
+                 TaylorModel& out);
 
-/// Integer power by repeated multiplication.
+/// Integer power. n <= 3 multiplies left to right exactly like the legacy
+/// repeated-multiplication loop (bit-identical); n >= 4 switches to
+/// square-and-multiply, truncating after each squaring (fewer tm_mul calls;
+/// results may differ from the legacy loop at those orders).
 TaylorModel tm_pow(const TmEnv& env, const TaylorModel& a, std::uint32_t n);
+/// In-place power: out must not alias a.
+void tm_pow_into(const TmEnv& env, const TaylorModel& a, std::uint32_t n,
+                 TaylorModel& out);
 
 /// Folds terms above env.order (and below env.cutoff) into the remainder.
 TaylorModel tm_truncate(const TmEnv& env, TaylorModel tm);
+/// In-place truncation (single linear pass per sweep).
+void tm_truncate_inplace(const TmEnv& env, TaylorModel& tm);
 
 /// Sound enclosure of the model's range over env.dom.
 interval::Interval tm_range(const TmEnv& env, const TaylorModel& tm);
@@ -75,17 +178,26 @@ interval::Interval tm_range(const TmEnv& env, const TaylorModel& tm);
 /// the composition engine used to push dynamics and controllers through TMs.
 TaylorModel tm_eval_poly(const TmEnv& env, const poly::Poly& f,
                          const TmVec& args);
+/// In-place evaluation: out must not alias any element of args.
+void tm_eval_poly_into(const TmEnv& env, const poly::Poly& f,
+                       const TmVec& args, TaylorModel& out);
 
 /// Integrates with respect to variable `time_var` from 0 to that variable
 /// (antiderivative with zero constant). The remainder is scaled by the
 /// maximal |time| in the domain. Used by the Picard operator.
 TaylorModel tm_integrate_time(const TmEnv& env, const TaylorModel& tm,
                               std::size_t time_var);
+/// In-place integration: out must not alias tm.
+void tm_integrate_time_into(const TmEnv& env, const TaylorModel& tm,
+                            std::size_t time_var, TaylorModel& out);
 
 /// Partially evaluates variable `var` at scalar value `c` (e.g. advancing a
 /// flowpipe segment to the end of its step).
 TaylorModel tm_subst_var(const TmEnv& env, const TaylorModel& tm,
                          std::size_t var, double c);
+/// In-place substitution: out must not alias tm.
+void tm_subst_var_into(const TmEnv& env, const TaylorModel& tm,
+                       std::size_t var, double c, TaylorModel& out);
 
 /// Point evaluation of the polynomial part (center of the enclosure).
 double tm_eval_mid(const TaylorModel& tm, const linalg::Vec& x);
