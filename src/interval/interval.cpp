@@ -4,41 +4,6 @@
 
 namespace dwv::interval {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-double down(double x) {
-  return std::isfinite(x) ? std::nextafter(x, -kInf) : x;
-}
-double up(double x) { return std::isfinite(x) ? std::nextafter(x, kInf) : x; }
-
-}  // namespace
-
-Interval outward(const Interval& v) {
-  return Interval(down(v.lo()), up(v.hi()));
-}
-
-Interval& Interval::operator+=(const Interval& o) {
-  *this = outward(Interval(lo_ + o.lo_, hi_ + o.hi_));
-  return *this;
-}
-
-Interval& Interval::operator-=(const Interval& o) {
-  *this = outward(Interval(lo_ - o.hi_, hi_ - o.lo_));
-  return *this;
-}
-
-Interval& Interval::operator*=(const Interval& o) {
-  const double p1 = lo_ * o.lo_;
-  const double p2 = lo_ * o.hi_;
-  const double p3 = hi_ * o.lo_;
-  const double p4 = hi_ * o.hi_;
-  *this = outward(Interval(std::min({p1, p2, p3, p4}),
-                           std::max({p1, p2, p3, p4})));
-  return *this;
-}
-
 Interval& Interval::operator/=(const Interval& o) {
   if (o.contains(0.0)) {
     // Division by an interval containing zero: the result is unbounded.

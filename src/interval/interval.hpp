@@ -9,8 +9,10 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <ostream>
 
@@ -95,9 +97,52 @@ class Interval {
   double hi_ = 0.0;
 };
 
+namespace detail {
+
+// One-ULP steps, bit-identical to std::nextafter(x, +-inf) for every
+// finite double (including signed zeros and subnormals) and the identity
+// on non-finite inputs — inlined bit arithmetic instead of a libm call,
+// because outward() runs after every interval operation and sits on the
+// flowpipe hot path.
+inline double ulp_up(double x) {
+  if (!std::isfinite(x)) return x;
+  std::uint64_t b = std::bit_cast<std::uint64_t>(x);
+  if (b == 0x8000000000000000ULL) b = 0;  // -0.0 steps like +0.0
+  b = (b >> 63) ? b - 1 : b + 1;
+  return std::bit_cast<double>(b);
+}
+inline double ulp_down(double x) { return -ulp_up(-x); }
+
+}  // namespace detail
+
 /// Widens each finite bound outward by one ULP; the post-operation rounding
 /// guard that makes every arithmetic result a sound enclosure.
-Interval outward(const Interval& v);
+inline Interval outward(const Interval& v) {
+  return Interval(detail::ulp_down(v.lo()), detail::ulp_up(v.hi()));
+}
+
+// The ring operations are inline: they dominate the instruction stream of
+// every range bound and flowpipe step. Division stays out of line (it
+// branches on zero-straddling operands and is comparatively rare).
+inline Interval& Interval::operator+=(const Interval& o) {
+  *this = outward(Interval(lo_ + o.lo_, hi_ + o.hi_));
+  return *this;
+}
+
+inline Interval& Interval::operator-=(const Interval& o) {
+  *this = outward(Interval(lo_ - o.hi_, hi_ - o.lo_));
+  return *this;
+}
+
+inline Interval& Interval::operator*=(const Interval& o) {
+  const double p1 = lo_ * o.lo_;
+  const double p2 = lo_ * o.hi_;
+  const double p3 = hi_ * o.lo_;
+  const double p4 = hi_ * o.hi_;
+  *this = outward(Interval(std::min({p1, p2, p3, p4}),
+                           std::max({p1, p2, p3, p4})));
+  return *this;
+}
 
 /// Intersection; empty results are reported via `ok = false`.
 struct IntersectResult {

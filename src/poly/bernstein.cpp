@@ -2,17 +2,40 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
+
+#include "poly/range_engine.hpp"
 
 namespace dwv::poly {
 
 double binomial(std::uint32_t n, std::uint32_t k) {
   if (k > n) return 0.0;
   k = std::min(k, n - k);
-  double r = 1.0;
+  // Exact 128-bit integer evaluation: r * (n - i) is always divisible by
+  // (i + 1) (the running value is C(n, i + 1)), and with r < 2^53 the
+  // product stays below 2^85, far from overflow. The moment the exact
+  // value leaves the range doubles represent exactly we return +infinity
+  // instead of a silently rounded coefficient.
+  constexpr double kExactLimit = 9007199254740992.0;  // 2^53
+  unsigned __int128 r = 1;
   for (std::uint32_t i = 0; i < k; ++i) {
-    r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+    r = r * (n - i) / (i + 1);
+    if (r >= static_cast<unsigned __int128>(kExactLimit)) {
+      return std::numeric_limits<double>::infinity();
+    }
   }
-  return r;
+  return static_cast<double>(r);
+}
+
+const std::vector<std::vector<double>>& binomial_rows(std::uint32_t n) {
+  thread_local std::vector<std::vector<double>> tri;
+  while (tri.size() <= n) {
+    const std::uint32_t i = static_cast<std::uint32_t>(tri.size());
+    std::vector<double> row(i + 1);
+    for (std::uint32_t j = 0; j <= i; ++j) row[j] = binomial(i, j);
+    tri.push_back(std::move(row));
+  }
+  return tri;
 }
 
 interval::Interval bernstein_range_1d(const Poly& p, double lo, double hi) {
@@ -21,12 +44,21 @@ interval::Interval bernstein_range_1d(const Poly& p, double lo, double hi) {
   // Power-basis coefficients of q(t) = p(lo + (hi - lo) t), t in [0, 1].
   std::vector<double> a(d + 1, 0.0);
   const double w = hi - lo;
+  // Hoisted row tables: the binomial products and endpoint powers used to
+  // be recomputed inside the double loops below; each value is identical
+  // to the per-iteration computation it replaces.
+  const std::vector<std::vector<double>>& binom = binomial_rows(d);
+  std::vector<double> lo_pow(d + 1);
+  std::vector<double> w_pow(d + 1);
+  for (std::uint32_t j = 0; j <= d; ++j) {
+    lo_pow[j] = std::pow(lo, static_cast<int>(j));
+    w_pow[j] = std::pow(w, static_cast<int>(j));
+  }
   for (const auto& [key, c] : p.terms()) {
     const std::uint32_t k = key_exp(key, 1, 0);
     // (lo + w t)^k = sum_j C(k, j) lo^(k-j) w^j t^j.
     for (std::uint32_t j = 0; j <= k; ++j) {
-      a[j] += c * binomial(k, j) * std::pow(lo, static_cast<int>(k - j)) *
-              std::pow(w, static_cast<int>(j));
+      a[j] += c * binom[k][j] * lo_pow[k - j] * w_pow[j];
     }
   }
   // Bernstein coefficients b_i = sum_j (C(i,j)/C(d,j)) a_j.
@@ -35,7 +67,7 @@ interval::Interval bernstein_range_1d(const Poly& p, double lo, double hi) {
   for (std::uint32_t i = 0; i <= d; ++i) {
     double b = 0.0;
     for (std::uint32_t j = 0; j <= std::min(i, d); ++j) {
-      b += binomial(i, j) / binomial(d, j) * a[j];
+      b += binom[i][j] / binom[d][j] * a[j];
     }
     bmin = std::min(bmin, b);
     bmax = std::max(bmax, b);
@@ -49,11 +81,12 @@ namespace {
 // power basis as a univariate Poly.
 Poly bernstein_basis_1d(std::uint32_t d, std::uint32_t k) {
   Poly p(1);
-  const double cdk = binomial(d, k);
+  const std::vector<std::vector<double>>& binom = binomial_rows(d);
+  const double cdk = binom[d][k];
   for (std::uint32_t j = 0; j <= d - k; ++j) {
     Exponents e{k + j};
     const double sign = (j % 2 == 0) ? 1.0 : -1.0;
-    p.add_term(e, cdk * binomial(d - k, j) * sign);
+    p.add_term(e, cdk * binom[d - k][j] * sign);
   }
   return p;
 }
@@ -189,13 +222,14 @@ double bernstein_sampled_remainder(
   // an exact polynomial-range bound (well-conditioned in the centered
   // basis); the network side comes from df_range.
   const interval::IVec half(n, interval::Interval(-0.5, 0.5));
+  thread_local RangeEngine engine;  // amortizes the [-1/2,1/2]^n tables
   double correction = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const double w = dom[i].width();
     if (w <= 0.0) continue;
     // dB/dx_i = (1/w_i) dB/dc_i.
     const interval::Interval db =
-        poly_centered.derivative(i).eval_range(half) * (1.0 / w);
+        engine.derivative_range(poly_centered, i, half) * (1.0 / w);
     const interval::Interval df = df_range[i];
     // sup |u - v| over u in db, v in df.
     const double gap =

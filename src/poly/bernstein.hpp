@@ -12,8 +12,18 @@
 
 namespace dwv::poly {
 
-/// Binomial coefficient C(n, k) as double (exact for the small n used).
+/// Binomial coefficient C(n, k) as double. Every finite return value is
+/// EXACT: the running product is guarded against leaving the
+/// exactly-representable integer range (every intermediate stays below
+/// 2^53), and +infinity is returned instead of a silently rounded value
+/// once C(n, k) cannot be represented exactly.
 double binomial(std::uint32_t n, std::uint32_t k);
+
+/// Rows 0..n of Pascal's triangle, memoized per thread and grown on
+/// demand; entry [i][j] equals binomial(i, j) bit for bit (j <= i). Backs
+/// the Bernstein conversion loops and RangeEngine clients so inner loops
+/// stop recomputing O(k) binomial products.
+const std::vector<std::vector<double>>& binomial_rows(std::uint32_t n);
 
 /// Sound range enclosure of a univariate polynomial over [lo, hi] using the
 /// Bernstein coefficient enclosure property (tighter than naive interval

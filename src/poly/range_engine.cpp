@@ -1,0 +1,327 @@
+#include "poly/range_engine.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace dwv::poly {
+
+using interval::Interval;
+using interval::IVec;
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Word-wise hash of the exact term bytes (key and coefficient bits).
+std::uint64_t hash_terms(const Poly& p) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ p.terms().size();
+  for (const Term& t : p.terms()) {
+    h = mix64(h ^ t.key);
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(t.coeff));
+  }
+  return h;
+}
+
+// Exact bit equality of two term vectors (memcmp: Term is a {u64, double}
+// POD, and coefficient identity must be by bits, not operator==).
+bool terms_equal(const std::vector<Term>& a, const std::vector<Term>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Term)) == 0);
+}
+
+// Exact-bits domain identity: bit_cast comparison so signed zeros and NaN
+// payloads count as distinct (the table caches pow_n of these exact bits).
+bool same_bits(const IVec& a, const IVec& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i].lo()) !=
+            std::bit_cast<std::uint64_t>(b[i].lo()) ||
+        std::bit_cast<std::uint64_t>(a[i].hi()) !=
+            std::bit_cast<std::uint64_t>(b[i].hi())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RangeEngine::DomainTable& RangeEngine::table_for(const IVec& dom) {
+  ++clock_;
+  // Fast path: the previous query's table (flowpipe runs alternate between
+  // at most two domains, so this hits nearly always).
+  if (mru_ < tables_.size() && same_bits(tables_[mru_].dom, dom)) {
+    DomainTable& t = tables_[mru_];
+    t.last_use = clock_;
+    ++stats_.table_reuses;
+    return t;
+  }
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (same_bits(tables_[i].dom, dom)) {
+      mru_ = i;
+      tables_[i].last_use = clock_;
+      ++stats_.table_reuses;
+      return tables_[i];
+    }
+  }
+  ++stats_.table_builds;
+  std::size_t slot = 0;
+  if (tables_.size() < kMaxTables) {
+    slot = tables_.size();
+    tables_.emplace_back();
+  } else {
+    for (std::size_t i = 1; i < tables_.size(); ++i) {
+      if (tables_[i].last_use < tables_[slot].last_use) slot = i;
+    }
+  }
+  DomainTable& t = tables_[slot];
+  t.dom = dom;
+  t.powers.assign(dom.size(), {});
+  t.mid.clear();
+  t.mid_powers.assign(dom.size(), {});
+  t.memo.clear();
+  t.last_use = clock_;
+  mru_ = slot;
+  return t;
+}
+
+const Interval* RangeEngine::memo_find(DomainTable& t, const Poly& p,
+                                       std::uint32_t kind, std::uint64_t h) {
+  for (DomainTable::MemoEntry& e : t.memo) {
+    if (e.kind == kind && e.hash == h && terms_equal(e.terms, p.terms())) {
+      e.last_use = clock_;
+      ++stats_.memo_hits;
+      return &e.result;
+    }
+  }
+  return nullptr;
+}
+
+void RangeEngine::memo_store(DomainTable& t, const Poly& p,
+                             std::uint32_t kind, std::uint64_t h,
+                             const Interval& r) {
+  ++stats_.memo_stores;
+  DomainTable::MemoEntry* slot = nullptr;
+  if (t.memo.size() < kMaxMemo) {
+    slot = &t.memo.emplace_back();
+  } else {
+    slot = &t.memo.front();
+    for (DomainTable::MemoEntry& e : t.memo) {
+      if (e.last_use < slot->last_use) slot = &e;
+    }
+  }
+  slot->hash = h;
+  slot->kind = kind;
+  slot->terms = p.terms();
+  slot->result = r;
+  slot->last_use = clock_;
+}
+
+const Interval& RangeEngine::power(DomainTable& t, std::size_t v,
+                                   std::uint32_t e) {
+  std::vector<Interval>& row = t.powers[v];
+  if (e >= row.size()) {
+    if (row.empty()) row.push_back(Interval(1.0));
+    for (std::uint32_t k = static_cast<std::uint32_t>(row.size()); k <= e;
+         ++k) {
+      row.push_back(interval::pow_n(t.dom[v], k));
+      ++stats_.pow_evals;
+    }
+  }
+  return row[e];
+}
+
+const Interval& RangeEngine::mid_power(DomainTable& t, std::size_t v,
+                                       std::uint32_t e) {
+  if (t.mid.size() != t.dom.size()) {
+    t.mid.resize(t.dom.size());
+    for (std::size_t i = 0; i < t.dom.size(); ++i) t.mid[i] = t.dom[i].mid();
+  }
+  std::vector<Interval>& row = t.mid_powers[v];
+  if (e >= row.size()) {
+    if (row.empty()) row.push_back(Interval(1.0));
+    const Interval m(t.mid[v]);
+    for (std::uint32_t k = static_cast<std::uint32_t>(row.size()); k <= e;
+         ++k) {
+      row.push_back(interval::pow_n(m, k));
+      ++stats_.pow_evals;
+    }
+  }
+  return row[e];
+}
+
+// Extends every power row of `t` to this poly's per-variable maximum
+// exponent and returns raw row pointers, so the walk kernels below read
+// `rows[i][e]` with no growth checks or stats bookkeeping per multiply.
+// The pointer array is engine-owned scratch (engines are single-threaded
+// by contract): valid until the next prepare call on this engine, which is
+// fine because the kernels never nest.
+const Interval* const* RangeEngine::prepare_rows(const Poly& p,
+                                                 DomainTable& t) {
+  const std::size_t n = p.nvars();
+  const std::uint32_t bits = key_bits(n);
+  const std::uint64_t mask = key_field_mask(n);
+  max_e_.assign(n, 0);
+  for (const Term& term : p.terms()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t e = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - i))) & mask);
+      if (e > max_e_[i]) max_e_[i] = e;
+    }
+  }
+  row_ptrs_.assign(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (max_e_[i] > 0) (void)power(t, i, max_e_[i]);
+    row_ptrs_[i] = t.powers[i].data();
+  }
+  return row_ptrs_.data();
+}
+
+// The seed kernel: identical walk, multiply, and accumulation order as
+// Poly::eval_range, with pow_n values read from the table instead of being
+// recomputed per term.
+Interval RangeEngine::naive_range(const Poly& p, DomainTable& t) {
+  const std::size_t n = p.nvars();
+  const std::uint32_t bits = key_bits(n);
+  const std::uint64_t mask = key_field_mask(n);
+  const Interval* const* rows = prepare_rows(p, t);
+  Interval s(0.0);
+  for (const Term& term : p.terms()) {
+    Interval m(term.coeff);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t e = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - i))) & mask);
+      if (e > 0) m *= rows[i][e];
+    }
+    s += m;
+  }
+  return s;
+}
+
+// Mean-value form: f(x) = f(m) + grad f(xi) . (x - m) for some xi on the
+// segment [m, x] subset dom, so f(m) + grad f(dom) . (dom - m) encloses the
+// range. Every operation is outward-rounded interval arithmetic, hence the
+// result is sound (but not bit-comparable to the seed).
+Interval RangeEngine::centered_range(const Poly& p, DomainTable& t) {
+  const std::size_t n = p.nvars();
+  const std::uint32_t bits = key_bits(n);
+  const std::uint64_t mask = key_field_mask(n);
+
+  // f(mid), evaluated in point-interval arithmetic for soundness.
+  Interval c(0.0);
+  for (const Term& term : p.terms()) {
+    Interval m(term.coeff);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t e = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - i))) & mask);
+      if (e > 0) m *= mid_power(t, i, e);
+    }
+    c += m;
+  }
+
+  const Interval* const* rows = prepare_rows(p, t);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (t.dom[v].is_point()) continue;  // zero offset contributes nothing
+    // grad_v over the full domain, from the same power table.
+    Interval g(0.0);
+    bool any = false;
+    for (const Term& term : p.terms()) {
+      const std::uint32_t ev = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - v))) & mask);
+      if (ev == 0) continue;
+      const double dc = term.coeff * static_cast<double>(ev);
+      if (dc == 0.0) continue;
+      Interval m(dc);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t e = static_cast<std::uint32_t>(
+            (term.key >> (bits * (n - 1 - i))) & mask);
+        if (i == v) --e;
+        if (e > 0) m *= rows[i][e];
+      }
+      g += m;
+      any = true;
+    }
+    if (!any) continue;
+    const Interval offset = t.dom[v] - Interval(t.dom[v].mid());
+    c += g * offset;
+  }
+  return c;
+}
+
+Interval RangeEngine::eval_range(const Poly& p, const IVec& dom,
+                                 const RangeOptions& opt) {
+  assert(dom.size() == p.nvars());
+  ++stats_.queries;
+  DomainTable& t = table_for(dom);
+  const std::uint32_t kind =
+      opt.mode == RangeMode::kSeedIdentical ? 0u : 1u;
+  const bool memo = memo_enabled_ && p.terms().size() <= kMaxMemoTerms;
+  std::uint64_t h = 0;
+  if (memo) {
+    h = hash_terms(p);
+    if (const Interval* r = memo_find(t, p, kind, h)) return *r;
+  }
+  const Interval naive = naive_range(p, t);
+  Interval out = naive;
+  if (opt.mode != RangeMode::kSeedIdentical) {
+    const Interval centered = centered_range(p, t);
+    const interval::IntersectResult r = interval::intersect(naive, centered);
+    // Two sound enclosures always intersect; the guard only protects
+    // against NaN bounds from overflowed coefficients.
+    out = r.ok ? r.value : naive;
+  }
+  if (memo) memo_store(t, p, kind, h, out);
+  return out;
+}
+
+// Identical to p.derivative(var).eval_range(dom): derivative_into appends
+// the surviving terms in key order with coefficient coeff * e_var (skipping
+// exact zeros), and eval_range then walks them in that same order — which
+// is exactly the filtered walk below.
+Interval RangeEngine::derivative_range(const Poly& p, std::size_t var,
+                                       const IVec& dom) {
+  assert(var < p.nvars());
+  assert(dom.size() == p.nvars());
+  ++stats_.queries;
+  DomainTable& t = table_for(dom);
+  const std::uint32_t kind = 2u + static_cast<std::uint32_t>(var);
+  const bool memo = memo_enabled_ && p.terms().size() <= kMaxMemoTerms;
+  std::uint64_t h = 0;
+  if (memo) {
+    h = hash_terms(p);
+    if (const Interval* r = memo_find(t, p, kind, h)) return *r;
+  }
+  const std::size_t n = p.nvars();
+  const std::uint32_t bits = key_bits(n);
+  const std::uint64_t mask = key_field_mask(n);
+  const Interval* const* rows = prepare_rows(p, t);
+  Interval s(0.0);
+  for (const Term& term : p.terms()) {
+    const std::uint32_t ev = static_cast<std::uint32_t>(
+        (term.key >> (bits * (n - 1 - var))) & mask);
+    if (ev == 0) continue;
+    const double dc = term.coeff * static_cast<double>(ev);
+    if (dc == 0.0) continue;
+    Interval m(dc);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t e = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - i))) & mask);
+      if (i == var) --e;
+      if (e > 0) m *= rows[i][e];
+    }
+    s += m;
+  }
+  if (memo) memo_store(t, p, kind, h, s);
+  return s;
+}
+
+}  // namespace dwv::poly

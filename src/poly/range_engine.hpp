@@ -1,0 +1,164 @@
+// Batched range-bounding engine for the interval hot path.
+//
+// Every validated flowpipe step bounds dozens of polynomials over the SAME
+// domain box (the unit set-variable box, or the time-extended box with
+// tau in [0, h]): truncation remainders, multiplication cross terms,
+// tm_range calls during remainder validation, tube hulls. The naive
+// Poly::eval_range recomputes interval::pow_n (two std::pow calls) for
+// every (term, variable) pair of every query. This engine amortizes that
+// work: it keeps a small MRU cache of per-domain tables of interval powers
+// dom[v]^k — built once per distinct domain (keyed by the domain's EXACT
+// bits, invalidated on any change) — and walks the packed uint64 term
+// vector directly, multiplying table entries. On top of the walk, each
+// table carries a small result memo keyed by the exact poly bits and query
+// kind: verifiers bound the SAME models repeatedly (one verdict check per
+// constraint, tube hulls, remainder validation retries), and a memo hit
+// returns the recorded bits of the earlier identical query.
+//
+// Bit-identity contract (DESIGN.md section 10): in the default
+// kSeedIdentical mode the engine reproduces Poly::eval_range (and the
+// map-based poly::ref::RefPoly::eval_range oracle) bit for bit. The table
+// entries are exactly interval::pow_n(dom[v], k), and the kernel preserves
+// the seed's term order and per-term accumulation order, so every
+// floating-point operation sequence is unchanged — only redundant pow_n
+// evaluations disappear.
+//
+// The opt-in kCenteredForm mode additionally intersects the naive
+// extension with a mean-value (centered) form f(m) + grad_f(dom)·(dom - m)
+// computed from the same cached tables. It is sound (always contains the
+// true range, verified by containment tests, not bit tests) but NOT
+// bit-identical to the seed; keep it off when reproducibility against
+// recorded trajectories matters.
+//
+// Ownership / threading: engines are NOT thread-safe. Each
+// taylor::TmScratch owns one (so every TmEnv copy handed to a worker
+// thread gets private engine state, matching the scratch ownership rules
+// of DESIGN.md section 9); free functions without an env use a
+// thread_local engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/ivec.hpp"
+#include "poly/poly.hpp"
+
+namespace dwv::poly {
+
+/// Range-bounding mode; see the bit-identity contract above.
+enum class RangeMode {
+  /// Bit-identical to the seed's Poly::eval_range (default).
+  kSeedIdentical,
+  /// Naive extension intersected with the mean-value/centered form.
+  /// Sound but tighter: results are contained in the kSeedIdentical ones.
+  kCenteredForm,
+};
+
+struct RangeOptions {
+  RangeMode mode = RangeMode::kSeedIdentical;
+};
+
+/// Counters for cache behaviour (per engine, monotone).
+struct RangeStats {
+  std::uint64_t queries = 0;       ///< eval_range/derivative_range calls
+  std::uint64_t table_builds = 0;  ///< new domain tables built
+  std::uint64_t table_reuses = 0;  ///< queries served by a cached table
+  std::uint64_t pow_evals = 0;     ///< interval::pow_n table fills
+  std::uint64_t memo_hits = 0;     ///< queries answered from the result memo
+  std::uint64_t memo_stores = 0;   ///< results recorded in the memo
+};
+
+/// Amortizing range bounder; one per computation context (see above).
+class RangeEngine {
+ public:
+  /// Sound enclosure of p's range over dom in the given mode.
+  interval::Interval eval_range(const Poly& p, const interval::IVec& dom,
+                                const RangeOptions& opt);
+  /// Default-mode (seed-identical) convenience overload.
+  interval::Interval eval_range(const Poly& p, const interval::IVec& dom) {
+    return eval_range(p, dom, RangeOptions{});
+  }
+
+  /// Sound enclosure of (d p / d x_var)'s range over dom — what
+  /// p.derivative(var).eval_range(dom) computes, bit for bit, without
+  /// materializing the derivative polynomial.
+  interval::Interval derivative_range(const Poly& p, std::size_t var,
+                                      const interval::IVec& dom);
+
+  const RangeStats& stats() const { return stats_; }
+  /// Drops every cached table (stats are kept).
+  void clear() { tables_.clear(); }
+
+  /// Toggles the per-table result memo (default on). The memo returns the
+  /// recorded bits of an earlier identical query — verifiers re-bound the
+  /// same models several times (per-constraint verdict checks, tube hulls,
+  /// remainder validation retries) — so results are unchanged either way;
+  /// benchmarks turn it off to time the walk kernels themselves.
+  void set_result_memo(bool on) { memo_enabled_ = on; }
+
+ private:
+  struct DomainTable {
+    /// The domain this table was built for — the cache key (compared by
+    /// exact bits) and the source for lazy power extension.
+    interval::IVec dom;
+    /// powers[v][k] == interval::pow_n(dom[v], k); [v] grown on demand.
+    std::vector<std::vector<interval::Interval>> powers;
+    /// mid[v] == dom[v].mid(); mid_powers like powers but for the point
+    /// interval [mid, mid]. Filled only when kCenteredForm queries run.
+    std::vector<double> mid;
+    std::vector<std::vector<interval::Interval>> mid_powers;
+    /// Memoized query results for this domain: exact poly bits + query
+    /// kind -> recorded result. Hash for quick reject, full term-byte
+    /// compare before a hit, LRU within kMaxMemo entries.
+    struct MemoEntry {
+      std::uint64_t hash = 0;
+      std::uint32_t kind = 0;  ///< 0 seed eval, 1 centered eval, 2+v deriv
+      std::vector<Term> terms;
+      interval::Interval result;
+      std::uint64_t last_use = 0;
+    };
+    std::vector<MemoEntry> memo;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Finds or builds the table for dom (MRU, capacity kMaxTables).
+  DomainTable& table_for(const interval::IVec& dom);
+
+  /// dom[v]^e from the table, extending the row as needed.
+  const interval::Interval& power(DomainTable& t, std::size_t v,
+                                  std::uint32_t e);
+  /// [mid_v, mid_v]^e from the table, extending the row as needed.
+  const interval::Interval& mid_power(DomainTable& t, std::size_t v,
+                                      std::uint32_t e);
+
+  /// Extends t's power rows to p's per-variable max exponent and returns
+  /// raw row pointers (engine-owned scratch; valid until the next call) so
+  /// the kernels index powers with no growth checks per multiply.
+  const interval::Interval* const* prepare_rows(const Poly& p,
+                                                DomainTable& t);
+
+  /// The seed-identical kernel over packed terms.
+  interval::Interval naive_range(const Poly& p, DomainTable& t);
+  /// Mean-value form f(mid) + sum_v df/dx_v(dom) * (dom_v - mid_v).
+  interval::Interval centered_range(const Poly& p, DomainTable& t);
+
+  /// Result-memo lookup/insert for query `kind` on poly `p` (hash `h`).
+  const interval::Interval* memo_find(DomainTable& t, const Poly& p,
+                                      std::uint32_t kind, std::uint64_t h);
+  void memo_store(DomainTable& t, const Poly& p, std::uint32_t kind,
+                  std::uint64_t h, const interval::Interval& r);
+
+  static constexpr std::size_t kMaxTables = 4;
+  static constexpr std::size_t kMaxMemo = 32;       ///< entries per table
+  static constexpr std::size_t kMaxMemoTerms = 128; ///< memoizable poly size
+  std::vector<DomainTable> tables_;
+  std::size_t mru_ = 0;  ///< index of the last-hit table (fast path)
+  std::uint64_t clock_ = 0;
+  bool memo_enabled_ = true;
+  RangeStats stats_;
+  // prepare_rows scratch, reused across queries to avoid reallocation.
+  std::vector<std::uint32_t> max_e_;
+  std::vector<const interval::Interval*> row_ptrs_;
+};
+
+}  // namespace dwv::poly

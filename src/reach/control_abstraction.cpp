@@ -213,10 +213,14 @@ TmVec ReachNnAbstraction::abstract(const TmEnv& env, const TmVec& state,
     }
     TaylorModel uk = taylor::tm_eval_poly(env, centered, t);
     // Mean-value remainder transport for the stripped state remainders.
+    // The scratch's range engine bounds the derivative directly from the
+    // packed terms (no derivative polynomial materialized) and reuses the
+    // [-1/2, 1/2]^n power table across outputs and dimensions.
     const interval::IVec half(n, Interval(-0.5, 0.5));
+    poly::RangeEngine& range = env.scratch().range;
     for (std::size_t i = 0; i < n; ++i) {
       if (t_rem[i].rad() > 0.0) {
-        uk.rem += centered.derivative(i).eval_range(half) * t_rem[i];
+        uk.rem += range.derivative_range(centered, i, half) * t_rem[i];
       }
     }
     uk.rem += Interval::symmetric(rem);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "poly/range_engine.hpp"
+
 namespace dwv::reach {
 
 using interval::Interval;
@@ -17,13 +19,18 @@ IntervalVerifier::IntervalVerifier(ode::SystemPtr sys,
 
 namespace {
 
-// Interval image of the polynomial vector field at boxes (x, u).
+// Interval image of the polynomial vector field at boxes (x, u). The
+// engine shares one power table across the n component polynomials of
+// each box (thread_local: SubdividingVerifier may run cells in parallel
+// against the same IntervalVerifier instance).
 IVec f_range(const std::vector<poly::Poly>& f, const IVec& x, const IVec& u) {
+  thread_local poly::RangeEngine engine;
   IVec xu(x.size() + u.size());
   for (std::size_t i = 0; i < x.size(); ++i) xu[i] = x[i];
   for (std::size_t j = 0; j < u.size(); ++j) xu[x.size() + j] = u[j];
   IVec out(f.size());
-  for (std::size_t i = 0; i < f.size(); ++i) out[i] = f[i].eval_range(xu);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    out[i] = engine.eval_range(f[i], xu);
   return out;
 }
 

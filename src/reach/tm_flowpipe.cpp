@@ -31,9 +31,11 @@ Interval widen(const Interval& v, double factor, double bump) {
 // current linear shape (parallelotope, preconditioning the wrapping away on
 // rotating flows); falls back to the box hull when the shape matrix is
 // near singular or the parallelotope hull would be looser than the box.
-TmVec reinitialize(const TmVec& x, const IVec& end_range) {
+TmVec reinitialize(const TmEnv& env, const TmVec& x, const IVec& end_range) {
   const std::size_t n = x.size();
   const IVec unit(n, Interval(-1.0, 1.0));
+  poly::RangeEngine& range = env.scratch().range;
+  const poly::RangeOptions ropt{env.range_mode};
 
   const auto box_reinit = [&]() {
     TmVec fresh(n);
@@ -63,7 +65,7 @@ TmVec reinitialize(const TmVec& x, const IVec& end_range) {
         nonlin.add_term_key(key, coeff);
       }
     }
-    const Interval resid = nonlin.eval_range(unit) + x[i].rem;
+    const Interval resid = range.eval_range(nonlin, unit, ropt) + x[i].rem;
     c[i] += resid.mid();
     r[i] = resid.rad();
   }
@@ -153,6 +155,7 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
   env.dom[nv] = Interval(0.0, h);
   env.order = env_set.order;
   env.cutoff = env_set.cutoff;
+  env.range_mode = env_set.range_mode;
   const std::size_t tau = nv;
 
   s.x0.resize(n);
@@ -310,6 +313,9 @@ void hash_poly(std::vector<std::uint64_t>& w, const Poly& p) {
 
 std::uint64_t TmVerifier::cache_salt() const {
   std::vector<std::uint64_t> w;
+  // Range-bounding mode changes remainders (hence verdicts): results
+  // computed under different modes must never collide in the cache.
+  w.push_back(static_cast<std::uint64_t>(opt_.range_mode));
   w.push_back(std::bit_cast<std::uint64_t>(spec_.delta));
   w.push_back(spec_.steps);
   w.push_back(spec_.stop_at_goal ? 1 : 0);
@@ -399,6 +405,7 @@ Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
   env.dom = IVec(n, Interval(-1.0, 1.0));
   env.order = opt_.order;
   env.cutoff = opt_.cutoff;
+  env.range_mode = opt_.range_mode;
 
   // Initial affine parameterization x_i = c_i + r_i s_i.
   const linalg::Vec c = x0.center();
@@ -465,7 +472,7 @@ Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
         }
       }
       if (reinit) {
-        x = reinitialize(x, end_range);
+        x = reinitialize(env, x, end_range);
         recording = false;
       }
     }
@@ -485,6 +492,7 @@ Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
     env_time.dom[n] = Interval(0.0, h);
     env_time.order = opt_.order;
     env_time.cutoff = opt_.cutoff;
+    env_time.range_mode = opt_.range_mode;
 
     const TmVec args_set = restriction_args(env, parent->x0, x0, false);
     const TmVec args_time = restriction_args(env_time, parent->x0, x0, true);

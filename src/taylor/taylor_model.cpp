@@ -31,10 +31,10 @@ void tm_truncate_inplace(const TmEnv& env, TaylorModel& tm) {
   TmScratch& s = env.scratch();
   tm.poly.split_by_degree_into(env.order, s.dropped);
   Interval extra(0.0);
-  if (!s.dropped.is_zero()) extra += s.dropped.eval_range(env.dom);
+  if (!s.dropped.is_zero()) extra += env.poly_range(s.dropped);
   if (env.cutoff > 0.0) {
     tm.poly.prune_small_into(env.cutoff, s.small);
-    if (!s.small.is_zero()) extra += s.small.eval_range(env.dom);
+    if (!s.small.is_zero()) extra += env.poly_range(s.small);
   }
   tm.rem += extra;
 }
@@ -49,8 +49,8 @@ void tm_mul_into(const TmEnv& env, const TaylorModel& a, const TaylorModel& b,
   assert(&out != &a && &out != &b);
   // (pa + Ia)(pb + Ib) = pa pb + pa Ib + pb Ia + Ia Ib.
   Poly::mul_into(a.poly, b.poly, out.poly, env.scratch().pscratch);
-  const Interval ra = a.poly.eval_range(env.dom);
-  const Interval rb = b.poly.eval_range(env.dom);
+  const Interval ra = env.poly_range(a.poly);
+  const Interval rb = env.poly_range(b.poly);
   out.rem = ra * b.rem + rb * a.rem + a.rem * b.rem;
   tm_truncate_inplace(env, out);
 }
@@ -113,7 +113,7 @@ TaylorModel tm_pow(const TmEnv& env, const TaylorModel& a, std::uint32_t n) {
 }
 
 interval::Interval tm_range(const TmEnv& env, const TaylorModel& tm) {
-  return tm.poly.eval_range(env.dom) + tm.rem;
+  return env.poly_range(tm.poly) + tm.rem;
 }
 
 void tm_eval_poly_into(const TmEnv& env, const poly::Poly& f,

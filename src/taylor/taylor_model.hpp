@@ -15,6 +15,7 @@
 
 #include "interval/ivec.hpp"
 #include "poly/poly.hpp"
+#include "poly/range_engine.hpp"
 
 namespace dwv::taylor {
 
@@ -30,15 +31,23 @@ struct TmEnv {
   /// Coefficients with magnitude <= cutoff are swept into the remainder to
   /// keep polynomials short. 0 disables sweeping.
   double cutoff = 1e-12;
+  /// Range-bounding mode for every polynomial range query made through
+  /// this env (truncation remainders, tm_mul cross terms, tm_range). The
+  /// default is bit-identical to the seed; kCenteredForm is tighter but
+  /// only containment-comparable (DESIGN.md section 10).
+  poly::RangeMode range_mode = poly::RangeMode::kSeedIdentical;
 
   TmEnv() = default;
   /// Copies settings but NOT the scratch: each copy lazily builds its own
   /// buffers, so envs handed to different worker threads never race.
-  TmEnv(const TmEnv& o) : dom(o.dom), order(o.order), cutoff(o.cutoff) {}
+  TmEnv(const TmEnv& o)
+      : dom(o.dom), order(o.order), cutoff(o.cutoff),
+        range_mode(o.range_mode) {}
   TmEnv& operator=(const TmEnv& o) {
     dom = o.dom;
     order = o.order;
     cutoff = o.cutoff;
+    range_mode = o.range_mode;
     return *this;  // this env keeps its own (possibly borrowed) scratch
   }
 
@@ -51,6 +60,10 @@ struct TmEnv {
   /// for envs stored inside a TmScratch (non-owning aliasing pointer avoids
   /// a shared_ptr cycle).
   void borrow_scratch(const TmEnv& owner) const;
+
+  /// Range of `p` over this env's domain through the scratch's shared
+  /// range engine (amortized interval power tables, mode = range_mode).
+  interval::Interval poly_range(const poly::Poly& p) const;
 
  private:
   mutable std::shared_ptr<TmScratch> scratch_;
@@ -103,6 +116,11 @@ struct TmScratch {
   poly::PolyScratch pscratch;
   poly::Poly dropped;
   poly::Poly small;
+  /// Shared range-bounding engine: every range query routed through a
+  /// TmEnv that owns (or borrows) this scratch reuses its per-domain
+  /// interval power tables. Private per scratch, so the engine state
+  /// follows the same no-sharing-across-threads rules as the buffers.
+  poly::RangeEngine range;
 
   // TM composition buffers.
   TaylorModel acc;
@@ -143,6 +161,10 @@ inline TmScratch& TmEnv::scratch() const {
 inline void TmEnv::borrow_scratch(const TmEnv& owner) const {
   scratch_ = std::shared_ptr<TmScratch>(std::shared_ptr<TmScratch>(),
                                         &owner.scratch());
+}
+
+inline interval::Interval TmEnv::poly_range(const poly::Poly& p) const {
+  return scratch().range.eval_range(p, dom, poly::RangeOptions{range_mode});
 }
 
 TaylorModel tm_add(const TaylorModel& a, const TaylorModel& b);

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the range-bounding microbenchmarks.
+
+Compares the current BENCH_range_bound.json against the committed baseline
+and fails if range bounding regressed by more than 20%.
+
+Raw ns/query numbers do not transfer between machines (the committed
+baseline comes from a developer box; CI runs on whatever runner generation
+gets scheduled), so the gate compares the *_speedup ratios instead: engine
+vs naive measured on the SAME machine in the SAME run. A ratio more than
+20% below the committed one means the engine's relative advantage shrank —
+a genuine code regression, not runner noise.
+
+Usage: check_bench_regression.py <baseline.json> <current.json>
+"""
+
+import json
+import sys
+
+# Current speedup must stay within 20% of the committed baseline ratio.
+THRESHOLD = 0.8
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <baseline.json> <current.json>")
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        current = json.load(f)
+
+    checked = 0
+    failed = False
+    for key in sorted(baseline):
+        if not key.endswith("_speedup"):
+            continue
+        checked += 1
+        ref = baseline[key]
+        val = current.get(key)
+        if val is None:
+            print(f"FAIL {key}: missing from current results")
+            failed = True
+            continue
+        ok = val >= THRESHOLD * ref
+        mark = "ok  " if ok else "FAIL"
+        print(f"{mark} {key}: {val:.3f}x (baseline {ref:.3f}x, "
+              f"floor {THRESHOLD * ref:.3f}x)")
+        failed = failed or not ok
+
+    if checked == 0:
+        print("FAIL: baseline contains no *_speedup keys to check")
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
