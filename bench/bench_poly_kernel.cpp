@@ -43,6 +43,22 @@ struct Results {
     std::printf("%-28s %12.1f ns/op\n", name.c_str(), ns);
   }
 
+  double get(const std::string& name) const {
+    for (const auto& [n, v] : rows)
+      if (n == name) return v;
+    return 0.0;
+  }
+
+  /// Same-run before/after ratio (e.g. mapref ns over packed ns). Ratios
+  /// transfer across machines, so these are the keys the CI regression
+  /// gate (tools/check_bench_regression.py) compares.
+  void add_ratio(const std::string& name, const std::string& num,
+                 const std::string& den) {
+    const double r = get(num) / get(den);
+    rows.emplace_back(name, r);
+    std::printf("%-28s %12.2f x\n", name.c_str(), r);
+  }
+
   void write_json(const char* path) const {
     std::FILE* f = std::fopen(path, "w");
     if (!f) return;
@@ -115,6 +131,9 @@ void bench_poly_ops(Results& out) {
             const poly::ref::RefPoly c = ra.compose(rsubs);
             g_sink += c.max_abs_coeff();
           }));
+  out.add_ratio("poly_mul_speedup", "poly_mul_mapref", "poly_mul_packed");
+  out.add_ratio("poly_compose_speedup", "poly_compose_mapref",
+                "poly_compose_packed");
 #endif
 }
 

@@ -1,11 +1,130 @@
 #include "core/initial_set.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
 #include "core/verdict.hpp"
 #include "parallel/pool.hpp"
+#include "parallel/work_steal.hpp"
+#include "reach/batch.hpp"
 #include "reach/cache.hpp"
 #include "reach/tm_flowpipe.hpp"
 
 namespace dwv::core {
+
+namespace {
+
+// The work-stealing frontier scheduler. Deterministic despite the
+// scheduling nondeterminism: every cell carries its heap sequence number
+// (root 1, children 2s and 2s+1), terminal decisions are recorded per
+// worker, and the merge sorts them by sequence number — which is exactly
+// the breadth-first emission order of the level-synchronous path, so the
+// certified/rejected lists and the volume accumulation order (hence every
+// bit of the coverage sum) are reproduced.
+InitialSetResult search_work_steal(const reach::Verifier& verifier,
+                                   const ode::ReachAvoidSpec& spec,
+                                   const nn::Controller& ctrl,
+                                   const InitialSetOptions& opt,
+                                   const reach::TmVerifier* tmv) {
+  struct Cell {
+    geom::Box box;
+    std::size_t depth;
+    std::uint64_t seq;
+    std::shared_ptr<const reach::TmSymbolicPrefix> parent;
+  };
+  struct Record {
+    std::uint64_t seq;
+    geom::Box box;
+    bool certified;
+  };
+
+  const std::size_t threads = parallel::resolve_threads(opt.threads);
+  const reach::BatchVerifier bv(&verifier, opt.batch);
+  // The symbolic prefix-reuse path is inherently per-cell (each child
+  // restricts its parent's models), so it bypasses the batch engine.
+  const std::size_t width = tmv == nullptr ? bv.batch() : 1;
+
+  std::vector<std::vector<Record>> records(threads);
+  std::atomic<std::size_t> calls{0};
+
+  const auto body = [&](Cell* first,
+                        parallel::WorkStealContext<Cell*>& ctx) {
+    std::vector<Cell*> group{first};
+    Cell* extra = nullptr;
+    while (group.size() < width && ctx.try_pop(extra))
+      group.push_back(extra);
+
+    std::vector<reach::Flowpipe> fps(group.size());
+    std::vector<std::shared_ptr<const reach::TmSymbolicPrefix>> prefixes(
+        tmv != nullptr ? group.size() : 0);
+    if (tmv != nullptr) {
+      for (std::size_t g = 0; g < group.size(); ++g) {
+        reach::TmComputeResult r = tmv->compute_symbolic(
+            group[g]->box, ctrl, group[g]->parent.get());
+        fps[g] = std::move(r.fp);
+        prefixes[g] = std::move(r.prefix);
+      }
+    } else {
+      std::vector<reach::BatchJob> jobs;
+      jobs.reserve(group.size());
+      for (const Cell* c : group) jobs.push_back({c->box, &ctrl});
+      fps = bv.compute(jobs);
+    }
+
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      Cell* cell = group[g];
+      const FlowpipeFacts facts = analyze_flowpipe(fps[g], spec);
+      const bool safe_ok = !opt.check_safety || facts.safe_certified;
+      const bool certify =
+          fps[g].valid && safe_ok && facts.goal_certified;
+      if (certify) {
+        records[ctx.worker()].push_back({cell->seq, cell->box, true});
+      } else if (cell->depth < opt.max_depth) {
+        auto [lo, hi] = cell->box.bisect();
+        std::shared_ptr<const reach::TmSymbolicPrefix> prefix;
+        if (tmv != nullptr) prefix = std::move(prefixes[g]);
+        ctx.spawn(new Cell{std::move(lo), cell->depth + 1, 2 * cell->seq,
+                           prefix});
+        ctx.spawn(new Cell{std::move(hi), cell->depth + 1,
+                           2 * cell->seq + 1, std::move(prefix)});
+      } else {
+        records[ctx.worker()].push_back({cell->seq, cell->box, false});
+      }
+      delete cell;
+    }
+    calls.fetch_add(group.size(), std::memory_order_relaxed);
+  };
+
+  std::vector<Cell*> roots{new Cell{spec.x0, 0, 1, nullptr}};
+  parallel::work_steal_run(threads, roots, body);
+
+  std::vector<Record> merged;
+  for (auto& r : records) {
+    merged.insert(merged.end(), std::make_move_iterator(r.begin()),
+                  std::make_move_iterator(r.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Record& a, const Record& b) { return a.seq < b.seq; });
+
+  InitialSetResult res;
+  res.verifier_calls = calls.load(std::memory_order_relaxed);
+  double certified_volume = 0.0;
+  const double total_volume = spec.x0.volume();
+  for (Record& r : merged) {
+    if (r.certified) {
+      certified_volume += r.box.volume();
+      res.certified.push_back(std::move(r.box));
+    } else {
+      res.rejected.push_back(std::move(r.box));
+    }
+  }
+  res.coverage = total_volume > 0.0 ? certified_volume / total_volume : 0.0;
+  return res;
+}
+
+}  // namespace
 
 InitialSetResult search_initial_set(const reach::Verifier& verifier,
                                     const ode::ReachAvoidSpec& spec,
@@ -26,6 +145,8 @@ InitialSetResult search_initial_set(const reach::Verifier& verifier,
       }
     }
   }
+
+  if (opt.work_steal) return search_work_steal(verifier, spec, ctrl, opt, tmv);
 
   struct Cell {
     geom::Box box;

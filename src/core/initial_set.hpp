@@ -39,6 +39,20 @@ struct InitialSetOptions {
   /// unsound "certified". Results remain identical across thread counts
   /// for a fixed setting of this flag.
   bool reuse_parent_prefix = false;
+  /// Lane-batch width for grouped verifier calls on the work-stealing
+  /// path (reach::BatchVerifier): 0 = auto (the SIMD lane width),
+  /// 1 = verify cells one at a time, otherwise groups of this size.
+  /// Results are bit-identical at any setting.
+  std::size_t batch = 0;
+  /// Schedule the refinement frontier with work-stealing deques
+  /// (deepest-first, no level barrier) instead of the level-synchronous
+  /// fan-out. Cells carry heap sequence numbers (root 1, children 2s and
+  /// 2s+1) and terminal decisions are merged in sequence order, which
+  /// replays the breadth-first order exactly — results are bit-identical
+  /// either way, at any thread count (DESIGN.md section 11). The
+  /// level-synchronous path ignores `batch` (it always verifies per
+  /// cell, the seed behaviour).
+  bool work_steal = true;
 };
 
 struct InitialSetResult {

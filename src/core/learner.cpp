@@ -7,6 +7,7 @@
 
 #include "nn/adam.hpp"
 #include "parallel/pool.hpp"
+#include "reach/batch.hpp"
 
 namespace dwv::core {
 
@@ -127,20 +128,49 @@ LearnResult Learner::learn(nn::Controller& ctrl) const {
   // opt_.threads allows. Each task clones the controller and writes into
   // its own index slot; timing and call counts are folded back here in
   // index order, so serial and parallel runs agree bitwise on everything
-  // the gradient consumes.
+  // the gradient consumes. With opt_.batch != 1 and a lane-capable
+  // verifier, probes go through the SoA batch engine in groups of the
+  // lane width — same per-probe arithmetic, so the objectives (and hence
+  // theta) match the per-probe path bit for bit.
+  const reach::BatchVerifier bv(verifier_.get(), opt_.batch);
   const auto measure_probes = [&](const std::vector<Vec>& thetas) {
     std::vector<double> obj(thetas.size());
     std::vector<double> secs(thetas.size());
-    parallel::parallel_for(
-        opt_.threads, thetas.size(), [&](std::size_t i) {
-          auto probe = ctrl.clone();
-          probe->set_params(thetas[i]);
-          const auto t0 = std::chrono::steady_clock::now();
-          const reach::Flowpipe fp = verifier_->compute(spec_.x0, *probe);
-          const auto t1 = std::chrono::steady_clock::now();
-          secs[i] = std::chrono::duration<double>(t1 - t0).count();
-          obj[i] = objective(measure(fp));
-        });
+    if (bv.batched()) {
+      const std::size_t width = bv.batch();
+      const std::size_t groups = (thetas.size() + width - 1) / width;
+      parallel::parallel_for(opt_.threads, groups, [&](std::size_t g) {
+        const std::size_t lo = g * width;
+        const std::size_t hi = std::min(lo + width, thetas.size());
+        std::vector<nn::ControllerPtr> probes;
+        std::vector<reach::BatchJob> jobs;
+        probes.reserve(hi - lo);
+        jobs.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          probes.push_back(ctrl.clone());
+          probes.back()->set_params(thetas[i]);
+          jobs.push_back({spec_.x0, probes.back().get()});
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<reach::Flowpipe> fps = bv.compute(jobs);
+        const auto t1 = std::chrono::steady_clock::now();
+        // Whole-group wall time charged to the group's first slot.
+        secs[lo] = std::chrono::duration<double>(t1 - t0).count();
+        for (std::size_t i = lo; i < hi; ++i)
+          obj[i] = objective(measure(fps[i - lo]));
+      });
+    } else {
+      parallel::parallel_for(
+          opt_.threads, thetas.size(), [&](std::size_t i) {
+            auto probe = ctrl.clone();
+            probe->set_params(thetas[i]);
+            const auto t0 = std::chrono::steady_clock::now();
+            const reach::Flowpipe fp = verifier_->compute(spec_.x0, *probe);
+            const auto t1 = std::chrono::steady_clock::now();
+            secs[i] = std::chrono::duration<double>(t1 - t0).count();
+            obj[i] = objective(measure(fp));
+          });
+    }
     for (double s : secs) res.verifier_seconds += s;
     res.verifier_calls += thetas.size();
     return obj;

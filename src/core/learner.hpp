@@ -63,6 +63,13 @@ struct LearnerOptions {
   /// thread and reductions run in index order, so results are bit-identical
   /// across thread counts.
   std::size_t threads = 0;
+  /// Lane-batch width for grouped probe evaluations: each SPSA iteration
+  /// submits its +-probe pair (and all averaged samples / coordinate
+  /// probes) to a reach::BatchVerifier, which steps compatible verifiers
+  /// through the SoA lane kernels in lockstep (DESIGN.md section 11).
+  /// 0 = auto (the SIMD lane width), 1 = evaluate probes one at a time
+  /// (the seed path). Results are bit-identical at any setting.
+  std::size_t batch = 0;
   /// Memoize verifier calls across iterations (reach/cache.hpp): averaged
   /// SPSA re-draws probe pairs from a set of only 2^(d-1) distinct
   /// unordered pairs, and restarts re-evaluate recurring iterates. Hits

@@ -168,8 +168,14 @@ WassersteinMetrics wasserstein_metrics(const Flowpipe& fp,
 
     const auto ra = transport::uniform_on_box_dims(r_box, dims, opt.grid);
     const auto sa = transport::uniform_on_box_dims(s_box, dims, opt.grid);
-    if (opt.use_sinkhorn) return transport::sinkhorn(ra, sa, opt.sinkhorn).cost;
-    return transport::w1_exact(ra, sa);
+    // Per-thread solver workspace, reused across learner iterations (and
+    // across the goal/unsafe pair of every metric evaluation): same
+    // arithmetic, so the distances are bit-identical — only the per-call
+    // cost-matrix/scaling-vector allocations are gone.
+    thread_local transport::TransportWorkspace ws;
+    if (opt.use_sinkhorn)
+      return transport::sinkhorn(ra, sa, opt.sinkhorn, ws).cost;
+    return transport::w1_exact(ra, sa, ws);
   };
 
   WassersteinMetrics m;

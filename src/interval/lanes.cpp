@@ -1,0 +1,103 @@
+// Scalar lane backend and runtime dispatch. The scalar kernels are spelled
+// with the same double expressions as the Interval operators in
+// interval.hpp, so they are bit-identical to the seed by construction.
+
+#include "interval/lanes.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "interval/interval.hpp"
+
+namespace dwv::interval::lanes {
+
+namespace {
+
+// The seed's ulp steppers (interval.hpp), not lanes::detail.
+using dwv::interval::detail::ulp_down;
+using dwv::interval::detail::ulp_up;
+
+// Interval::operator+= : outward(Interval(lo + o.lo, hi + o.hi)).
+void add_scalar(const double* alo, const double* ahi, const double* blo,
+                const double* bhi, double* rlo, double* rhi) {
+  for (std::size_t k = 0; k < kWidth; ++k) {
+    const double lo = alo[k] + blo[k];
+    const double hi = ahi[k] + bhi[k];
+    rlo[k] = ulp_down(lo);
+    rhi[k] = ulp_up(hi);
+  }
+}
+
+// Interval::operator*= : four products, std::min/std::max initializer-list
+// folds, outward rounding.
+void mul_scalar(const double* alo, const double* ahi, const double* blo,
+                const double* bhi, double* rlo, double* rhi) {
+  for (std::size_t k = 0; k < kWidth; ++k) {
+    const double p1 = alo[k] * blo[k];
+    const double p2 = alo[k] * bhi[k];
+    const double p3 = ahi[k] * blo[k];
+    const double p4 = ahi[k] * bhi[k];
+    const double mn = std::min({p1, p2, p3, p4});
+    const double mx = std::max({p1, p2, p3, p4});
+    rlo[k] = ulp_down(mn);
+    rhi[k] = ulp_up(mx);
+  }
+}
+
+// interval::hull : componentwise min/max, no outward step.
+void hull_scalar(const double* alo, const double* ahi, const double* blo,
+                 const double* bhi, double* rlo, double* rhi) {
+  for (std::size_t k = 0; k < kWidth; ++k) {
+    rlo[k] = std::min(alo[k], blo[k]);
+    rhi[k] = std::max(ahi[k], bhi[k]);
+  }
+}
+
+const Ops kScalarOps{add_scalar, mul_scalar, hull_scalar, "scalar"};
+
+std::atomic<bool> g_force_scalar{false};
+
+bool env_forces_scalar() {
+  static const bool forced = [] {
+    const char* e = std::getenv("DWV_LANES");
+    return e != nullptr && std::string_view(e) == "scalar";
+  }();
+  return forced;
+}
+
+}  // namespace
+
+#ifndef DWV_LANES_AVX2
+namespace detail {
+const Ops* avx2_ops_or_null() { return nullptr; }
+}  // namespace detail
+#endif
+
+const Ops& scalar_ops() { return kScalarOps; }
+
+bool avx2_compiled() { return detail::avx2_ops_or_null() != nullptr; }
+
+bool avx2_supported() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+void set_force_scalar(bool on) {
+  g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+const Ops& active_ops() {
+  if (env_forces_scalar() || g_force_scalar.load(std::memory_order_relaxed))
+    return kScalarOps;
+  const Ops* avx2 = detail::avx2_ops_or_null();
+  if (avx2 != nullptr && avx2_supported()) return *avx2;
+  return kScalarOps;
+}
+
+}  // namespace dwv::interval::lanes

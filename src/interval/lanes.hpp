@@ -1,0 +1,71 @@
+// SoA lane kernels for batched interval arithmetic.
+//
+// The batched verification engine (reach::BatchVerifier) steps K cells in
+// lockstep; the per-step interval arithmetic is expressed over
+// structure-of-arrays blocks of kWidth lanes: for a vector quantity x the
+// lane block stores lo bounds of lanes 0..kWidth-1 contiguously, then hi
+// bounds, per component. The kernels here process one such kWidth-lane
+// block per call.
+//
+// Bit-identity contract (DESIGN.md section 11): each kernel performs, per
+// lane, EXACTLY the floating-point operation sequence of the seed scalar
+// Interval operators:
+//   add  == Interval::operator+= (sum then outward ulp rounding)
+//   mul  == Interval::operator*= (four products, std::min/std::max
+//           initializer-list folds, then outward ulp rounding)
+//   hull == interval::hull (componentwise min/max, NO outward step)
+// Lanes never interact, so results are independent of which lanes share a
+// block — the foundation of the "bit-identical at any K" guarantee.
+//
+// Two backends are always built: a scalar one written with the same
+// double expressions as the Interval operators (bit-identical by
+// construction) and, on x86-64, an AVX2 one whose instruction selection
+// reproduces the scalar semantics exactly (see lanes_avx2.cpp for the
+// min/max operand-order and ulp-step arguments). Dispatch is at runtime:
+// AVX2 when compiled in, supported by the CPU, and not disabled via
+// set_force_scalar() or the DWV_LANES=scalar environment variable.
+#pragma once
+
+#include <cstddef>
+
+namespace dwv::interval::lanes {
+
+/// Number of double lanes per SoA block (AVX2 register width).
+inline constexpr std::size_t kWidth = 4;
+
+/// One kWidth-lane binary interval kernel: inputs a=[alo,ahi], b=[blo,bhi],
+/// output r=[rlo,rhi], each pointer addressing kWidth doubles. Output may
+/// alias either input (kernels load all inputs before storing).
+using BinKernel = void (*)(const double* alo, const double* ahi,
+                           const double* blo, const double* bhi, double* rlo,
+                           double* rhi);
+
+/// A backend's kernel table.
+struct Ops {
+  BinKernel add;   ///< outward-rounded interval addition
+  BinKernel mul;   ///< seed-identical interval multiplication
+  BinKernel hull;  ///< interval hull (no outward rounding)
+  const char* name;
+};
+
+/// The scalar backend (always available, seed-identical by construction).
+const Ops& scalar_ops();
+
+/// The backend selected by runtime dispatch (see file comment).
+const Ops& active_ops();
+
+/// True when the AVX2 backend was compiled into this binary.
+bool avx2_compiled();
+/// True when the running CPU supports AVX2.
+bool avx2_supported();
+
+/// Forces active_ops() to the scalar backend (test hook; the
+/// DWV_LANES=scalar environment variable has the same effect).
+void set_force_scalar(bool on);
+
+namespace detail {
+/// AVX2 kernel table, or nullptr when not compiled in.
+const Ops* avx2_ops_or_null();
+}  // namespace detail
+
+}  // namespace dwv::interval::lanes

@@ -1,0 +1,111 @@
+// AVX2 lane backend. Compiled with -mavx2 for this translation unit only;
+// runtime dispatch in lanes.cpp keeps non-AVX2 CPUs on the scalar path.
+//
+// Bit-identity argument (DESIGN.md section 11):
+//
+// * std::min initializer-list fold: m = p1; then for each later p,
+//   m = (p < m) ? p : m. VMINPD(src1, src2) returns src1 < src2 ? src1 :
+//   src2, and src2 when either operand is NaN. Folding with
+//   _mm256_min_pd(p_new, m) therefore reproduces the scalar fold exactly,
+//   including NaN propagation and the +-0 tie (p == m keeps m). The max
+//   fold maps to _mm256_max_pd(p_new, m) the same way.
+// * interval::hull's std::min(a, b) returns b only when b < a, so it maps
+//   to _mm256_min_pd(b, a); std::max(a, b) to _mm256_max_pd(b, a).
+// * detail::ulp_up(x): non-finite inputs pass through; the -0.0 bit
+//   pattern is first mapped to +0.0; then the int64 bit pattern is
+//   decremented when negative, incremented otherwise. The vector version
+//   mirrors each step with integer ops on the same bit patterns, so every
+//   lane produces the identical double. ulp_down(x) == -ulp_up(-x) with
+//   negation as a sign-bit xor, exactly as the scalar helper computes it.
+
+#include "interval/lanes.hpp"
+
+#ifdef DWV_LANES_AVX2
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace dwv::interval::lanes {
+namespace {
+
+inline __m256d ulp_up_v(__m256d x) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d inf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  // Finite (and non-NaN) lanes step; the rest pass through unchanged.
+  const __m256d finite =
+      _mm256_cmp_pd(_mm256_and_pd(x, abs_mask), inf, _CMP_LT_OQ);
+  __m256i b = _mm256_castpd_si256(x);
+  const __m256i neg_zero =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  // -0.0 -> +0.0 so the step below lands on the smallest positive value.
+  b = _mm256_andnot_si256(_mm256_cmpeq_epi64(b, neg_zero), b);
+  // delta = -1 for negative bit patterns (toward zero), +1 otherwise.
+  const __m256i neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), b);
+  const __m256i delta =
+      _mm256_add_epi64(_mm256_set1_epi64x(1), _mm256_add_epi64(neg, neg));
+  const __m256d stepped = _mm256_castsi256_pd(_mm256_add_epi64(b, delta));
+  return _mm256_blendv_pd(x, stepped, finite);
+}
+
+inline __m256d ulp_down_v(__m256d x) {
+  const __m256d sign =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(
+          static_cast<long long>(0x8000000000000000ULL)));
+  return _mm256_xor_pd(ulp_up_v(_mm256_xor_pd(x, sign)), sign);
+}
+
+void add_avx2(const double* alo, const double* ahi, const double* blo,
+              const double* bhi, double* rlo, double* rhi) {
+  const __m256d lo =
+      _mm256_add_pd(_mm256_loadu_pd(alo), _mm256_loadu_pd(blo));
+  const __m256d hi =
+      _mm256_add_pd(_mm256_loadu_pd(ahi), _mm256_loadu_pd(bhi));
+  _mm256_storeu_pd(rlo, ulp_down_v(lo));
+  _mm256_storeu_pd(rhi, ulp_up_v(hi));
+}
+
+void mul_avx2(const double* alo, const double* ahi, const double* blo,
+              const double* bhi, double* rlo, double* rhi) {
+  const __m256d al = _mm256_loadu_pd(alo);
+  const __m256d ah = _mm256_loadu_pd(ahi);
+  const __m256d bl = _mm256_loadu_pd(blo);
+  const __m256d bh = _mm256_loadu_pd(bhi);
+  const __m256d p1 = _mm256_mul_pd(al, bl);
+  const __m256d p2 = _mm256_mul_pd(al, bh);
+  const __m256d p3 = _mm256_mul_pd(ah, bl);
+  const __m256d p4 = _mm256_mul_pd(ah, bh);
+  // Folds with the new product as src1 — see the file comment.
+  __m256d mn = _mm256_min_pd(p2, p1);
+  mn = _mm256_min_pd(p3, mn);
+  mn = _mm256_min_pd(p4, mn);
+  __m256d mx = _mm256_max_pd(p2, p1);
+  mx = _mm256_max_pd(p3, mx);
+  mx = _mm256_max_pd(p4, mx);
+  _mm256_storeu_pd(rlo, ulp_down_v(mn));
+  _mm256_storeu_pd(rhi, ulp_up_v(mx));
+}
+
+void hull_avx2(const double* alo, const double* ahi, const double* blo,
+               const double* bhi, double* rlo, double* rhi) {
+  const __m256d lo =
+      _mm256_min_pd(_mm256_loadu_pd(blo), _mm256_loadu_pd(alo));
+  const __m256d hi =
+      _mm256_max_pd(_mm256_loadu_pd(bhi), _mm256_loadu_pd(ahi));
+  _mm256_storeu_pd(rlo, lo);
+  _mm256_storeu_pd(rhi, hi);
+}
+
+const Ops kAvx2Ops{add_avx2, mul_avx2, hull_avx2, "avx2"};
+
+}  // namespace
+
+namespace detail {
+const Ops* avx2_ops_or_null() { return &kAvx2Ops; }
+}  // namespace detail
+
+}  // namespace dwv::interval::lanes
+
+#endif  // DWV_LANES_AVX2

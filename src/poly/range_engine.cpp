@@ -324,4 +324,76 @@ Interval RangeEngine::derivative_range(const Poly& p, std::size_t var,
   return s;
 }
 
+void RangeLanes::bind(const double* lo, const double* hi,
+                      std::size_t nvars) {
+  nvars_ = nvars;
+  dom_lo_.assign(lo, lo + nvars * kWidth);
+  dom_hi_.assign(hi, hi + nvars * kWidth);
+  powers_.resize(nvars);
+  max_e_.assign(nvars, 0);
+  for (std::size_t v = 0; v < nvars; ++v) {
+    powers_[v].clear();
+    // Exponent 0 row: the multiplicative identity in every lane (never
+    // multiplied in — naive_range skips e == 0 — but keeps row indexing
+    // uniform with RangeEngine's tables).
+    powers_[v].resize(2 * kWidth, 1.0);
+  }
+  m_lo_.resize(kWidth);
+  m_hi_.resize(kWidth);
+}
+
+void RangeLanes::extend_row(std::size_t v, std::uint32_t e) {
+  std::vector<double>& row = powers_[v];
+  row.resize((e + 1) * 2 * kWidth);
+  for (std::uint32_t k = max_e_[v] + 1; k <= e; ++k) {
+    double* blk = row.data() + k * 2 * kWidth;
+    for (std::size_t lane = 0; lane < kWidth; ++lane) {
+      const Interval p =
+          interval::pow_n(Interval(dom_lo_[v * kWidth + lane],
+                                   dom_hi_[v * kWidth + lane]),
+                          k);
+      blk[lane] = p.lo();
+      blk[kWidth + lane] = p.hi();
+    }
+  }
+  max_e_[v] = e;
+}
+
+void RangeLanes::eval(const Poly& p, double* out_lo, double* out_hi) {
+  assert(p.nvars() == nvars_);
+  const std::size_t n = nvars_;
+  const std::uint32_t bits = key_bits(n);
+  const std::uint64_t mask = key_field_mask(n);
+  for (const Term& term : p.terms()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t e = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - i))) & mask);
+      if (e > max_e_[i]) extend_row(i, e);
+    }
+  }
+  const interval::lanes::Ops& ops = interval::lanes::active_ops();
+  // s = Interval(0.0), accumulated in seed term order per lane.
+  for (std::size_t lane = 0; lane < kWidth; ++lane) {
+    out_lo[lane] = 0.0;
+    out_hi[lane] = 0.0;
+  }
+  for (const Term& term : p.terms()) {
+    // m = Interval(term.coeff), a degenerate interval in every lane.
+    for (std::size_t lane = 0; lane < kWidth; ++lane) {
+      m_lo_[lane] = term.coeff;
+      m_hi_[lane] = term.coeff;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t e = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - i))) & mask);
+      if (e > 0) {
+        const double* blk = powers_[i].data() + e * 2 * kWidth;
+        ops.mul(m_lo_.data(), m_hi_.data(), blk, blk + kWidth, m_lo_.data(),
+                m_hi_.data());
+      }
+    }
+    ops.add(out_lo, out_hi, m_lo_.data(), m_hi_.data(), out_lo, out_hi);
+  }
+}
+
 }  // namespace dwv::poly

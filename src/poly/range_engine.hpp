@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "interval/ivec.hpp"
+#include "interval/lanes.hpp"
 #include "poly/poly.hpp"
 
 namespace dwv::poly {
@@ -159,6 +160,46 @@ class RangeEngine {
   // prepare_rows scratch, reused across queries to avoid reallocation.
   std::vector<std::uint32_t> max_e_;
   std::vector<const interval::Interval*> row_ptrs_;
+};
+
+/// SoA lane-batched range bounder: evaluates one polynomial over
+/// interval::lanes::kWidth independent domain boxes at once, through the
+/// lane kernels (AVX2 or scalar, runtime-dispatched). Per lane it performs
+/// EXACTLY the operation sequence of RangeEngine::naive_range — power
+/// tables filled with interval::pow_n per lane, seed term order, seed
+/// accumulation order — so each lane's result is bit-identical to a
+/// scalar eval_range over that lane's domain. Unlike RangeEngine there is
+/// no MRU table cache, result memo, or hashing: the batched flowpipe
+/// stepper rebinds the domain every query anyway, so the bookkeeping
+/// would be pure overhead.
+///
+/// Usage: bind() the SoA domain block (lo[v * kWidth + k] / hi likewise,
+/// unused lanes padded with any valid interval), then eval() per poly.
+/// Not thread-safe; one instance per worker.
+class RangeLanes {
+ public:
+  static constexpr std::size_t kWidth = interval::lanes::kWidth;
+
+  /// Rebinds the evaluation domain: nvars components of kWidth lanes in
+  /// SoA layout. Invalidates the cached power rows.
+  void bind(const double* lo, const double* hi, std::size_t nvars);
+
+  /// Lane-parallel naive_range of p over the bound domain; p.nvars() must
+  /// equal the bound nvars. Results written SoA (kWidth lo, kWidth hi).
+  void eval(const Poly& p, double* out_lo, double* out_hi);
+
+ private:
+  /// Grows var v's power row up to exponent e (scalar pow_n per lane).
+  void extend_row(std::size_t v, std::uint32_t e);
+
+  std::size_t nvars_ = 0;
+  std::vector<double> dom_lo_, dom_hi_;  // nvars * kWidth each
+  /// powers_[v] holds blocks of 2*kWidth doubles per exponent: lanes of
+  /// pow_n(dom_v, e).lo then lanes of .hi; rows grown on demand.
+  std::vector<std::vector<double>> powers_;
+  std::vector<std::uint32_t> max_e_;  // exponent filled so far, per var
+  // Term accumulator scratch (kWidth lanes each).
+  std::vector<double> m_lo_, m_hi_;
 };
 
 }  // namespace dwv::poly

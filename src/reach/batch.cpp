@@ -1,0 +1,146 @@
+#include "reach/batch.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <optional>
+
+#include "interval/lanes.hpp"
+#include "reach/cache.hpp"
+#include "reach/interval_reach.hpp"
+#include "reach/linear_reach.hpp"
+
+namespace dwv::reach {
+
+BatchVerifier::BatchVerifier(const Verifier* verifier, std::size_t batch)
+    : outer_(verifier) {
+  assert(outer_ != nullptr);
+  caching_ = dynamic_cast<const CachingVerifier*>(outer_);
+  const Verifier* inner =
+      caching_ != nullptr ? caching_->inner().get() : outer_;
+  lane_ = dynamic_cast<const IntervalVerifier*>(inner);
+  linear_ = dynamic_cast<const LinearVerifier*>(inner);
+  batch_ = batch == 0 ? interval::lanes::kWidth : batch;
+}
+
+bool BatchVerifier::batched() const {
+  return batch_ > 1 && (lane_ != nullptr || linear_ != nullptr);
+}
+
+std::vector<Flowpipe> BatchVerifier::compute_direct(
+    const std::vector<BatchJob>& jobs) const {
+  std::vector<Flowpipe> out;
+  out.reserve(jobs.size());
+  if (lane_ != nullptr) {
+    std::vector<geom::Box> boxes;
+    std::vector<const nn::Controller*> ctrls;
+    boxes.reserve(jobs.size());
+    ctrls.reserve(jobs.size());
+    for (const BatchJob& j : jobs) {
+      boxes.push_back(j.x0);
+      ctrls.push_back(j.ctrl);
+    }
+    for (std::size_t g = 0; g < jobs.size(); g += batch_) {
+      const std::size_t w = std::min(batch_, jobs.size() - g);
+      std::vector<Flowpipe> part =
+          lane_->compute_batch(boxes.data() + g, ctrls.data() + g, w);
+      for (Flowpipe& fp : part) out.push_back(std::move(fp));
+    }
+    return out;
+  }
+  if (linear_ != nullptr) {
+    // The per-batch map hoist needs one shared gain; mixed-controller
+    // batches (SPSA probe fans) get the plain per-job path.
+    bool shared = true;
+    for (const BatchJob& j : jobs) shared = shared && j.ctrl == jobs[0].ctrl;
+    if (shared && !jobs.empty()) {
+      std::vector<geom::Box> boxes;
+      boxes.reserve(jobs.size());
+      for (const BatchJob& j : jobs) boxes.push_back(j.x0);
+      return linear_->compute_batch(boxes.data(), boxes.size(),
+                                    *jobs[0].ctrl);
+    }
+    for (const BatchJob& j : jobs)
+      out.push_back(linear_->compute(j.x0, *j.ctrl));
+    return out;
+  }
+  for (const BatchJob& j : jobs)
+    out.push_back(outer_->compute(j.x0, *j.ctrl));
+  return out;
+}
+
+std::vector<Flowpipe> BatchVerifier::compute(
+    const std::vector<BatchJob>& jobs) const {
+  if (!batched()) {
+    // Sequential fallback: the cache layer (when present) sees exactly
+    // the scalar lookup/compute/insert interleaving.
+    std::vector<Flowpipe> out;
+    out.reserve(jobs.size());
+    for (const BatchJob& j : jobs)
+      out.push_back(outer_->compute(j.x0, *j.ctrl));
+    return out;
+  }
+  if (caching_ == nullptr) return compute_direct(jobs);
+
+  // Cache-aware batching, reproducing the sequential stat sequence:
+  // lookups in job-index order; intra-batch duplicates defer their lookup
+  // until after the first occurrence's insert (a sequential scalar loop
+  // scores them as hits); one miss_compute charge for the batched work.
+  FlowpipeCache& cache = *caching_->cache();
+  std::vector<FlowpipeCache::Key> keys;
+  keys.reserve(jobs.size());
+  for (const BatchJob& j : jobs)
+    keys.push_back(caching_->key_for(j.x0, *j.ctrl));
+
+  std::vector<Flowpipe> out(jobs.size());
+  std::vector<std::size_t> miss;     // first-occurrence cache misses
+  std::vector<std::size_t> deferred; // duplicates of an earlier job
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    bool dup = false;
+    for (std::size_t e = 0; e < i && !dup; ++e)
+      dup = keys[e] == keys[i];
+    if (dup) {
+      deferred.push_back(i);
+      continue;
+    }
+    if (std::optional<Flowpipe> hit = cache.lookup(keys[i])) {
+      out[i] = std::move(*hit);
+    } else {
+      miss.push_back(i);
+    }
+  }
+
+  if (!miss.empty()) {
+    std::vector<BatchJob> todo;
+    todo.reserve(miss.size());
+    for (std::size_t i : miss) todo.push_back(jobs[i]);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Flowpipe> computed = compute_direct(todo);
+    const auto t1 = std::chrono::steady_clock::now();
+    cache.add_miss_compute_seconds(
+        std::chrono::duration<double>(t1 - t0).count());
+    for (std::size_t r = 0; r < miss.size(); ++r) {
+      cache.insert(keys[miss[r]], computed[r]);
+      out[miss[r]] = std::move(computed[r]);
+    }
+  }
+  for (std::size_t i : deferred) {
+    if (std::optional<Flowpipe> hit = cache.lookup(keys[i])) {
+      out[i] = std::move(*hit);
+    } else {
+      // Only reachable when the insert above was already evicted (cache
+      // capacity smaller than the batch); fall back to the scalar path.
+      out[i] = outer_->compute(jobs[i].x0, *jobs[i].ctrl);
+    }
+  }
+  return out;
+}
+
+std::vector<Flowpipe> BatchVerifier::compute(
+    const std::vector<geom::Box>& x0s, const nn::Controller& ctrl) const {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(x0s.size());
+  for (const geom::Box& b : x0s) jobs.push_back({b, &ctrl});
+  return compute(jobs);
+}
+
+}  // namespace dwv::reach

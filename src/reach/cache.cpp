@@ -186,13 +186,17 @@ CachingVerifier::CachingVerifier(VerifierPtr inner, FlowpipeCache::Config cfg)
     : CachingVerifier(std::move(inner),
                       std::make_shared<FlowpipeCache>(cfg)) {}
 
-Flowpipe CachingVerifier::compute(const geom::Box& x0,
-                                  const nn::Controller& ctrl) const {
+FlowpipeCache::Key CachingVerifier::key_for(
+    const geom::Box& x0, const nn::Controller& ctrl) const {
   // The controller's architecture string keeps two different controller
   // families with coincidentally equal flat parameter vectors apart.
   const std::uint64_t id = hash_string(name_seed_, ctrl.describe());
-  const FlowpipeCache::Key key =
-      FlowpipeCache::make_key(id, x0, ctrl.params());
+  return FlowpipeCache::make_key(id, x0, ctrl.params());
+}
+
+Flowpipe CachingVerifier::compute(const geom::Box& x0,
+                                  const nn::Controller& ctrl) const {
+  const FlowpipeCache::Key key = key_for(x0, ctrl);
   if (std::optional<Flowpipe> hit = cache_->lookup(key)) {
     return std::move(*hit);
   }

@@ -155,6 +155,12 @@ class CachingVerifier final : public Verifier {
   Flowpipe compute(const geom::Box& x0,
                    const nn::Controller& ctrl) const override;
 
+  /// The exact key compute() would use for this job — exposed so the
+  /// batched engine (reach::BatchVerifier) can reproduce the same
+  /// lookup/insert sequence around its lane-group computations.
+  FlowpipeCache::Key key_for(const geom::Box& x0,
+                             const nn::Controller& ctrl) const;
+
   const std::shared_ptr<FlowpipeCache>& cache() const { return cache_; }
   const VerifierPtr& inner() const { return inner_; }
 

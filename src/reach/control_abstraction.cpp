@@ -241,8 +241,6 @@ TmVec PolynomialAbstraction::abstract(const TmEnv& env, const TmVec& state,
   return u;
 }
 
-namespace {
-
 // Interval forward pass through an MLP.
 IVec interval_forward(const nn::Mlp& mlp, const IVec& in) {
   IVec h = in;
@@ -271,8 +269,6 @@ IVec interval_forward(const nn::Mlp& mlp, const IVec& in) {
   }
   return h;
 }
-
-}  // namespace
 
 TmVec IntervalAbstraction::abstract(const TmEnv& env, const TmVec& state,
                                     const nn::Controller& ctrl) const {

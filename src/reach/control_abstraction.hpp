@@ -79,6 +79,12 @@ class ReachNnAbstraction final : public ControlAbstraction {
   ReachNnOptions opt_;
 };
 
+/// Plain interval forward pass through an MLP over the box `in` (the
+/// IntervalAbstraction's output range; also used by the lane-batched
+/// stepper's fast control-range path).
+interval::IVec interval_forward(const nn::Mlp& mlp,
+                                const interval::IVec& in);
+
 /// Sound interval enclosure of the network Jacobian over the box `in`:
 /// result[k][i] contains d mlp_k / d x_i for every x in the box, computed
 /// by propagating interval derivative ranges through the layers.

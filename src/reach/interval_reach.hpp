@@ -28,7 +28,22 @@ class IntervalVerifier final : public Verifier {
   Flowpipe compute(const geom::Box& x0,
                    const nn::Controller& ctrl) const override;
 
+  /// Lane-batched compute(): the flowpipes of `count` independent
+  /// (x0, controller) jobs, stepped in lockstep groups of
+  /// interval::lanes::kWidth through the SoA lane kernels (see
+  /// DESIGN.md section 11). Each job's flowpipe is bit-identical to what
+  /// compute(x0s[j], *ctrls[j]) returns, for any count including ragged
+  /// tails — lanes never interact.
+  std::vector<Flowpipe> compute_batch(const geom::Box* x0s,
+                                      const nn::Controller* const* ctrls,
+                                      std::size_t count) const;
+
  private:
+  /// One lockstep lane group: jobs 0..count-1 (count <= kWidth).
+  void compute_lane_group(const geom::Box* x0s,
+                          const nn::Controller* const* ctrls,
+                          std::size_t count, Flowpipe* out) const;
+
   ode::SystemPtr sys_;
   ode::ReachAvoidSpec spec_;
   IntervalReachOptions opt_;

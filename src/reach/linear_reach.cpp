@@ -79,6 +79,52 @@ Flowpipe LinearVerifier::compute(const Box& x0,
   assert(lin && "LinearVerifier requires a LinearController");
   const Mat& k = lin->gain();
   const std::size_t n = a_.rows();
+  const bool affine = c_.size() == n;
+  const std::size_t m = b_.cols();
+
+  // The closed-loop sub-sample maps x(t_j) = (Ad_j + Bd_j K) x + cd_j
+  // depend only on K — hoist them out of the step loop (they used to be
+  // rebuilt every period; same arithmetic, computed once per call) and,
+  // via compute_batch, out of whole cell batches.
+  std::vector<Mat> mj(opt_.subdivisions);
+  std::vector<Vec> cd(opt_.subdivisions, Vec(n));
+  for (std::size_t j = 0; j < opt_.subdivisions; ++j) {
+    const Mat bd = partial_[j].bd.block(0, 0, n, m);
+    mj[j] = partial_[j].ad + bd * k;
+    if (affine) cd[j] = partial_[j].bd.col(m);
+  }
+  return compute_with_maps(x0, k, mj, cd);
+}
+
+std::vector<Flowpipe> LinearVerifier::compute_batch(
+    const geom::Box* x0s, std::size_t count,
+    const nn::Controller& ctrl) const {
+  const auto* lin = dynamic_cast<const nn::LinearController*>(&ctrl);
+  assert(lin && "LinearVerifier requires a LinearController");
+  const Mat& k = lin->gain();
+  const std::size_t n = a_.rows();
+  const bool affine = c_.size() == n;
+  const std::size_t m = b_.cols();
+
+  std::vector<Mat> mj(opt_.subdivisions);
+  std::vector<Vec> cd(opt_.subdivisions, Vec(n));
+  for (std::size_t j = 0; j < opt_.subdivisions; ++j) {
+    const Mat bd = partial_[j].bd.block(0, 0, n, m);
+    mj[j] = partial_[j].ad + bd * k;
+    if (affine) cd[j] = partial_[j].bd.col(m);
+  }
+  std::vector<Flowpipe> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(compute_with_maps(x0s[i], k, mj, cd));
+  return out;
+}
+
+Flowpipe LinearVerifier::compute_with_maps(
+    const Box& x0, const Mat& k, const std::vector<Mat>& mj,
+    const std::vector<Vec>& cd) const {
+  const std::size_t n = a_.rows();
+  const bool affine = c_.size() == n;
 
   Flowpipe fp;
   fp.step_sets.reserve(spec_.steps + 1);
@@ -87,20 +133,6 @@ Flowpipe LinearVerifier::compute(const Box& x0,
   Zonotope z = Zonotope::from_box(x0);
   fp.step_sets.push_back(z.bounding_box());
   if (n == 2) fp.step_polys.push_back(z.to_polygon());
-
-  const bool affine = c_.size() == n;
-  const std::size_t m = b_.cols();
-
-  // The closed-loop sub-sample maps x(t_j) = (Ad_j + Bd_j K) x + cd_j
-  // depend only on K — hoist them out of the step loop (they used to be
-  // rebuilt every period; same arithmetic, computed once per call).
-  std::vector<Mat> mj(opt_.subdivisions);
-  std::vector<Vec> cd(opt_.subdivisions, Vec(n));
-  for (std::size_t j = 0; j < opt_.subdivisions; ++j) {
-    const Mat bd = partial_[j].bd.block(0, 0, n, m);
-    mj[j] = partial_[j].ad + bd * k;
-    if (affine) cd[j] = partial_[j].bd.col(m);
-  }
 
   for (std::size_t step = 0; step < spec_.steps; ++step) {
     // Sub-sampled sets within the period:

@@ -37,7 +37,20 @@ class LinearVerifier final : public Verifier {
   Flowpipe compute(const geom::Box& x0,
                    const nn::Controller& ctrl) const override;
 
+  /// Batched compute() over one shared controller: the closed-loop
+  /// sub-sample maps (Ad_j + Bd_j K, cd_j) depend only on the gain, so
+  /// they are assembled once per batch instead of once per cell. Each
+  /// result is bit-identical to compute(x0s[i], ctrl).
+  std::vector<Flowpipe> compute_batch(const geom::Box* x0s,
+                                      std::size_t count,
+                                      const nn::Controller& ctrl) const;
+
  private:
+  /// Propagation loop with the closed-loop maps already assembled.
+  Flowpipe compute_with_maps(const geom::Box& x0, const linalg::Mat& k,
+                             const std::vector<linalg::Mat>& mj,
+                             const std::vector<linalg::Vec>& cd) const;
+
   ode::SystemPtr sys_;
   ode::ReachAvoidSpec spec_;
   LinearReachOptions opt_;

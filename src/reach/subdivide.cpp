@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parallel/pool.hpp"
+#include "reach/batch.hpp"
 
 namespace dwv::reach {
 
@@ -14,10 +15,29 @@ Flowpipe SubdividingVerifier::compute(const geom::Box& x0,
   // Each cell's flowpipe is an independent verifier call: fan out across
   // the pool, one index-addressed slot per cell, then merge on this thread
   // in cell order — the merged pipe is bit-identical at any thread count.
+  // With opt_.batch != 1 and a lane-capable inner verifier, the fan-out
+  // unit is a lane group instead of a single cell (same per-cell
+  // arithmetic, so the merged pipe does not change by a bit).
   std::vector<Flowpipe> pipes(cells.size());
-  parallel::parallel_for(opt_.threads, cells.size(), [&](std::size_t i) {
-    pipes[i] = inner_->compute(cells[i], ctrl);
-  });
+  const BatchVerifier bv(inner_.get(), opt_.batch);
+  if (bv.batched()) {
+    const std::size_t width = bv.batch();
+    const std::size_t groups = (cells.size() + width - 1) / width;
+    parallel::parallel_for(opt_.threads, groups, [&](std::size_t g) {
+      const std::size_t lo = g * width;
+      const std::size_t hi = std::min(lo + width, cells.size());
+      std::vector<BatchJob> jobs;
+      jobs.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) jobs.push_back({cells[i], &ctrl});
+      std::vector<Flowpipe> part = bv.compute(jobs);
+      for (std::size_t i = lo; i < hi; ++i)
+        pipes[i] = std::move(part[i - lo]);
+    });
+  } else {
+    parallel::parallel_for(opt_.threads, cells.size(), [&](std::size_t i) {
+      pipes[i] = inner_->compute(cells[i], ctrl);
+    });
+  }
   // Propagate the lowest-index failure verbatim (deterministic regardless
   // of which cell happened to finish first).
   for (Flowpipe& fp : pipes) {

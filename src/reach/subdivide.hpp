@@ -19,6 +19,12 @@ struct SubdivideOptions {
   /// cell order on the calling thread, so the merged pipe is bit-identical
   /// at any thread count.
   std::size_t threads = 0;
+  /// Lane-batch width for grouped per-cell computations: cells go through
+  /// a reach::BatchVerifier over the inner verifier, stepping groups in
+  /// lockstep through the SoA lane kernels (DESIGN.md section 11).
+  /// 0 = auto (the SIMD lane width), 1 = per-cell (the seed path).
+  /// Merged pipes are bit-identical at any setting.
+  std::size_t batch = 0;
   /// When non-null, per-cell flowpipes are memoized here (the inner
   /// verifier is wrapped in a CachingVerifier keyed by cell box +
   /// controller parameters), so repeated compute() calls with recurring

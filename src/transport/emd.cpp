@@ -1,9 +1,10 @@
 #include "transport/emd.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace dwv::transport {
@@ -11,24 +12,46 @@ namespace dwv::transport {
 namespace {
 constexpr double kEps = 1e-12;
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
 
-EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
+// Successive-shortest-path core over the flat workspace buffers: fills
+// ws.flow (n*m row-major) and returns the transport cost. Runs exactly the
+// arithmetic of the historical allocating implementation in the same order
+// — the Dijkstra frontier uses push_heap/pop_heap, which is element for
+// element what std::priority_queue is specified to do — so the cost (and
+// the plan) are bit-identical; only the allocations are gone.
+double emd_core(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                TransportWorkspace& ws) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   assert(n > 0 && m > 0);
-  const auto c = cost_matrix(a, b);
+  cost_matrix_into(a, b, ws.cost);
+  const double* c = ws.cost.data();
 
-  std::vector<double> supply = a.weights;
-  std::vector<double> demand = b.weights;
-  std::vector<std::vector<double>> flow(n, std::vector<double>(m, 0.0));
+  ws.supply.assign(a.weights.begin(), a.weights.end());
+  ws.demand.assign(b.weights.begin(), b.weights.end());
+  double* supply = ws.supply.data();
+  double* demand = ws.demand.data();
+  ws.flow.assign(n * m, 0.0);
+  double* flow = ws.flow.data();
 
   // Node ids: sources 0..n-1, sinks n..n+m-1.
   const std::size_t nodes = n + m;
-  std::vector<double> pot(nodes, 0.0);
+  ws.pot.assign(nodes, 0.0);
+  double* pot = ws.pot.data();
 
   double remaining = 0.0;
-  for (double s : supply) remaining += s;
+  for (std::size_t i = 0; i < n; ++i) remaining += supply[i];
+
+  using Item = std::pair<double, std::size_t>;
+  auto& pq = ws.heap;
+  const auto pq_push = [&pq](Item it) {
+    pq.push_back(it);
+    std::push_heap(pq.begin(), pq.end(), std::greater<>());
+  };
+  const auto pq_pop = [&pq]() {
+    std::pop_heap(pq.begin(), pq.end(), std::greater<>());
+    pq.pop_back();
+  };
 
   const std::size_t max_rounds = 8 * nodes + 64;
   std::size_t rounds = 0;
@@ -37,43 +60,45 @@ EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
       throw std::runtime_error("emd_exact: did not converge");
 
     // Dijkstra from all sources with remaining supply.
-    std::vector<double> dist(nodes, kInf);
-    std::vector<int> prev(nodes, -1);  // predecessor node
-    using Item = std::pair<double, std::size_t>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    ws.dist.assign(nodes, kInf);
+    ws.prev.assign(nodes, -1);  // predecessor node
+    double* dist = ws.dist.data();
+    int* prev = ws.prev.data();
+    pq.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (supply[i] > kEps) {
         dist[i] = 0.0;
-        pq.push({0.0, i});
+        pq_push({0.0, i});
       }
     }
-    std::vector<char> done(nodes, 0);
+    ws.done.assign(nodes, 0);
+    char* done = ws.done.data();
     while (!pq.empty()) {
-      const auto [d, v] = pq.top();
-      pq.pop();
+      const auto [d, v] = pq.front();
+      pq_pop();
       if (done[v]) continue;
       done[v] = 1;
       if (v < n) {
         // Source -> every sink (forward edges, infinite capacity).
         for (std::size_t j = 0; j < m; ++j) {
           const std::size_t w = n + j;
-          const double rc = c[v][j] + pot[v] - pot[w];
+          const double rc = c[v * m + j] + pot[v] - pot[w];
           if (!done[w] && d + rc < dist[w] - kEps) {
             dist[w] = d + rc;
             prev[w] = static_cast<int>(v);
-            pq.push({dist[w], w});
+            pq_push({dist[w], w});
           }
         }
       } else {
         // Sink -> sources with positive flow (residual edges).
         const std::size_t j = v - n;
         for (std::size_t i = 0; i < n; ++i) {
-          if (flow[i][j] <= kEps) continue;
-          const double rc = -c[i][j] + pot[v] - pot[i];
+          if (flow[i * m + j] <= kEps) continue;
+          const double rc = -c[i * m + j] + pot[v] - pot[i];
           if (!done[i] && d + rc < dist[i] - kEps) {
             dist[i] = d + rc;
             prev[i] = static_cast<int>(v);
-            pq.push({dist[i], i});
+            pq_push({dist[i], i});
           }
         }
       }
@@ -99,7 +124,7 @@ EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
         const std::size_t u = static_cast<std::size_t>(prev[v]);
         if (u >= n) {
           // Residual edge sink u -> source v carries flow[v][u-n].
-          push = std::min(push, flow[v][u - n]);
+          push = std::min(push, flow[v * m + (u - n)]);
         }
         v = u;
       }
@@ -113,9 +138,9 @@ EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
       while (prev[v] != -1) {
         const std::size_t u = static_cast<std::size_t>(prev[v]);
         if (u < n) {
-          flow[u][v - n] += push;  // forward source->sink
+          flow[u * m + (v - n)] += push;  // forward source->sink
         } else {
-          flow[v][u - n] -= push;  // residual sink->source
+          flow[v * m + (u - n)] -= push;  // residual sink->source
         }
         v = u;
       }
@@ -125,22 +150,46 @@ EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
     remaining -= push;
 
     // Johnson potential update.
-    const double dt = dist[t];
+    const double dt = ws.dist[t];
     for (std::size_t v = 0; v < nodes; ++v) {
-      if (dist[v] < kInf) pot[v] += std::min(dist[v], dt);
+      if (ws.dist[v] < kInf) pot[v] += std::min(ws.dist[v], dt);
       else pot[v] += dt;
     }
   }
 
-  EmdResult r;
-  r.plan = std::move(flow);
+  double cost = 0.0;
   for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < m; ++j) r.cost += r.plan[i][j] * c[i][j];
+    for (std::size_t j = 0; j < m; ++j)
+      cost += flow[i * m + j] * c[i * m + j];
+  return cost;
+}
+
+}  // namespace
+
+EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                    TransportWorkspace& ws) {
+  EmdResult r;
+  r.cost = emd_core(a, b, ws);
+  const std::size_t m = b.size();
+  r.plan.assign(a.size(), std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < m; ++j) r.plan[i][j] = ws.flow[i * m + j];
   return r;
 }
 
+EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
+  TransportWorkspace ws;
+  return emd_exact(a, b, ws);
+}
+
+double w1_exact(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                TransportWorkspace& ws) {
+  return emd_core(a, b, ws);
+}
+
 double w1_exact(const DiscreteMeasure& a, const DiscreteMeasure& b) {
-  return emd_exact(a, b).cost;
+  TransportWorkspace ws;
+  return emd_core(a, b, ws);
 }
 
 }  // namespace dwv::transport

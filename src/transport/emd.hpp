@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "transport/measure.hpp"
+#include "transport/workspace.hpp"
 
 namespace dwv::transport {
 
@@ -21,5 +22,13 @@ EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b);
 
 /// Cost-only convenience wrapper.
 double w1_exact(const DiscreteMeasure& a, const DiscreteMeasure& b);
+
+/// Workspace variants: identical arithmetic in the same order (the result
+/// is bit-identical), but the cost matrix and solver state live in the
+/// caller-owned workspace — no per-call allocation on the metric hot path.
+EmdResult emd_exact(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                    TransportWorkspace& ws);
+double w1_exact(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                TransportWorkspace& ws);
 
 }  // namespace dwv::transport

@@ -62,4 +62,15 @@ std::vector<std::vector<double>> cost_matrix(const DiscreteMeasure& a,
   return c;
 }
 
+void cost_matrix_into(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                      std::vector<double>& out) {
+  const std::size_t m = b.size();
+  out.resize(a.size() * m);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      out[i * m + j] = (a.points[i] - b.points[j]).norm2();
+    }
+  }
+}
+
 }  // namespace dwv::transport

@@ -36,4 +36,9 @@ DiscreteMeasure uniform_on_box_dims(const geom::Box& box,
 std::vector<std::vector<double>> cost_matrix(const DiscreteMeasure& a,
                                              const DiscreteMeasure& b);
 
+/// Same entries, written row-major into `out` (resized to a.size() *
+/// b.size()) — the allocation-free form the workspace solver paths use.
+void cost_matrix_into(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                      std::vector<double>& out);
+
 }  // namespace dwv::transport

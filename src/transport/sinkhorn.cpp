@@ -8,33 +8,42 @@ namespace dwv::transport {
 
 namespace {
 
-// log-sum-exp over row entries v[j] = s[j] - c[j]/eps.
-double logsumexp(const std::vector<double>& v) {
+// log-sum-exp over v[0..len): the same two-pass max/sum reduction the
+// historical vector overload performed.
+double logsumexp(const double* v, std::size_t len) {
   double mx = -std::numeric_limits<double>::infinity();
-  for (double x : v) mx = std::max(mx, x);
+  for (std::size_t k = 0; k < len; ++k) mx = std::max(mx, v[k]);
   if (!std::isfinite(mx)) return mx;
   double s = 0.0;
-  for (double x : v) s += std::exp(x - mx);
+  for (std::size_t k = 0; k < len; ++k) s += std::exp(v[k] - mx);
   return mx + std::log(s);
 }
 
 }  // namespace
 
 SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
-                        const SinkhornOptions& opt) {
+                        const SinkhornOptions& opt, TransportWorkspace& ws) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   assert(n > 0 && m > 0);
-  const auto c = cost_matrix(a, b);
+  cost_matrix_into(a, b, ws.cost);
+  const double* c = ws.cost.data();
   const double eps = opt.epsilon;
 
-  std::vector<double> loga(n), logb(m);
-  for (std::size_t i = 0; i < n; ++i) loga[i] = std::log(a.weights[i]);
-  for (std::size_t j = 0; j < m; ++j) logb[j] = std::log(b.weights[j]);
+  ws.loga.resize(n);
+  ws.logb.resize(m);
+  for (std::size_t i = 0; i < n; ++i) ws.loga[i] = std::log(a.weights[i]);
+  for (std::size_t j = 0; j < m; ++j) ws.logb[j] = std::log(b.weights[j]);
+  const double* loga = ws.loga.data();
+  const double* logb = ws.logb.data();
 
   // Dual potentials (scaled by eps) in log domain.
-  std::vector<double> f(n, 0.0), g(m, 0.0);
-  std::vector<double> buf(std::max(n, m));
+  ws.f.assign(n, 0.0);
+  ws.g.assign(m, 0.0);
+  double* f = ws.f.data();
+  double* g = ws.g.data();
+  ws.buf.resize(std::max(n, m));
+  double* buf = ws.buf.data();
 
   SinkhornResult res;
   for (std::size_t it = 0; it < opt.max_iters; ++it) {
@@ -42,17 +51,15 @@ SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
     // f_i = -eps * log sum_j exp(g_j/eps - c_ij/eps + logb_j) ... standard
     // log-domain updates enforcing the row marginal.
     for (std::size_t i = 0; i < n; ++i) {
-      buf.resize(m);
       for (std::size_t j = 0; j < m; ++j)
-        buf[j] = (g[j] - c[i][j]) / eps + logb[j];
-      f[i] = -eps * logsumexp(buf);
+        buf[j] = (g[j] - c[i * m + j]) / eps + logb[j];
+      f[i] = -eps * logsumexp(buf, m);
     }
     double err = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
-      buf.resize(n);
       for (std::size_t i = 0; i < n; ++i)
-        buf[i] = (f[i] - c[i][j]) / eps + loga[i];
-      const double new_g = -eps * logsumexp(buf);
+        buf[i] = (f[i] - c[i * m + j]) / eps + loga[i];
+      const double new_g = -eps * logsumexp(buf, n);
       err = std::max(err, std::abs(new_g - g[j]));
       g[j] = new_g;
     }
@@ -67,12 +74,19 @@ SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
   double cost = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
-      const double lp = (f[i] + g[j] - c[i][j]) / eps + loga[i] + logb[j];
-      cost += std::exp(lp) * c[i][j];
+      const double lp =
+          (f[i] + g[j] - c[i * m + j]) / eps + loga[i] + logb[j];
+      cost += std::exp(lp) * c[i * m + j];
     }
   }
   res.cost = cost;
   return res;
+}
+
+SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                        const SinkhornOptions& opt) {
+  TransportWorkspace ws;
+  return sinkhorn(a, b, opt, ws);
 }
 
 }  // namespace dwv::transport

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "transport/measure.hpp"
+#include "transport/workspace.hpp"
 
 namespace dwv::transport {
 
@@ -24,5 +25,11 @@ struct SinkhornResult {
 /// for numerical stability at small epsilon.
 SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
                         const SinkhornOptions& opt = {});
+
+/// Workspace variant: identical arithmetic in the same order (bit-identical
+/// result), with the cost matrix and scaling vectors living in the
+/// caller-owned workspace — no per-call allocation on the metric hot path.
+SinkhornResult sinkhorn(const DiscreteMeasure& a, const DiscreteMeasure& b,
+                        const SinkhornOptions& opt, TransportWorkspace& ws);
 
 }  // namespace dwv::transport

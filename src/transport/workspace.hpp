@@ -1,0 +1,43 @@
+// Caller-owned scratch buffers for the discrete-transport solvers. The
+// Wasserstein feedback metric calls the solvers on every learner iteration
+// with supports of a fixed grid size; allocating the cost matrix, the
+// Dijkstra state and the Sinkhorn scaling vectors per call dominates the
+// small-support hot path. A workspace keeps those buffers alive across
+// calls (each call overwrites them, so one workspace serves any sequence
+// of sequential calls; use one workspace per thread for concurrent calls).
+//
+// The workspace paths run exactly the arithmetic of the allocating paths
+// in the same order — the reported distances are bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dwv::transport {
+
+struct TransportWorkspace {
+  /// n*m row-major Euclidean cost matrix (both solvers).
+  std::vector<double> cost;
+
+  // Successive-shortest-path EMD state.
+  std::vector<double> flow;  ///< n*m row-major transport plan
+  std::vector<double> supply;
+  std::vector<double> demand;
+  std::vector<double> pot;   ///< Johnson potentials, sources then sinks
+  std::vector<double> dist;
+  std::vector<int> prev;
+  std::vector<char> done;
+  /// Dijkstra frontier, managed with push_heap/pop_heap — element for
+  /// element the sequence std::priority_queue is specified to produce.
+  std::vector<std::pair<double, std::size_t>> heap;
+
+  // Sinkhorn log-domain state.
+  std::vector<double> loga;
+  std::vector<double> logb;
+  std::vector<double> f;
+  std::vector<double> g;
+  std::vector<double> buf;
+};
+
+}  // namespace dwv::transport

@@ -11,23 +11,38 @@ vs naive measured on the SAME machine in the SAME run. A ratio more than
 20% below the committed one means the engine's relative advantage shrank —
 a genuine code regression, not runner noise.
 
-Usage: check_bench_regression.py <baseline.json> <current.json>
+Usage: check_bench_regression.py [--threshold R] <baseline.json> <current.json>
+
+--threshold sets the allowed fraction of the baseline ratio (default 0.8,
+i.e. at most a 20% relative regression). End-to-end benches that time whole
+search/learn runs carry more scheduler noise than the tight microbench
+loops and use a looser floor.
 """
 
 import json
 import sys
 
-# Current speedup must stay within 20% of the committed baseline ratio.
+# Default: current speedup must stay within 20% of the committed baseline.
 THRESHOLD = 0.8
 
 
 def main(argv):
-    if len(argv) != 3:
-        print(f"usage: {argv[0]} <baseline.json> <current.json>")
+    threshold = THRESHOLD
+    args = argv[1:]
+    if args and args[0] == "--threshold":
+        if len(args) < 2:
+            print(f"usage: {argv[0]} [--threshold R] <baseline.json> "
+                  f"<current.json>")
+            return 2
+        threshold = float(args[1])
+        args = args[2:]
+    if len(args) != 2:
+        print(f"usage: {argv[0]} [--threshold R] <baseline.json> "
+              f"<current.json>")
         return 2
-    with open(argv[1]) as f:
+    with open(args[0]) as f:
         baseline = json.load(f)
-    with open(argv[2]) as f:
+    with open(args[1]) as f:
         current = json.load(f)
 
     checked = 0
@@ -42,10 +57,10 @@ def main(argv):
             print(f"FAIL {key}: missing from current results")
             failed = True
             continue
-        ok = val >= THRESHOLD * ref
+        ok = val >= threshold * ref
         mark = "ok  " if ok else "FAIL"
         print(f"{mark} {key}: {val:.3f}x (baseline {ref:.3f}x, "
-              f"floor {THRESHOLD * ref:.3f}x)")
+              f"floor {threshold * ref:.3f}x)")
         failed = failed or not ok
 
     if checked == 0:

@@ -18,6 +18,13 @@
 //                             initial-set refinement); 0 = hardware
 //                             concurrency (default), 1 = serial. Results
 //                             are bit-identical across thread counts.
+//   --batch K                 lane-batch width for grouped verifier calls
+//                             (SPSA probe pairs, X_I refinement cells);
+//                             0 = auto (the SIMD lane width, default),
+//                             1 = one call at a time. Results are
+//                             bit-identical at any K.
+//   --no-batch                shorthand for --batch 1 (the pre-batching
+//                             sequential path)
 //   --cache                   memoize verifier calls across iterations
 //                             (bit-identical results, fewer re-computations)
 //   --cache-stats             print cache hit/miss/eviction counters and
@@ -60,6 +67,14 @@ struct Args {
                                                     nullptr, 10);
   }
 };
+
+// --batch K / --no-batch → lane-batch width fed to LearnerOptions (SPSA
+// probe groups) and InitialSetOptions (refinement cells). 0 = auto
+// (interval::lanes::kWidth), 1 = the sequential pre-batching path.
+std::size_t batch_width(const Args& args) {
+  if (args.options.count("--no-batch")) return 1;
+  return static_cast<std::size_t>(args.get_long("--batch", 0));
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -162,6 +177,7 @@ core::LearnerOptions learner_options(const ode::Benchmark& bench,
     opt.max_iters = static_cast<std::size_t>(args.get_long("--iters", 200));
   }
   opt.threads = static_cast<std::size_t>(args.get_long("--threads", 0));
+  opt.batch = batch_width(args);
   opt.cache = args.options.count("--cache") != 0 ||
               args.options.count("--cache-stats") != 0;
   return opt;
@@ -254,6 +270,7 @@ int cmd_verify(const Args& args) {
     // Try the initial-set search: goal-reaching may hold for part of X0.
     core::InitialSetOptions iopt;
     iopt.threads = static_cast<std::size_t>(args.get_long("--threads", 0));
+    iopt.batch = batch_width(args);
     iopt.reuse_parent_prefix = args.options.count("--reuse-prefix") != 0;
     const core::InitialSetResult xi =
         core::search_initial_set(*verifier, bench.spec, *ctrl, iopt);
