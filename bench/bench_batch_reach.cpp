@@ -11,6 +11,7 @@
 //   $ ./bench_batch_reach
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -22,7 +23,9 @@
 #include "nn/controller.hpp"
 #include "ode/benchmarks.hpp"
 #include "reach/batch.hpp"
+#include "reach/control_abstraction.hpp"
 #include "reach/interval_reach.hpp"
+#include "reach/tm_flowpipe.hpp"
 
 using namespace dwv;
 
@@ -166,6 +169,129 @@ void bench_batch_verifier(Results& out) {
   out.add("batch_reach_speedup", t_seq / t_bat, "x");
 }
 
+// --- TmVerifier: lockstep lane pool vs sequential compute ----------------
+void bench_tm_batch(Results& out) {
+  const auto bm = ode::make_acc_benchmark();
+  linalg::Mat k(1, 2);
+  k(0, 0) = 0.5;
+  k(0, 1) = -1.2;
+  const nn::LinearController ctrl(k);
+  const reach::TmVerifier v(bm.system, bm.spec,
+                            std::make_shared<reach::LinearAbstraction>());
+  const std::vector<geom::Box> cells = make_cells(bm.spec.x0, 6);  // 36
+
+  // Best-of-9: a TM rep runs ~100ms, long enough for scheduler noise to
+  // distort a best-of-5 minimum on either side of the reported ratio.
+  std::vector<reach::Flowpipe> seq;
+  const double t_seq = time_best_seconds(9, [&] {
+    seq.clear();
+    for (const geom::Box& c : cells) seq.push_back(v.compute(c, ctrl));
+  });
+
+  // Headline: the batched verifier as shipped — lockstep lane pools sharded
+  // across the process thread pool (threads = 0 resolves via DWV_THREADS /
+  // hardware_concurrency).
+  const reach::BatchVerifier bv(&v, 0, 0);
+  std::vector<reach::Flowpipe> bat;
+  const double t_bat =
+      time_best_seconds(9, [&] { bat = bv.compute(cells, ctrl); });
+
+  // Diagnostic: the same driver pinned to one thread isolates the pure
+  // lane-batching win (warm lane contexts + remainder-tape replay + pinned
+  // range streaming) from the thread-level parallelism.
+  const reach::BatchVerifier bv1(&v, 0, 1);
+  std::vector<reach::Flowpipe> bat1;
+  const double t_bat1 =
+      time_best_seconds(9, [&] { bat1 = bv1.compute(cells, ctrl); });
+
+  require(seq.size() == bat.size() && seq.size() == bat1.size(),
+          "tm batch flowpipe count");
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    require(seq[i].valid == bat[i].valid &&
+                boxes_eq(seq[i].step_sets, bat[i].step_sets) &&
+                boxes_eq(seq[i].interval_hulls, bat[i].interval_hulls),
+            "batched TM flowpipe == scalar TM flowpipe");
+    require(seq[i].valid == bat1[i].valid &&
+                boxes_eq(seq[i].step_sets, bat1[i].step_sets) &&
+                boxes_eq(seq[i].interval_hulls, bat1[i].interval_hulls),
+            "1-thread batched TM flowpipe == scalar TM flowpipe");
+  }
+  out.add("tm_batch_seq_seconds", t_seq, "s");
+  out.add("tm_batch_batch_seconds", t_bat, "s");
+  out.add("tm_batch_speedup", t_seq / t_bat, "x");
+  out.add("tm_batch_lane_seconds", t_bat1, "s");
+  out.add("tm_batch_lane_speedup", t_seq / t_bat1, "x");
+}
+
+// --- symbolic remainder queue: enclosure tightness vs queue-off ----------
+//
+// The queued mode's contract (DESIGN.md §12): final enclosures no wider
+// than the conventional interval-remainder transport on the paper
+// benchmarks. Reported as the ratio (queued final width sum / queue-off
+// final width sum); the bench FAILS if a ratio exceeds 1.0, and
+// check_bench_regression.py gates committed ratios against creep.
+double final_width_sum(const reach::Flowpipe& fp) {
+  double s = 0.0;
+  const geom::Box& last = fp.step_sets.back();
+  for (std::size_t d = 0; d < last.dim(); ++d) s += last[d].width();
+  return s;
+}
+
+void bench_sym_tightness(Results& out) {
+  // ACC over the full 10 s horizon with the paper's linear gain.
+  {
+    auto bm = ode::make_acc_benchmark();
+    bm.spec.stop_at_goal = false;
+    linalg::Mat k(1, 2);
+    k(0, 0) = 0.5;
+    k(0, 1) = -1.2;
+    const nn::LinearController ctrl(k);
+    reach::TmReachOptions on;
+    on.symbolic_remainder = true;
+    const reach::TmVerifier v_off(bm.system, bm.spec,
+                                  std::make_shared<reach::LinearAbstraction>());
+    const reach::TmVerifier v_on(bm.system, bm.spec,
+                                 std::make_shared<reach::LinearAbstraction>(),
+                                 on);
+    const reach::Flowpipe f_off = v_off.compute(bm.spec.x0, ctrl);
+    const reach::Flowpipe f_on = v_on.compute(bm.spec.x0, ctrl);
+    require(f_off.valid && f_on.valid, "acc tightness pipes valid");
+    require(f_on.step_sets.size() == f_off.step_sets.size(),
+            "acc tightness step counts match");
+    const double ratio = final_width_sum(f_on) / final_width_sum(f_off);
+    require(ratio <= 1.0, "acc queued enclosure no wider than queue-off");
+    out.add("tm_sym_acc_tightness_ratio", ratio, "x (<= 1)");
+  }
+  // Van der Pol oscillator under a deterministic tanh MLP (the rotating
+  // flow where the queue's matrix transport beats per-step box hulls).
+  {
+    auto bm = ode::make_oscillator_benchmark();
+    bm.spec.stop_at_goal = false;
+    bm.spec.steps = 12;
+    nn::MlpController ctrl({2, 8, 1}, 1.0);
+    linalg::Vec p(ctrl.param_count());
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p[i] = 0.1 * std::sin(1.0 + 2.7 * static_cast<double>(i));
+    ctrl.set_params(p);
+    reach::TmReachOptions on;
+    on.symbolic_remainder = true;
+    const reach::TmVerifier v_off(bm.system, bm.spec,
+                                  std::make_shared<reach::PolarAbstraction>());
+    const reach::TmVerifier v_on(bm.system, bm.spec,
+                                 std::make_shared<reach::PolarAbstraction>(),
+                                 on);
+    const reach::Flowpipe f_off = v_off.compute(bm.spec.x0, ctrl);
+    const reach::Flowpipe f_on = v_on.compute(bm.spec.x0, ctrl);
+    require(f_off.valid && f_on.valid, "oscillator tightness pipes valid");
+    require(f_on.step_sets.size() == f_off.step_sets.size(),
+            "oscillator tightness step counts match");
+    const double ratio = final_width_sum(f_on) / final_width_sum(f_off);
+    require(ratio <= 1.0,
+            "oscillator queued enclosure no wider than queue-off");
+    out.add("tm_sym_osc_tightness_ratio", ratio, "x (<= 1)");
+  }
+}
+
 // --- search_initial_set: work-stealing + lanes vs level-synchronous ------
 void bench_initial_set(Results& out) {
   const auto bm = ode::make_acc_benchmark();
@@ -256,6 +382,8 @@ int main() {
   Results out;
   bench_lane_kernels(out);
   bench_batch_verifier(out);
+  bench_tm_batch(out);
+  bench_sym_tightness(out);
   bench_initial_set(out);
   bench_spsa_probes(out);
   out.write_json("BENCH_batch_reach.json");

@@ -42,9 +42,10 @@ InitialSetResult search_work_steal(const reach::Verifier& verifier,
 
   const std::size_t threads = parallel::resolve_threads(opt.threads);
   const reach::BatchVerifier bv(&verifier, opt.batch);
-  // The symbolic prefix-reuse path is inherently per-cell (each child
-  // restricts its parent's models), so it bypasses the batch engine.
-  const std::size_t width = tmv == nullptr ? bv.batch() : 1;
+  // The symbolic prefix-reuse path goes through the TM lockstep driver
+  // (compute_symbolic_batch), which replays each cell's own parent prefix
+  // per lane; everything else goes through the batch engine.
+  const std::size_t width = bv.batch();
 
   std::vector<std::vector<Record>> records(threads);
   std::atomic<std::size_t> calls{0};
@@ -60,11 +61,15 @@ InitialSetResult search_work_steal(const reach::Verifier& verifier,
     std::vector<std::shared_ptr<const reach::TmSymbolicPrefix>> prefixes(
         tmv != nullptr ? group.size() : 0);
     if (tmv != nullptr) {
+      std::vector<reach::TmBatchJob> jobs;
+      jobs.reserve(group.size());
+      for (const Cell* c : group)
+        jobs.push_back({c->box, &ctrl, c->parent.get()});
+      std::vector<reach::TmComputeResult> rs =
+          tmv->compute_symbolic_batch(jobs, group.size());
       for (std::size_t g = 0; g < group.size(); ++g) {
-        reach::TmComputeResult r = tmv->compute_symbolic(
-            group[g]->box, ctrl, group[g]->parent.get());
-        fps[g] = std::move(r.fp);
-        prefixes[g] = std::move(r.prefix);
+        fps[g] = std::move(rs[g].fp);
+        prefixes[g] = std::move(rs[g].prefix);
       }
     } else {
       std::vector<reach::BatchJob> jobs;

@@ -37,7 +37,10 @@ struct InitialSetOptions {
   /// generally a little looser than with reuse off — certification
   /// verdicts can only flip toward "refine further", never toward an
   /// unsound "certified". Results remain identical across thread counts
-  /// for a fixed setting of this flag.
+  /// for a fixed setting of this flag. Works with the TmVerifier's
+  /// symbolic remainder queue: queue-on prefixes are recorded with their
+  /// queued remainders materialized into the models (DESIGN.md §12), so a
+  /// child restriction stands alone without the parent's queue.
   bool reuse_parent_prefix = false;
   /// Lane-batch width for grouped verifier calls on the work-stealing
   /// path (reach::BatchVerifier): 0 = auto (the SIMD lane width),

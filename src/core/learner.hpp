@@ -75,7 +75,11 @@ struct LearnerOptions {
   /// unordered pairs, and restarts re-evaluate recurring iterates. Hits
   /// return exactly what recomputation would (exact-material keys over a
   /// deterministic verifier), so enabling the cache changes no result bit
-  /// at any thread count — only the wall clock.
+  /// at any thread count — only the wall clock. Verifier configuration —
+  /// including a TmVerifier's symbolic-remainder-queue mode, whose results
+  /// are only containment-comparable with queue-off runs (DESIGN.md §12) —
+  /// is folded into the keys via Verifier::cache_salt, so probes cached
+  /// under one mode can never answer the other.
   bool cache = false;
   std::size_t cache_capacity = 4096;  ///< resident flowpipes when caching
   std::size_t cache_shards = 16;      ///< lock stripes (contention knob)

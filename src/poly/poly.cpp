@@ -421,6 +421,17 @@ void Poly::prune_small_into(double tol, Poly& dropped) {
   terms_.resize(w);
 }
 
+void Poly::truncate_discard(std::uint32_t max_degree, double tol) {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    const Term& t = terms_[i];
+    if (key_degree(t.key, nvars_) > max_degree) continue;
+    if (tol > 0.0 && std::abs(t.coeff) <= tol && t.key != 0) continue;
+    terms_[w++] = t;
+  }
+  terms_.resize(w);
+}
+
 Poly Poly::prune_small(double tol) {
   Poly dropped;
   prune_small_into(tol, dropped);

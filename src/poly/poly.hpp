@@ -214,6 +214,12 @@ class Poly {
   /// In-place variant writing the dropped part into `dropped`.
   void prune_small_into(double tol, Poly& dropped);
 
+  /// Fused split_by_degree + prune_small for callers that discard the
+  /// swept-away terms: one linear pass, no dropped/small buffers. The kept
+  /// term list is exactly what split_by_degree_into(max_degree, _) followed
+  /// by prune_small_into(tol, _) (the latter only when tol > 0) would leave.
+  void truncate_discard(std::uint32_t max_degree, double tol);
+
   /// Re-encodes into a layout with more variables (appended, exponent 0).
   /// Skips zero coefficients, matching the old lift's add_term semantics.
   void lift_vars_into(std::size_t new_nvars, Poly& out) const;

@@ -53,6 +53,21 @@ bool same_bits(const IVec& a, const IVec& b) {
   return true;
 }
 
+// Cheap multiplicative hash over the exact term bytes, used only by the
+// pinned direct-mapped memo. Hash quality affects only the collision rate
+// (a full term-byte compare gates every hit), so two fused multiply-xor
+// rounds per term beat the classic mix64 chain on the streaming hot path.
+std::uint64_t hash_terms_stream(const Poly& p, std::uint32_t kind) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^
+                    (static_cast<std::uint64_t>(kind) << 32) ^
+                    p.terms().size();
+  for (const Term& t : p.terms()) {
+    h = (h ^ t.key) * 0x2545f4914f6cdd1dULL;
+    h = (h ^ std::bit_cast<std::uint64_t>(t.coeff)) * 0x2545f4914f6cdd1dULL;
+  }
+  return h ^ (h >> 29);
+}
+
 }  // namespace
 
 RangeEngine::DomainTable& RangeEngine::table_for(const IVec& dom) {
@@ -74,14 +89,20 @@ RangeEngine::DomainTable& RangeEngine::table_for(const IVec& dom) {
     }
   }
   ++stats_.table_builds;
-  std::size_t slot = 0;
+  std::size_t slot = tables_.size();
   if (tables_.size() < kMaxTables) {
-    slot = tables_.size();
     tables_.emplace_back();
   } else {
-    for (std::size_t i = 1; i < tables_.size(); ++i) {
-      if (tables_[i].last_use < tables_[slot].last_use) slot = i;
+    // Evict the least-recently-used UNPINNED table; when everything is
+    // pinned, grow past kMaxTables rather than invalidating a pin.
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (tables_[i].pinned) continue;
+      if (slot == tables_.size() ||
+          tables_[i].last_use < tables_[slot].last_use) {
+        slot = i;
+      }
     }
+    if (slot == tables_.size()) tables_.emplace_back();
   }
   DomainTable& t = tables_[slot];
   t.dom = dom;
@@ -89,7 +110,11 @@ RangeEngine::DomainTable& RangeEngine::table_for(const IVec& dom) {
   t.mid.clear();
   t.mid_powers.assign(dom.size(), {});
   t.memo.clear();
+  t.smemo.clear();
+  t.smemo_clock = 0;
   t.last_use = clock_;
+  t.row_gen = 0;
+  t.pinned = false;
   mru_ = slot;
   return t;
 }
@@ -136,6 +161,7 @@ const Interval& RangeEngine::power(DomainTable& t, std::size_t v,
       row.push_back(interval::pow_n(t.dom[v], k));
       ++stats_.pow_evals;
     }
+    ++t.row_gen;  // row storage may have moved; pins must refresh
   }
   return row[e];
 }
@@ -257,10 +283,127 @@ Interval RangeEngine::centered_range(const Poly& p, DomainTable& t) {
   return c;
 }
 
+void RangeEngine::refresh_pin_rows(Pin& pin) {
+  DomainTable& t = tables_[pin.slot];
+  const std::size_t n = t.dom.size();
+  pin.rows.resize(n);
+  pin.caps.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    pin.rows[v] = t.powers[v].data();
+    pin.caps[v] = t.powers[v].empty()
+                      ? 0
+                      : static_cast<std::uint32_t>(t.powers[v].size() - 1);
+  }
+  pin.row_gen = t.row_gen;
+}
+
+void RangeEngine::pin_domain(const IVec& dom, std::uint32_t cap_hint) {
+  DomainTable& t = table_for(dom);
+  t.pinned = true;
+  if (t.smemo.empty()) t.smemo.resize(kStreamMemo);
+  for (std::size_t v = 0; v < dom.size(); ++v) (void)power(t, v, cap_hint);
+  Pin* pin = find_pin(dom);
+  if (pin == nullptr) {
+    pins_.emplace_back();
+    pin = &pins_.back();
+    pin->dom = &dom;
+  }
+  pin->slot = static_cast<std::size_t>(&t - tables_.data());
+  refresh_pin_rows(*pin);
+  // A re-pin can move to a different table (same address, new bits);
+  // recompute which tables still hold a pin.
+  for (DomainTable& tab : tables_) tab.pinned = false;
+  for (const Pin& pn : pins_) tables_[pn.slot].pinned = true;
+}
+
+void RangeEngine::unpin_all() {
+  pins_.clear();
+  for (DomainTable& t : tables_) t.pinned = false;
+}
+
+// Bit-identical twin of naive_range: same term walk, same power values,
+// same accumulation order — the rows just come from the pin's cached
+// pointers instead of a per-query prepare scan.
+Interval RangeEngine::naive_range_pinned(const Poly& p, Pin& pin) {
+  const std::size_t n = p.nvars();
+  const std::uint32_t bits = key_bits(n);
+  const std::uint64_t mask = key_field_mask(n);
+  Interval s(0.0);
+  for (const Term& term : p.terms()) {
+    Interval m(term.coeff);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t e = static_cast<std::uint32_t>(
+          (term.key >> (bits * (n - 1 - i))) & mask);
+      if (e > 0) {
+        if (e > pin.caps[i]) {
+          (void)power(tables_[pin.slot], i, e);
+          refresh_pin_rows(pin);
+        }
+        m *= pin.rows[i][e];
+      }
+    }
+    s += m;
+  }
+  return s;
+}
+
+Interval RangeEngine::eval_range_pinned(const Poly& p, Pin& pin,
+                                        const RangeOptions& opt) {
+  ++stats_.pin_hits;
+  ++stats_.table_reuses;
+  DomainTable& t = tables_[pin.slot];
+  if (pin.row_gen != t.row_gen) refresh_pin_rows(pin);
+  const std::uint32_t kind =
+      opt.mode == RangeMode::kSeedIdentical ? 0u : 1u;
+  const bool memo = memo_enabled_ &&
+                    p.terms().size() >= kStreamMemoMinTerms &&
+                    p.terms().size() <= kMaxMemoTerms;
+  std::uint64_t h = 0;
+  DomainTable::StreamMemoEntry* slot = nullptr;
+  if (memo) {
+    h = hash_terms_stream(p, kind);
+    DomainTable::StreamMemoEntry* set =
+        &t.smemo[(h % (kStreamMemo / kStreamMemoWays)) * kStreamMemoWays];
+    slot = set;
+    for (std::size_t w = 0; w < kStreamMemoWays; ++w) {
+      DomainTable::StreamMemoEntry& e = set[w];
+      if (e.kind == kind && e.hash == h && terms_equal(e.terms, p.terms())) {
+        e.last_use = ++t.smemo_clock;
+        ++stats_.memo_hits;
+        return e.result;
+      }
+      if (e.last_use < slot->last_use) slot = &e;
+    }
+  }
+  Interval out = naive_range_pinned(p, pin);
+  if (opt.mode != RangeMode::kSeedIdentical) {
+    const Interval centered = centered_range(p, t);
+    if (pin.row_gen != t.row_gen) refresh_pin_rows(pin);
+    const interval::IntersectResult r = interval::intersect(out, centered);
+    out = r.ok ? r.value : out;
+  }
+  if (memo) {
+    ++stats_.memo_stores;
+    slot->hash = h;
+    slot->kind = kind;
+    slot->terms = p.terms();
+    slot->result = out;
+    slot->last_use = ++t.smemo_clock;
+  }
+  return out;
+}
+
 Interval RangeEngine::eval_range(const Poly& p, const IVec& dom,
                                  const RangeOptions& opt) {
   assert(dom.size() == p.nvars());
   ++stats_.queries;
+  if (!pins_.empty()) {
+    if (Pin* pin = find_pin(dom)) {
+      assert(same_bits(*pin->dom, tables_[pin->slot].dom) &&
+             "pinned domain mutated without re-pinning");
+      return eval_range_pinned(p, *pin, opt);
+    }
+  }
   DomainTable& t = table_for(dom);
   const std::uint32_t kind =
       opt.mode == RangeMode::kSeedIdentical ? 0u : 1u;

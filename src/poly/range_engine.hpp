@@ -67,6 +67,7 @@ struct RangeStats {
   std::uint64_t pow_evals = 0;     ///< interval::pow_n table fills
   std::uint64_t memo_hits = 0;     ///< queries answered from the result memo
   std::uint64_t memo_stores = 0;   ///< results recorded in the memo
+  std::uint64_t pin_hits = 0;      ///< queries served by a pinned domain
 };
 
 /// Amortizing range bounder; one per computation context (see above).
@@ -97,6 +98,29 @@ class RangeEngine {
   /// benchmarks turn it off to time the walk kernels themselves.
   void set_result_memo(bool on) { memo_enabled_ = on; }
 
+  // --- Pinned-domain streaming profile -----------------------------------
+  // A long-lived caller that owns its query domains (the batched TM
+  // stepper: one set-variable box and one time-extended box, both with
+  // stable addresses and stable bits across thousands of queries) can pin
+  // them. Pinned queries skip the per-query table search (same_bits scan),
+  // the per-query power-row preparation scan, and the linear memo scan in
+  // favour of pointer identity, cached row pointers, and a direct-mapped
+  // memo. Results are BIT-IDENTICAL to the unpinned path: the same power
+  // tables feed the same seed-order kernel, and the memo still verifies
+  // full term bytes before a hit — only bookkeeping cost changes.
+  //
+  // Contract: after pin_domain(dom), the caller must not change dom's bits
+  // (nor destroy it) without re-pinning; queries on `dom` must pass THAT
+  // object (identity, not just equal bits) to take the fast path — other
+  // domains fall through to the classic path unchanged. Pinned tables are
+  // exempt from MRU eviction until unpin_all().
+
+  /// Pins `dom` (building its table as needed), pre-extending power rows
+  /// to exponent `cap_hint`. Re-pinning the same address revalidates bits.
+  void pin_domain(const interval::IVec& dom, std::uint32_t cap_hint = 8);
+  /// Drops every pin (tables stay cached, eviction protection ends).
+  void unpin_all();
+
  private:
   struct DomainTable {
     /// The domain this table was built for — the cache key (compared by
@@ -119,7 +143,38 @@ class RangeEngine {
       std::uint64_t last_use = 0;
     };
     std::vector<MemoEntry> memo;
+    /// Set-associative result memo for pinned queries (lazily sized to
+    /// kStreamMemo entries = kStreamMemo / kStreamMemoWays sets): the hash
+    /// picks a set, every way is probed (hash + kind reject, then full
+    /// term-byte compare), and a miss replaces the least-recently-used way.
+    /// The streaming query mix has strong temporal locality (validation
+    /// retries and tube hulls re-issue the same polys back to back), so a
+    /// direct-mapped memo loses hot entries to conflict evictions; a few
+    /// ways with per-set LRU recover the classic memo's hit rate at stream
+    /// probe cost.
+    struct StreamMemoEntry {
+      std::uint64_t hash = 0;
+      std::uint32_t kind = 0xffffffffu;
+      std::vector<Term> terms;
+      interval::Interval result;
+      std::uint64_t last_use = 0;
+    };
+    std::vector<StreamMemoEntry> smemo;
+    std::uint64_t smemo_clock = 0;  ///< per-set LRU stamp source
     std::uint64_t last_use = 0;
+    /// Bumped whenever a power row grows (possible reallocation), so pins
+    /// know to refresh their cached row pointers.
+    std::uint64_t row_gen = 0;
+    bool pinned = false;  ///< exempt from MRU eviction while true
+  };
+
+  /// A pinned domain: pointer identity -> table slot + cached row state.
+  struct Pin {
+    const interval::IVec* dom = nullptr;
+    std::size_t slot = 0;
+    std::uint64_t row_gen = 0;  ///< tables_[slot].row_gen the rows match
+    std::vector<const interval::Interval*> rows;
+    std::vector<std::uint32_t> caps;  ///< max exponent available per row
   };
 
   /// Finds or builds the table for dom (MRU, capacity kMaxTables).
@@ -140,6 +195,19 @@ class RangeEngine {
 
   /// The seed-identical kernel over packed terms.
   interval::Interval naive_range(const Poly& p, DomainTable& t);
+  /// Seed-identical kernel reading cached pin row pointers (no prepare
+  /// scan); extends rows through the table on cap overflow.
+  interval::Interval naive_range_pinned(const Poly& p, Pin& pin);
+  /// The pinned fast path of eval_range (same result bits).
+  interval::Interval eval_range_pinned(const Poly& p, Pin& pin,
+                                       const RangeOptions& opt);
+  /// Refreshes pin.rows/caps from its table (after growth/realloc).
+  void refresh_pin_rows(Pin& pin);
+  Pin* find_pin(const interval::IVec& dom) {
+    for (Pin& pin : pins_)
+      if (pin.dom == &dom) return &pin;
+    return nullptr;
+  }
   /// Mean-value form f(mid) + sum_v df/dx_v(dom) * (dom_v - mid_v).
   interval::Interval centered_range(const Poly& p, DomainTable& t);
 
@@ -152,7 +220,15 @@ class RangeEngine {
   static constexpr std::size_t kMaxTables = 4;
   static constexpr std::size_t kMaxMemo = 32;       ///< entries per table
   static constexpr std::size_t kMaxMemoTerms = 128; ///< memoizable poly size
+  static constexpr std::size_t kStreamMemo = 1024;      ///< total entries
+  static constexpr std::size_t kStreamMemoWays = 4;     ///< entries per set
+  /// Minimum poly size the stream memo caches. 1: with the remainder tape
+  /// absorbing most repeat queries, even one-term walks lose to the cheap
+  /// hash + probe on the remaining streaming traffic (measured on the
+  /// 36-cell TM batch bench).
+  static constexpr std::size_t kStreamMemoMinTerms = 1;
   std::vector<DomainTable> tables_;
+  std::vector<Pin> pins_;
   std::size_t mru_ = 0;  ///< index of the last-hit table (fast path)
   std::uint64_t clock_ = 0;
   bool memo_enabled_ = true;

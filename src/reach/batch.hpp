@@ -7,15 +7,18 @@
 // search_initial_set. BatchVerifier is the shared entry point: it unwraps
 // an optional CachingVerifier layer, detects a batchable inner verifier
 // (IntervalVerifier lane groups, LinearVerifier per-batch closed-loop map
-// hoist), and falls back to plain sequential compute() calls otherwise —
-// so callers can submit batches unconditionally.
+// hoist, TmVerifier lockstep lane pool), and falls back to plain
+// sequential compute() calls otherwise — so callers can submit batches
+// unconditionally.
 //
 // Bit-identity contract (DESIGN.md section 11): result j of compute(jobs)
 // is bit-identical to verifier->compute(jobs[j].x0, *jobs[j].ctrl), for
 // any batch width and job order. With a caching layer, lookups and
-// inserts are issued in job-index order and intra-batch duplicate keys
-// are looked up after the first occurrence's insert, so cache hit/miss/
-// insertion counts match the sequential scalar sequence.
+// inserts are issued in job-index order with placeholder inserts standing
+// in for not-yet-computed misses (backfilled via FlowpipeCache::replace),
+// so cache hit/miss/insertion/eviction counts match the sequential scalar
+// sequence at any capacity — including caches smaller than the batch and
+// intra-batch duplicate keys that evict each other.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +34,7 @@ namespace dwv::reach {
 class CachingVerifier;
 class IntervalVerifier;
 class LinearVerifier;
+class TmVerifier;
 
 /// One verification job: an initial box and a (non-owned) controller.
 struct BatchJob {
@@ -44,7 +48,13 @@ class BatchVerifier {
   /// `batch` is the lane-group width: 0 resolves to the SIMD lane width
   /// (interval::lanes::kWidth), 1 disables batching (pure sequential
   /// compute() calls), any other value groups jobs in chunks of `batch`.
-  explicit BatchVerifier(const Verifier* verifier, std::size_t batch = 0);
+  /// `threads` shards the TM lockstep driver's lane pools across the
+  /// process thread pool (0 = auto via DWV_THREADS); the default 1 keeps
+  /// the driver on the calling thread for callers that parallelize above
+  /// it. Bit-identity holds at every thread count (index-addressed result
+  /// slots over independent cells).
+  explicit BatchVerifier(const Verifier* verifier, std::size_t batch = 0,
+                         std::size_t threads = 1);
 
   /// The resolved group width (callers chunk parallel work by this).
   std::size_t batch() const { return batch_; }
@@ -69,7 +79,9 @@ class BatchVerifier {
   const CachingVerifier* caching_;    ///< outer_ if it is a CachingVerifier
   const IntervalVerifier* lane_;      ///< inner lane-batched path, if any
   const LinearVerifier* linear_;      ///< inner map-hoisted path, if any
+  const TmVerifier* tm_;              ///< inner TM lockstep path, if any
   std::size_t batch_;
+  std::size_t threads_;               ///< TM driver shard count (1 = inline)
 };
 
 }  // namespace dwv::reach

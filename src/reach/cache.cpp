@@ -85,12 +85,43 @@ std::optional<Flowpipe> FlowpipeCache::lookup(const Key& key) {
   {
     std::lock_guard<std::mutex> lock(sh.mu);
     const auto it = sh.index.find(key);
-    if (it != sh.index.end()) {
+    // Pending placeholders are invisible: a racing reader recomputes, just
+    // as it would have before the batched walk inserted the placeholder.
+    if (it != sh.index.end() && !it->second->pending) {
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
-      out = it->second->second;
+      out = it->second->fp;
     }
   }
   if (out) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  overhead_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  return out;
+}
+
+std::optional<Flowpipe> FlowpipeCache::lookup_walk(const Key& key,
+                                                   bool* pending_hit) {
+  const std::uint64_t t0 = now_ns();
+  Shard& sh = shard_for(key);
+  std::optional<Flowpipe> out;
+  bool hit = false;
+  *pending_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      hit = true;
+      if (it->second->pending) {
+        *pending_hit = true;  // value arrives with the batched backfill
+      } else {
+        out = it->second->fp;
+      }
+    }
+  }
+  if (hit) {
     hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -108,14 +139,16 @@ void FlowpipeCache::insert(const Key& key, const Flowpipe& fp) {
     const auto it = sh.index.find(key);
     if (it != sh.index.end()) {
       // Concurrent miss on the same key: both threads computed the same
-      // (deterministic) pipe; refresh rather than duplicate.
-      it->second->second = fp;
+      // (deterministic) pipe; refresh rather than duplicate. Also fills a
+      // pending placeholder a racing reader recomputed around.
+      it->second->fp = fp;
+      it->second->pending = false;
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
     } else {
-      sh.lru.emplace_front(key, fp);
+      sh.lru.emplace_front(Entry{key, fp, false});
       sh.index.emplace(key, sh.lru.begin());
       while (sh.lru.size() > per_shard_capacity_) {
-        sh.index.erase(sh.lru.back().first);
+        sh.index.erase(sh.lru.back().key);
         sh.lru.pop_back();
         ++evicted;
       }
@@ -124,6 +157,44 @@ void FlowpipeCache::insert(const Key& key, const Flowpipe& fp) {
   insertions_.fetch_add(1, std::memory_order_relaxed);
   if (evicted) evictions_.fetch_add(evicted, std::memory_order_relaxed);
   overhead_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+void FlowpipeCache::insert_pending(const Key& key) {
+  const std::uint64_t t0 = now_ns();
+  Shard& sh = shard_for(key);
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      // Re-inserting over a resident entry (e.g. a racing thread computed
+      // the value meanwhile): keep the value, just refresh the LRU slot.
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    } else {
+      sh.lru.emplace_front(Entry{key, Flowpipe{}, true});
+      sh.index.emplace(key, sh.lru.begin());
+      while (sh.lru.size() > per_shard_capacity_) {
+        sh.index.erase(sh.lru.back().key);
+        sh.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  overhead_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+void FlowpipeCache::replace(const Key& key, const Flowpipe& fp) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.index.find(key);
+  // No stats, no LRU splice: the entry already paid its insert at the
+  // scalar position in the walk; this only fills in the value.
+  if (it != sh.index.end()) {
+    it->second->fp = fp;
+    it->second->pending = false;
+  }
 }
 
 CacheStats FlowpipeCache::stats() const {

@@ -83,10 +83,33 @@ class FlowpipeCache {
   explicit FlowpipeCache(Config cfg = {});
 
   /// Returns a copy of the cached pipe and refreshes its LRU position.
+  /// Pending placeholders (see insert_pending) count as misses: a racing
+  /// reader must never observe a value that has not been computed yet.
   std::optional<Flowpipe> lookup(const Key& key);
   /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
-  /// over budget.
+  /// over budget. Refreshing a pending placeholder fills it.
   void insert(const Key& key, const Flowpipe& fp);
+
+  // --- Scalar-sequence walk hooks (reach::BatchVerifier) -----------------
+  // The batched cache walk replays the sequential scalar loop's cache
+  // transcript: misses whose values arrive later (batched) insert a
+  // PENDING placeholder at their scalar position — eviction is count-
+  // based, so the placeholder drives the shard LRU exactly like the value
+  // would — and the computed pipes are backfilled via replace(). Pending
+  // entries are invisible to plain lookup(), so concurrent readers simply
+  // recompute (exactly what they would have done without the batch).
+
+  /// Inserts a pending placeholder for `key` (stats/LRU like insert()).
+  void insert_pending(const Key& key);
+  /// Walk-ordered lookup: a real entry is returned like lookup(); a
+  /// pending placeholder counts as a HIT (LRU refresh included, matching
+  /// the scalar sequence where the value would be resident) but returns
+  /// nullopt with *pending_hit = true; otherwise a miss is counted.
+  std::optional<Flowpipe> lookup_walk(const Key& key, bool* pending_hit);
+  /// Overwrites the value of a resident entry (clearing its pending flag)
+  /// WITHOUT touching statistics or LRU order; a no-op when the key is
+  /// absent (e.g. the placeholder was already evicted).
+  void replace(const Key& key, const Flowpipe& fp);
 
   CacheStats stats() const;
   void reset_stats();
@@ -103,13 +126,17 @@ class FlowpipeCache {
       return static_cast<std::size_t>(k.hash);
     }
   };
+  struct Entry {
+    Key key;
+    Flowpipe fp;
+    /// True while the value is a walk placeholder (not yet computed).
+    bool pending = false;
+  };
   struct Shard {
     std::mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<Key, Flowpipe>> lru;
-    std::unordered_map<Key, std::list<std::pair<Key, Flowpipe>>::iterator,
-                       KeyHash>
-        index;
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
   };
 
   Shard& shard_for(const Key& key) {

@@ -30,7 +30,10 @@ struct SubdivideOptions {
   /// controller parameters), so repeated compute() calls with recurring
   /// parameters — SPSA probe pairs, exhausted-restart re-evaluations —
   /// skip every cell they have seen. Share one cache across learner and
-  /// subdivider to also hit across call sites.
+  /// subdivider to also hit across call sites. Keys carry the inner
+  /// verifier's cache_salt, so per-cell pipes computed with a TmVerifier's
+  /// symbolic remainder queue on never alias queue-off entries
+  /// (DESIGN.md §12).
   std::shared_ptr<FlowpipeCache> cache = nullptr;
 };
 

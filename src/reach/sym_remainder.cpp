@@ -1,0 +1,135 @@
+#include "reach/sym_remainder.hpp"
+
+#include <cassert>
+
+namespace dwv::reach::sym {
+
+using interval::Interval;
+using interval::IVec;
+
+IMat IMat::identity(std::size_t dim) {
+  IMat r(dim);
+  for (std::size_t i = 0; i < dim; ++i) r.at(i, i) = Interval(1.0);
+  return r;
+}
+
+void imat_mul(const IMat& a, const IMat& b, IMat& out) {
+  assert(a.n == b.n);
+  assert(&out != &a && &out != &b);
+  const std::size_t n = a.n;
+  out.n = n;
+  out.e.assign(n * n, Interval(0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const Interval& aik = a.at(i, k);
+      if (aik.lo() == 0.0 && aik.hi() == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        out.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+}
+
+void imat_apply(const IMat& a, const IVec& v, IVec& out) {
+  assert(a.n == v.size());
+  assert(&out != &v);
+  out = IVec(a.n);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    Interval acc(0.0);
+    for (std::size_t j = 0; j < a.n; ++j) acc += a.at(i, j) * v[j];
+    out[i] = acc;
+  }
+}
+
+bool imat_exp(const IMat& j, const Interval& t, std::uint32_t terms,
+              IMat& out) {
+  const std::size_t n = j.n;
+  // B = t * J, and an upper bound on ||B||_inf via interval accumulation
+  // (a plain double sum could round below the true row sum).
+  IMat b(n);
+  Interval r(0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Interval row(0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      b.at(i, k) = t * j.at(i, k);
+      row += Interval(b.at(i, k).mag());
+    }
+    if (row.hi() > r.hi()) r = row;
+  }
+  const std::uint32_t m = terms;
+  const double rhi = r.hi();
+  if (!(rhi < static_cast<double>(m + 2))) return false;  // tail diverges
+
+  // Series: out = sum_{q=0}^{m} B^q / q!.
+  out = IMat::identity(n);
+  IMat pow = IMat::identity(n);
+  IMat tmp(n);
+  for (std::uint32_t q = 1; q <= m; ++q) {
+    imat_mul(pow, b, tmp);
+    const Interval inv_q = Interval(1.0) / Interval(static_cast<double>(q));
+    for (auto& entry : tmp.e) entry *= inv_q;
+    pow = tmp;
+    for (std::size_t i = 0; i < n * n; ++i) out.e[i] += pow.e[i];
+  }
+
+  // Entrywise tail: |E_pq| <= ||E||_inf <= r^{m+1}/(m+1)! / (1 - r/(m+2)).
+  Interval num(1.0);
+  Interval fact(1.0);
+  for (std::uint32_t q = 1; q <= m + 1; ++q) {
+    num *= Interval(rhi);
+    fact *= Interval(static_cast<double>(q));
+  }
+  const Interval geo =
+      Interval(1.0) /
+      (Interval(1.0) - Interval(rhi) / Interval(static_cast<double>(m + 2)));
+  const double tail = (num / fact * geo).hi();
+  const Interval e = Interval::symmetric(tail);
+  for (auto& entry : out.e) entry += e;
+  return true;
+}
+
+void SymRemainderQueue::push(const IVec& j) {
+  assert(j.size() == dim_);
+  if (cap_ > 0 && m_.size() >= cap_) flush();
+  m_.push_back(IMat::identity(dim_));
+  j_.push_back(j);
+  box_ += j;  // identity transport: box(I * j) = j
+}
+
+void SymRemainderQueue::transport(const IMat& a) {
+  assert(a.n == dim_);
+  IMat tmp(dim_);
+  for (IMat& m : m_) {
+    imat_mul(a, m, tmp);
+    std::swap(m, tmp);
+  }
+  recompute_box();
+}
+
+void SymRemainderQueue::flush() {
+  if (m_.empty()) return;
+  const IVec collapsed = box_;
+  m_.clear();
+  j_.clear();
+  m_.push_back(IMat::identity(dim_));
+  j_.push_back(collapsed);
+  box_ = collapsed;
+  ++flushes_;
+}
+
+void SymRemainderQueue::clear() {
+  m_.clear();
+  j_.clear();
+  box_ = IVec(dim_);
+}
+
+void SymRemainderQueue::recompute_box() {
+  box_ = IVec(dim_);
+  IVec t;
+  for (std::size_t k = 0; k < m_.size(); ++k) {
+    imat_apply(m_[k], j_[k], t);
+    box_ += t;
+  }
+}
+
+}  // namespace dwv::reach::sym

@@ -10,6 +10,28 @@ using taylor::TaylorModel;
 using taylor::TmEnv;
 using taylor::TmVec;
 
+PolyTmDynamics::PolyTmDynamics(std::vector<poly::Poly> f) : f_(std::move(f)) {
+  const std::size_t n = f_.size();
+  dfdx_.reserve(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dfdx_.push_back(f_[i].derivative(j));
+    }
+  }
+}
+
+bool PolyTmDynamics::state_jacobian(const interval::IVec& xu_box,
+                                    sym::IMat& out) const {
+  const std::size_t n = f_.size();
+  if (out.n != n) out = sym::IMat(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.at(i, j) = dfdx_[i * n + j].eval_range(xu_box);
+    }
+  }
+  return true;
+}
+
 TmVec PolyTmDynamics::eval(const TmEnv& env, const TmVec& args) const {
   TmVec out;
   eval_into(env, args, out);

@@ -8,6 +8,7 @@
 
 #include "ode/expr.hpp"
 #include "poly/poly.hpp"
+#include "reach/sym_remainder.hpp"
 #include "taylor/taylor_model.hpp"
 
 namespace dwv::reach {
@@ -26,6 +27,24 @@ class TmDynamics {
                          taylor::TmVec& out) const {
     out = eval(env, args);
   }
+  /// True iff eval_into supports taylor::RemTape remainder replay: every
+  /// interval constant its remainder formulas consume must depend only on
+  /// the polynomial channel of the arguments. Polynomial composition
+  /// qualifies; expression trees do not (sin/cos/tanh/exp enclosures
+  /// linearize around tm_range of the argument, which includes the
+  /// remainder).
+  virtual bool replay_safe() const { return false; }
+  /// True iff state_jacobian is implemented. The symbolic remainder queue
+  /// (DESIGN.md §12) needs it and silently stays off without it.
+  virtual bool has_state_jacobian() const { return false; }
+  /// Sound interval enclosure of df/dx (the state block only) over the box
+  /// (x..., u...). Returns false when unavailable.
+  virtual bool state_jacobian(const interval::IVec& xu_box,
+                              sym::IMat& out) const {
+    (void)xu_box;
+    (void)out;
+    return false;
+  }
 };
 
 using TmDynamicsPtr = std::shared_ptr<const TmDynamics>;
@@ -33,18 +52,29 @@ using TmDynamicsPtr = std::shared_ptr<const TmDynamics>;
 /// Polynomial vector field (the paper's systems).
 class PolyTmDynamics final : public TmDynamics {
  public:
-  explicit PolyTmDynamics(std::vector<poly::Poly> f) : f_(std::move(f)) {}
+  explicit PolyTmDynamics(std::vector<poly::Poly> f);
   std::size_t state_dim() const override { return f_.size(); }
   taylor::TmVec eval(const taylor::TmEnv& env,
                      const taylor::TmVec& args) const override;
   void eval_into(const taylor::TmEnv& env, const taylor::TmVec& args,
                  taylor::TmVec& out) const override;
+  bool replay_safe() const override { return true; }
+  bool has_state_jacobian() const override { return true; }
+  /// Naive interval extension of the (precomputed) symbolic derivative
+  /// polynomials; deterministic and independent of the range engine, so
+  /// queued-mode results cannot depend on lane or caching state.
+  bool state_jacobian(const interval::IVec& xu_box,
+                      sym::IMat& out) const override;
 
   /// The component polynomials (cache-key fingerprinting).
   const std::vector<poly::Poly>& polys() const { return f_; }
 
  private:
   std::vector<poly::Poly> f_;
+  /// df_i/dx_j over (x..., u...), row major — built once at construction
+  /// (shared const dynamics are used concurrently by batched drivers, so no
+  /// lazy mutable state).
+  std::vector<poly::Poly> dfdx_;
 };
 
 /// Expression-tree vector field (sin/cos/tanh/exp nodes supported).

@@ -7,8 +7,11 @@
 #include <limits>
 #include <sstream>
 
+#include "interval/lanes.hpp"
 #include "ode/expr_system.hpp"
+#include "parallel/pool.hpp"
 #include "reach/cache.hpp"
+#include "reach/sym_remainder.hpp"
 
 namespace dwv::reach {
 
@@ -169,15 +172,38 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
     s.u[j].rem = control[j].rem;
   }
 
+  // Remainder-replay tape (streaming lanes only; taylor::RemTape). When a
+  // Picard evaluation's polynomial channel is known to repeat bitwise, one
+  // recorded pass captures the remainder-formula constants and later passes
+  // replay the remainder arithmetic only.
+  taylor::RemTape& tape = s.rem_tape;
+  const bool tape_on = tape.enabled && f.replay_safe();
+  // In replay mode the kernels leave output polys untouched; when set, the
+  // replayed Picard pass materializes out[i].poly from its input (valid
+  // exactly when the poly fixpoint converged, so output == input bitwise).
+  bool replay_poly_from_input = false;
+
   const auto picard = [&](const TmVec& phi, TmVec& out) {
+    const bool rp = tape.mode == taylor::RemTape::kReplay;
     s.args.resize(n + m);
-    for (std::size_t i = 0; i < n; ++i) s.args[i] = phi[i];
-    for (std::size_t j = 0; j < m; ++j) s.args[n + j] = s.u[j];
+    if (rp) {
+      // Replay never reads the argument polys (every poly-derived constant
+      // comes off the tape), so only the remainders need to move.
+      for (std::size_t i = 0; i < n; ++i) s.args[i].rem = phi[i].rem;
+      for (std::size_t j = 0; j < m; ++j) s.args[n + j].rem = s.u[j].rem;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) s.args[i] = phi[i];
+      for (std::size_t j = 0; j < m; ++j) s.args[n + j] = s.u[j];
+    }
     f.eval_into(env, s.args, s.g);
     out.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       taylor::tm_integrate_time_into(env, s.g[i], tau, s.integ);
-      Poly::add_into(s.x0[i].poly, s.integ.poly, out[i].poly);
+      if (rp) {
+        if (replay_poly_from_input) out[i].poly = phi[i].poly;
+      } else {
+        Poly::add_into(s.x0[i].poly, s.integ.poly, out[i].poly);
+      }
       out[i].rem = s.x0[i].rem + s.integ.rem;
     }
   };
@@ -187,12 +213,54 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
   // polynomial part, and letting interval remainders compound across the
   // passes would inflate the validated remainder by (1 + hL)^iters instead
   // of (1 + hL) per step.
+  //
+  // Because the pass remainders are dead, their arithmetic — and the range
+  // queries feeding it — is skipped outright (TmScratch::poly_only)
+  // whenever the dynamics' polynomial outputs are remainder-independent
+  // (replay_safe: polynomial composition; expression trees linearize
+  // enclosures around ranges that include remainders, so they keep the
+  // full channel). The polynomial bits are unchanged either way.
+  //
+  // Streaming lanes additionally test for poly convergence: once a pass
+  // maps the polynomials to themselves bitwise, every remaining pass maps
+  // (phi, 0) back to phi with the remainder re-zeroed — a bitwise no-op —
+  // so they are skipped. The validation attempts below need a remainder
+  // tape recorded AT the fixpoint; the convergence index is structural
+  // (tau-degree saturates at the order), so each lane predicts it from
+  // the previous step (TmScratch::conv_pred) and records only from there,
+  // running the earlier passes poly-only. A misprediction stays correct:
+  // converging on a poly-only pass just leaves validation to record its
+  // own tape, converging later keeps recording until the compare
+  // succeeds. (Skipping no-op passes or range queries only changes what
+  // the engine sees; that is bit-invisible by the RangeEngine contract.)
+  // Like the tape itself, the skipping stays on streaming lanes only: the
+  // scalar path is the bit-identity oracle the lane results are checked
+  // against in tests and in-bench guards, so it keeps the legacy
+  // full-channel kernel sequence.
+  const bool rem_dead = tape_on && f.replay_safe();
+  bool tape_valid = false;  ///< tape's poly channel == (phi, u) composition
   s.phi.resize(n);
   for (std::size_t i = 0; i < n; ++i) s.phi[i] = s.x0[i];
   for (std::size_t it = 0; it < opt.picard_iters; ++it) {
+    const bool record = tape_on && it >= s.conv_pred;
+    s.poly_only = rem_dead && !record;
+    if (record) tape.start_record();
     picard(s.phi, s.picard_out);
+    s.poly_only = false;
+    bool converged = false;
+    if (tape_on) {
+      if (record) tape.stop();
+      converged = true;
+      for (std::size_t i = 0; i < n && converged; ++i)
+        converged = s.picard_out[i].poly.terms() == s.phi[i].poly.terms();
+      if (converged) {
+        s.conv_pred = it;
+        tape_valid = record;
+      }
+    }
     std::swap(s.phi, s.picard_out);
     for (auto& tm : s.phi) tm.rem = Interval(0.0);
+    if (converged) break;
   }
 
   // Remainder validation: find J with P(poly + J) inside poly + J.
@@ -202,22 +270,61 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
 
   res.ok = false;
   res.failure.clear();
+  // Every attempt evaluates the Picard operator at the same polynomials
+  // (cand.poly is fixed to phi; only the remainder guess changes), so on
+  // streaming lanes at most one attempt runs in full: either the fixpoint
+  // loop converged and left a valid tape (attempt 0 already replays, with
+  // the output polys materialized from phi), or attempt 0 records and the
+  // retries replay (their output polys persist in s.pnext from attempt 0).
+  bool pnext_poly_ready = false;
   for (std::size_t attempt = 0; attempt <= opt.max_inflations; ++attempt) {
     s.cand.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      s.cand[i].poly = s.phi[i].poly;
+      // phi is fixed for the whole loop; the poly copy only needs to happen
+      // on the first attempt (identical bits either way).
+      if (attempt == 0) s.cand[i].poly = s.phi[i].poly;
       s.cand[i].rem = s.rem_j[i];
     }
-    picard(s.cand, s.pnext);
+    if (tape_on && tape_valid) {
+      replay_poly_from_input = !pnext_poly_ready;
+      tape.start_replay();
+      picard(s.cand, s.pnext);
+      tape.stop();
+      replay_poly_from_input = false;
+      pnext_poly_ready = true;
+    } else if (tape_on) {
+      tape.start_record();
+      picard(s.cand, s.pnext);
+      tape.stop();
+      tape_valid = true;
+      pnext_poly_ready = true;
+    } else {
+      picard(s.cand, s.pnext);
+    }
 
     bool contained = true;
     s.d_range.resize(n);
+    if (tape_on) s.diff_poly_range.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       // d = P(cand)_i - {cand_i.poly, 0}; the interval subtraction of the
       // zero interval outward-widens exactly like the legacy tm_sub did.
-      Poly::sub_into(s.pnext[i].poly, s.cand[i].poly, s.diff.poly);
-      s.diff.rem = s.pnext[i].rem - Interval(0.0);
-      s.d_range[i] = taylor::tm_range(env, s.diff);
+      // Both polys are fixed across attempts (cand.poly is pinned to phi
+      // and the Picard output polys are attempt-invariant), so the defect
+      // poly — and hence its range — is too; on streaming lanes retries
+      // reuse the attempt-0 range and redo only the remainder arithmetic.
+      if (tape_on && attempt > 0) {
+        s.d_range[i] =
+            s.diff_poly_range[i] + (s.pnext[i].rem - Interval(0.0));
+      } else {
+        Poly::sub_into(s.pnext[i].poly, s.cand[i].poly, s.diff.poly);
+        s.diff.rem = s.pnext[i].rem - Interval(0.0);
+        if (tape_on) {
+          s.diff_poly_range[i] = env.poly_range(s.diff.poly);
+          s.d_range[i] = s.diff_poly_range[i] + s.diff.rem;
+        } else {
+          s.d_range[i] = taylor::tm_range(env, s.diff);
+        }
+      }
       if (!s.rem_j[i].contains(s.d_range[i])) contained = false;
     }
 
@@ -233,11 +340,9 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
       res.at_end.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
         res.tube_range[i] = taylor::tm_range(env, s.validated[i]);
-        taylor::tm_subst_var_into(env, s.validated[i], tau, h, s.subst);
-        s.subst.poly.drop_last_var_into(res.at_end[i].poly);
-        res.at_end[i].rem = s.subst.rem;
+        taylor::tm_subst_last_into(env, s.validated[i], h, res.at_end[i]);
       }
-      res.tube_tm = s.validated;
+      if (res.want_tube_tm) res.tube_tm = s.validated;
       res.ok = true;
       return;
     }
@@ -316,6 +421,9 @@ std::uint64_t TmVerifier::cache_salt() const {
   // Range-bounding mode changes remainders (hence verdicts): results
   // computed under different modes must never collide in the cache.
   w.push_back(static_cast<std::uint64_t>(opt_.range_mode));
+  // The symbolic remainder queue changes remainders (sound both ways, but
+  // queue-on and queue-off pipes must never alias in a FlowpipeCache).
+  w.push_back(opt_.symbolic_remainder ? 1 + opt_.sym_queue_size : 0);
   w.push_back(std::bit_cast<std::uint64_t>(spec_.delta));
   w.push_back(spec_.steps);
   w.push_back(spec_.stop_at_goal ? 1 : 0);
@@ -395,59 +503,169 @@ TmComputeResult TmVerifier::compute_symbolic(
   return out;
 }
 
-Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
-                         TmSymbolicPrefix* record,
-                         const TmSymbolicPrefix* parent) const {
-  const std::size_t n = sys_->state_dim();
-  assert(x0.dim() == n);
+// Per-lane driver state machine, shared by the scalar run() and the
+// lockstep-batched run_batch(). One Lane advances one cell at a time; the
+// persistent env / scratch / step buffers survive across cells, so a batch
+// pays the allocation and range-table cold start once per lane instead of
+// once per cell. Reuse cannot change results: every piece of cross-cell
+// state is either a scratch buffer that each step fully overwrites or the
+// RangeEngine, whose caching is bit-invisible by contract (DESIGN.md §10).
+struct TmVerifier::Lane {
+  const TmVerifier* v = nullptr;
 
-  TmEnv env;
-  env.dom = IVec(n, Interval(-1.0, 1.0));
-  env.order = opt_.order;
-  env.cutoff = opt_.cutoff;
-  env.range_mode = opt_.range_mode;
+  // Persistent lane context (survives across cells).
+  TmEnv env;       ///< set-variable env, dom = [-1, 1]^n
+  TmEnv env_time;  ///< replay-path time-extended env (set vars..., tau)
+  TmStepResult sr; ///< integration step buffers, warm across steps + cells
+  bool primed = false;
 
-  // Initial affine parameterization x_i = c_i + r_i s_i.
-  const linalg::Vec c = x0.center();
-  const linalg::Vec r = x0.radius();
-  TmVec x(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Poly p = Poly::constant(n, c[i]) + Poly::variable(n, i) * r[i];
-    x[i] = {std::move(p), Interval(0.0)};
+  // Symbolic remainder queue mode (TmReachOptions::symbolic_remainder with
+  // Jacobian-capable dynamics): the state models `x` are kept
+  // remainder-free between substeps and the accumulated deviation lives in
+  // `srq` as (transport matrix, local remainder) pairs — see
+  // reach/sym_remainder.hpp and DESIGN.md §12. Plain interval matrix math,
+  // identical on scalar and streaming lanes.
+  bool sym_on = false;
+  sym::SymRemainderQueue srq;
+  sym::IMat jac, a_step, a_tube;
+
+  // Per-cell state, reset by start().
+  const nn::Controller* ctrl = nullptr;
+  TmSymbolicPrefix* record = nullptr;
+  const TmSymbolicPrefix* parent = nullptr;
+  Flowpipe fp;
+  TmVec x;
+  TmVec args_set, args_time;
+  std::size_t n = 0;
+  double h = 0.0;
+  std::size_t step = 0;
+  bool recording = false;
+  bool was_recording = false;
+  bool replaying = false;
+  bool done = true;
+
+  void prime(const TmVerifier& verifier, bool stream) {
+    v = &verifier;
+    n = v->sys_->state_dim();
+    h = v->spec_.delta / static_cast<double>(v->opt_.substeps);
+
+    env.dom = IVec(n, Interval(-1.0, 1.0));
+    env.order = v->opt_.order;
+    env.cutoff = v->opt_.cutoff;
+    env.range_mode = v->opt_.range_mode;
+
+    env_time.dom = IVec(n + 1);
+    for (std::size_t i = 0; i < n; ++i) env_time.dom[i] = Interval(-1.0, 1.0);
+    env_time.dom[n] = Interval(0.0, h);
+    env_time.order = v->opt_.order;
+    env_time.cutoff = v->opt_.cutoff;
+    env_time.range_mode = v->opt_.range_mode;
+
+    if (stream) {
+      // Streaming profile for the batched driver: pin the two domains every
+      // hot range query of a run uses — the lane-owned set box, and the
+      // time-extended box tm_integrate_step writes into its scratch env
+      // (identical bits every step, since h and the unit box are fixed per
+      // verifier; priming it here matches those writes exactly). Pins are
+      // bit-invisible (poly::RangeEngine contract), so stream and classic
+      // lanes produce identical results; the scalar compute() entry keeps
+      // the engine's general-purpose configuration because its env is
+      // call-local and makes no domain-lifetime promise.
+      taylor::TmScratch& s = env.scratch();
+      const std::uint32_t cap = 2 * v->opt_.order + 2;
+      s.range.pin_domain(env.dom, cap);
+      // Opt in to remainder-tape record/replay inside tm_integrate_step
+      // (skips the redundant poly work of converged Picard passes and
+      // validation retries; bit-identical by construction — see
+      // taylor::RemTape).
+      s.rem_tape.enabled = true;
+      TmEnv& et = s.env_time;
+      if (!s.env_time_init) {
+        et.borrow_scratch(env);
+        s.env_time_init = true;
+      }
+      et.dom.resize(n + 1);
+      for (std::size_t i = 0; i <= n; ++i) et.dom[i] = env_time.dom[i];
+      et.order = env.order;
+      et.cutoff = env.cutoff;
+      et.range_mode = env.range_mode;
+      s.range.pin_domain(et.dom, cap);
+    }
+    primed = true;
   }
 
-  Flowpipe fp;
-  fp.step_sets.reserve(spec_.steps + 1);
-  fp.interval_hulls.reserve(spec_.steps);
-  fp.step_sets.push_back(x0);
+  void start(const TmVerifier& verifier, const geom::Box& x0,
+             const nn::Controller& c, TmSymbolicPrefix* rec,
+             const TmSymbolicPrefix* par, bool stream) {
+    if (!primed) prime(verifier, stream);
+    assert(x0.dim() == n);
+    ctrl = &c;
+    record = rec;
+    parent = par;
 
-  const double h = spec_.delta / static_cast<double>(opt_.substeps);
+    // Initial affine parameterization x_i = c_i + r_i s_i.
+    const linalg::Vec cc = x0.center();
+    const linalg::Vec r = x0.radius();
+    x.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Poly p = Poly::constant(n, cc[i]) + Poly::variable(n, i) * r[i];
+      x[i] = {std::move(p), Interval(0.0)};
+    }
 
-  // Recording stops at the first re-initialization: afterwards the state
-  // models no longer depend on the initial-set variables, so a child cell
-  // could not soundly restrict them.
-  bool recording = record != nullptr;
-  std::size_t step = 0;
+    fp = Flowpipe{};
+    fp.step_sets.reserve(v->spec_.steps + 1);
+    fp.interval_hulls.reserve(v->spec_.steps);
+    fp.step_sets.push_back(x0);
 
-  // Shared helper for both the replay and integration paths: books the
-  // period into the pipe, applies the stop/divergence/re-init policy.
-  // Returns nonzero when the pipe is finished (1) or failed (2).
-  const auto finish_period = [&](const IVec& period_hull,
-                                 std::vector<TmVec>&& tube_rec) -> int {
+    // Recording stops at the first re-initialization: afterwards the state
+    // models no longer depend on the initial-set variables, so a child cell
+    // could not soundly restrict them.
+    recording = record != nullptr;
+    was_recording = recording;
+    step = 0;
+    done = false;
+
+    sym_on = v->opt_.symbolic_remainder && v->dynamics_->has_state_jacobian();
+    if (sym_on) srq.reset(n, v->opt_.sym_queue_size);
+
+    replaying = parent != nullptr && !parent->periods.empty() &&
+                parent->x0.dim() == n && parent->x0.contains(x0);
+    if (replaying) {
+      args_set = restriction_args(env, parent->x0, x0, false);
+      args_time = restriction_args(env_time, parent->x0, x0, true);
+    }
+  }
+
+  // Books the period into the pipe, applies the stop/divergence/re-init
+  // policy. Returns nonzero when the pipe is finished (1) or failed (2).
+  int finish_period(const IVec& period_hull, std::vector<TmVec>&& tube_rec) {
     fp.interval_hulls.emplace_back(period_hull);
-    const IVec end_range = taylor::tm_vec_range(env, x);
+    IVec end_range = taylor::tm_vec_range(env, x);
+    // Queued mode keeps the accumulated remainder out of x; every box the
+    // rest of the pipeline sees gets it added back here.
+    if (sym_on) end_range += srq.box();
     fp.step_sets.emplace_back(end_range);
     if (recording) {
-      record->periods.push_back({std::move(tube_rec), x});
+      if (sym_on) {
+        // Materialize the queue into the recorded models so the prefix
+        // stands alone: a child cell restricting it must not need this
+        // cell's queue state.
+        TmVec x_mat = x;
+        for (std::size_t i = 0; i < n; ++i) x_mat[i].rem += srq.box()[i];
+        record->periods.push_back({std::move(tube_rec), std::move(x_mat)});
+      } else {
+        record->periods.push_back({std::move(tube_rec), x});
+      }
     }
 
     // Reach-avoid semantics: the run ends when the goal is provably
     // reached; tracking the post-goal flow would only inflate the pipe.
-    if (spec_.stop_at_goal && spec_.goal.contains(geom::Box(end_range))) {
+    if (v->spec_.stop_at_goal &&
+        v->spec_.goal.contains(geom::Box(end_range))) {
       return 1;
     }
 
-    if (end_range.max_mag() > opt_.divergence_bound) {
+    if (end_range.max_mag() > v->opt_.divergence_bound) {
       fp.valid = false;
       fp.failure = "flowpipe enclosure diverged";
       return 2;
@@ -461,99 +679,354 @@ Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
     // residue by scaling the columns, A' = A diag(1 + |A^-1| r); this
     // avoids the box-wrapping blowup on rotating flows. Falls back to a box
     // when A is near singular.
-    if (opt_.reinit_rem_fraction > 0.0) {
+    if (v->opt_.reinit_rem_fraction > 0.0) {
       bool reinit = false;
       for (std::size_t i = 0; i < n; ++i) {
         const double spread = end_range[i].rad();
-        if (x[i].rem.rad() > opt_.reinit_rem_fraction * spread &&
-            x[i].rem.rad() > 10.0 * opt_.rem_init) {
+        const double rem_rad =
+            sym_on ? (x[i].rem + srq.box()[i]).rad() : x[i].rem.rad();
+        if (rem_rad > v->opt_.reinit_rem_fraction * spread &&
+            rem_rad > 10.0 * v->opt_.rem_init) {
           reinit = true;
           break;
         }
       }
       if (reinit) {
+        // Re-initialization absorbs the full remainder into a fresh affine
+        // parameterization; in queued mode that includes the queue, which
+        // is therefore spent.
+        if (sym_on) {
+          for (std::size_t i = 0; i < n; ++i) x[i].rem += srq.box()[i];
+          srq.clear();
+        }
         x = reinitialize(env, x, end_range);
         recording = false;
       }
     }
     return 0;
-  };
-
-  // --- Parent-prefix replay (branch-and-refine reuse) ---------------------
-  // Each replayed period costs a polynomial composition instead of a Picard
-  // fixpoint + remainder validation. Replay ends at the parent's recorded
-  // horizon or as soon as the (restricted) state re-initializes, whichever
-  // comes first; integration resumes from the restricted symbolic state.
-  if (parent != nullptr && !parent->periods.empty() &&
-      parent->x0.dim() == n && parent->x0.contains(x0)) {
-    TmEnv env_time;
-    env_time.dom = IVec(n + 1);
-    for (std::size_t i = 0; i < n; ++i) env_time.dom[i] = Interval(-1.0, 1.0);
-    env_time.dom[n] = Interval(0.0, h);
-    env_time.order = opt_.order;
-    env_time.cutoff = opt_.cutoff;
-    env_time.range_mode = opt_.range_mode;
-
-    const TmVec args_set = restriction_args(env, parent->x0, x0, false);
-    const TmVec args_time = restriction_args(env_time, parent->x0, x0, true);
-
-    const bool was_recording = recording;
-    while (step < parent->periods.size() && step < spec_.steps &&
-           recording == was_recording) {
-      const TmSymbolicPrefix::Period& period = parent->periods[step];
-
-      IVec period_hull;
-      std::vector<TmVec> tube_rec;
-      if (recording) tube_rec.reserve(period.tube.size());
-      for (std::size_t sub = 0; sub < period.tube.size(); ++sub) {
-        TmVec restricted(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          restricted[i] = restrict_tm(env_time, period.tube[sub][i],
-                                      args_time);
-        }
-        const IVec range = taylor::tm_vec_range(env_time, restricted);
-        period_hull =
-            (sub == 0) ? range : interval::hull(period_hull, range);
-        if (recording) tube_rec.push_back(std::move(restricted));
-      }
-
-      TmVec x_end(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        x_end[i] = restrict_tm(env, period.at_end[i], args_set);
-      }
-      x = std::move(x_end);
-      ++step;
-
-      const int status = finish_period(period_hull, std::move(tube_rec));
-      if (status != 0) return fp;
-    }
   }
 
-  // --- Taylor-model integration ------------------------------------------
-  TmStepResult sr;  // persistent across steps so its buffers stay warm
-  for (; step < spec_.steps; ++step) {
-    const TmVec u = abs_->abstract(env, x, ctrl);
+  // One replayed period: a polynomial composition of the parent's recorded
+  // models instead of a Picard fixpoint + remainder validation.
+  void replay_period() {
+    const TmSymbolicPrefix::Period& period = parent->periods[step];
 
     IVec period_hull;
     std::vector<TmVec> tube_rec;
-    if (recording) tube_rec.reserve(opt_.substeps);
-    for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
-      tm_integrate_step(env, x, u, *dynamics_, h, opt_, sr);
+    if (recording) tube_rec.reserve(period.tube.size());
+    for (std::size_t sub = 0; sub < period.tube.size(); ++sub) {
+      TmVec restricted(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        restricted[i] = restrict_tm(env_time, period.tube[sub][i], args_time);
+      }
+      const IVec range = taylor::tm_vec_range(env_time, restricted);
+      period_hull = (sub == 0) ? range : interval::hull(period_hull, range);
+      if (recording) tube_rec.push_back(std::move(restricted));
+    }
+
+    TmVec x_end(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_end[i] = restrict_tm(env, period.at_end[i], args_set);
+    }
+    x = std::move(x_end);
+    ++step;
+
+    if (finish_period(period_hull, std::move(tube_rec)) != 0) done = true;
+  }
+
+  // Encloses one substep's deviation transport for the symbolic remainder
+  // queue. Bootstrap containment argument: guess an a-priori deviation box
+  // D = [-d, d]^n with d = kappa * |Q|_inf, enclose J = df/dx over
+  // (tube + D) x U, and accept iff A_tube * Q lands strictly inside D,
+  // where A_tube = exp([0, h] J) encloses the transition matrix of the
+  // variational equation for every partial time. Acceptance proves the
+  // offset trajectories never leave tube + D (first-exit contradiction),
+  // which is what makes J — and hence both transports — sound. This is the
+  // queue's per-step containment test; on failure kappa escalates, and if
+  // no kappa works the caller concretizes the queue and redoes the substep
+  // conventionally (always sound, merely looser).
+  //
+  // On success: a_step = exp(h J) (endpoint transport, applied to the
+  // queue), q_tube = A_tube * Q (the deviation enclosure over the substep).
+  bool step_transport(const IVec& tube, const IVec& u_rng, IVec& q_tube) {
+    const IVec& q = srq.box();
+    double qmax = 0.0;
+    for (std::size_t i = 0; i < n; ++i) qmax = std::max(qmax, q[i].mag());
+    if (qmax == 0.0) {
+      a_step = sym::IMat::identity(n);
+      q_tube = IVec(n);
+      return true;
+    }
+    const std::uint32_t terms = v->opt_.order + 2;
+    const std::size_t m = u_rng.size();
+    IVec xu(n + m);
+    for (std::size_t k = 0; k < m; ++k) xu[n + k] = u_rng[k];
+    for (double kappa = 2.0; kappa <= 512.0; kappa *= 4.0) {
+      const double dmag = (Interval(kappa) * Interval(qmax)).hi();
+      const Interval d = Interval::symmetric(dmag);
+      for (std::size_t i = 0; i < n; ++i) xu[i] = tube[i] + d;
+      if (!v->dynamics_->state_jacobian(xu, jac)) return false;
+      // A larger kappa only grows the Jacobian domain, so once the series
+      // tail diverges escalation cannot recover.
+      if (!sym::imat_exp(jac, Interval(0.0, h), terms, a_tube)) return false;
+      sym::imat_apply(a_tube, q, q_tube);
+      bool inside = true;
+      for (std::size_t i = 0; i < n && inside; ++i) {
+        inside = q_tube[i].lo() > -dmag && q_tube[i].hi() < dmag;
+      }
+      if (!inside) continue;
+      return sym::imat_exp(jac, Interval(h), terms, a_step);
+    }
+    return false;
+  }
+
+  // One integrated period under the symbolic remainder queue: the state
+  // models stay remainder-free and deviations ride in `srq` (DESIGN.md
+  // §12). Structure mirrors integrate_period below.
+  void integrate_period_sym() {
+    // Move any incoming interval remainder (a replay restriction, the
+    // conventional fallback below) out of the TM channel.
+    {
+      IVec incoming(n);
+      bool any = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        incoming[i] = x[i].rem;
+        x[i].rem = Interval(0.0);
+        any = any || incoming[i].lo() != 0.0 || incoming[i].hi() != 0.0;
+      }
+      if (any) srq.push(incoming);
+    }
+
+    // The controller must see the full enclosure, queue included.
+    TmVec x_ctrl = x;
+    for (std::size_t i = 0; i < n; ++i) x_ctrl[i].rem += srq.box()[i];
+    const TmVec u = v->abs_->abstract(env, x_ctrl, *ctrl);
+    const IVec u_rng = taylor::tm_vec_range(env, u);
+
+    IVec period_hull;
+    std::vector<TmVec> tube_rec;
+    if (recording) tube_rec.reserve(v->opt_.substeps);
+    sr.want_tube_tm = recording;
+    for (std::size_t sub = 0; sub < v->opt_.substeps; ++sub) {
+      tm_integrate_step(env, x, u, *v->dynamics_, h, v->opt_, sr);
       if (!sr.ok) {
         fp.valid = false;
         fp.failure = sr.failure;
-        return fp;
+        done = true;
+        return;
+      }
+
+      IVec q_tube(n);
+      if (!srq.empty()) {
+        if (step_transport(sr.tube_range, u_rng, q_tube)) {
+          srq.transport(a_step);
+        } else {
+          // Transport unavailable (dynamics norm beyond the tail bound):
+          // concretize the queue into the step input and redo this substep
+          // conventionally. Sound — the queue box is exactly the interval
+          // remainder the conventional path would have carried.
+          for (std::size_t i = 0; i < n; ++i) x[i].rem += srq.box()[i];
+          srq.clear();
+          q_tube = IVec(n);
+          tm_integrate_step(env, x, u, *v->dynamics_, h, v->opt_, sr);
+          if (!sr.ok) {
+            fp.valid = false;
+            fp.failure = sr.failure;
+            done = true;
+            return;
+          }
+        }
+      }
+
+      IVec tube_eff = sr.tube_range;
+      tube_eff += q_tube;
+      period_hull =
+          (sub == 0) ? tube_eff : interval::hull(period_hull, tube_eff);
+      std::swap(x, sr.at_end);
+
+      // Strip this substep's validated local remainder into the queue.
+      {
+        IVec rloc(n);
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          rloc[i] = x[i].rem;
+          x[i].rem = Interval(0.0);
+          any = any || rloc[i].lo() != 0.0 || rloc[i].hi() != 0.0;
+        }
+        if (any) srq.push(rloc);
+      }
+
+      if (recording) {
+        // Materialize the transported deviation so the recorded tube
+        // stands alone for child restriction.
+        for (std::size_t i = 0; i < n; ++i) sr.tube_tm[i].rem += q_tube[i];
+        tube_rec.push_back(std::move(sr.tube_tm));
+      }
+    }
+    ++step;
+
+    if (finish_period(period_hull, std::move(tube_rec)) != 0) done = true;
+  }
+
+  // One integrated period: controller abstraction + validated substeps.
+  void integrate_period() {
+    if (sym_on) {
+      integrate_period_sym();
+      return;
+    }
+    const TmVec u = v->abs_->abstract(env, x, *ctrl);
+
+    IVec period_hull;
+    std::vector<TmVec> tube_rec;
+    if (recording) tube_rec.reserve(v->opt_.substeps);
+    sr.want_tube_tm = recording;  // the tube models only feed the prefix
+    for (std::size_t sub = 0; sub < v->opt_.substeps; ++sub) {
+      tm_integrate_step(env, x, u, *v->dynamics_, h, v->opt_, sr);
+      if (!sr.ok) {
+        fp.valid = false;
+        fp.failure = sr.failure;
+        done = true;
+        return;
       }
       period_hull = (sub == 0) ? sr.tube_range
                                : interval::hull(period_hull, sr.tube_range);
       std::swap(x, sr.at_end);
       if (recording) tube_rec.push_back(std::move(sr.tube_tm));
     }
+    ++step;
 
-    const int status = finish_period(period_hull, std::move(tube_rec));
-    if (status != 0) return fp;
+    if (finish_period(period_hull, std::move(tube_rec)) != 0) done = true;
   }
-  return fp;
+
+  // Advances the cell by one control period. Replay ends at the parent's
+  // recorded horizon or as soon as the (restricted) state re-initializes,
+  // whichever comes first; integration resumes from the restricted
+  // symbolic state (branch-and-refine reuse, DESIGN.md §8).
+  void advance_period() {
+    if (done) return;
+    if (replaying) {
+      if (step < parent->periods.size() && step < v->spec_.steps &&
+          recording == was_recording) {
+        replay_period();
+        return;
+      }
+      replaying = false;
+    }
+    if (step >= v->spec_.steps) {
+      done = true;
+      return;
+    }
+    integrate_period();
+  }
+};
+
+Flowpipe TmVerifier::run(const geom::Box& x0, const nn::Controller& ctrl,
+                         TmSymbolicPrefix* record,
+                         const TmSymbolicPrefix* parent) const {
+  Lane lane;
+  lane.start(*this, x0, ctrl, record, parent, /*stream=*/false);
+  while (!lane.done) lane.advance_period();
+  return std::move(lane.fp);
+}
+
+std::vector<TmComputeResult> TmVerifier::run_batch(
+    const std::vector<TmBatchJob>& jobs, bool symbolic, std::size_t width,
+    std::size_t threads) const {
+  const std::size_t count = jobs.size();
+  std::vector<TmComputeResult> out(count);
+  if (count == 0) return out;
+  if (width == 0) width = interval::lanes::kWidth;
+
+  // One shard = one lane pool run by the single-threaded lockstep loop over
+  // a contiguous slice of the jobs. Cells are mutually independent and every
+  // lane owns its env/scratch, so the shard boundaries (like the lane
+  // round-robin order) are bit-invisible; results land in index-addressed
+  // slots, making `threads = 1` and `threads = N` bit-identical.
+  std::vector<std::shared_ptr<TmSymbolicPrefix>> prefixes(count);
+  const auto run_shard = [&](std::size_t first, std::size_t last) {
+    const std::size_t w = std::min(last - first, width);
+    std::vector<Lane> lanes(w);
+    std::vector<std::ptrdiff_t> cell(w, -1);  // job index per lane, -1 idle
+    std::size_t next = first;
+
+    const auto feed = [&](std::size_t l) {
+      if (next >= last) {
+        cell[l] = -1;
+        return;
+      }
+      const std::size_t j = next++;
+      cell[l] = static_cast<std::ptrdiff_t>(j);
+      TmSymbolicPrefix* rec = nullptr;
+      if (symbolic) {
+        prefixes[j] = std::make_shared<TmSymbolicPrefix>();
+        prefixes[j]->x0 = jobs[j].x0;
+        rec = prefixes[j].get();
+      }
+      lanes[l].start(*this, jobs[j].x0, *jobs[j].ctrl, rec, jobs[j].parent,
+                     /*stream=*/true);
+    };
+    for (std::size_t l = 0; l < w; ++l) feed(l);
+
+    // Period-granular lockstep: each round advances every live lane by one
+    // control period; a lane that retires its cell (goal stop, divergence,
+    // step failure, or horizon) hands its warm context to the next
+    // unstarted cell. The round-robin order is irrelevant to results —
+    // lanes share no bit-visible state.
+    bool live = true;
+    while (live) {
+      live = false;
+      for (std::size_t l = 0; l < w; ++l) {
+        if (cell[l] < 0) continue;
+        lanes[l].advance_period();
+        if (lanes[l].done) {
+          const std::size_t j = static_cast<std::size_t>(cell[l]);
+          out[j].fp = std::move(lanes[l].fp);
+          if (symbolic && prefixes[j] && !prefixes[j]->periods.empty()) {
+            out[j].prefix = std::move(prefixes[j]);
+          }
+          feed(l);
+        }
+        live = live || cell[l] >= 0;
+      }
+    }
+  };
+
+  // Shards no smaller than a full lane pool: splitting below `width` would
+  // only strand lanes, not add parallelism.
+  const std::size_t t = std::min(parallel::resolve_threads(threads),
+                                 (count + width - 1) / width);
+  if (t <= 1) {
+    run_shard(0, count);
+    return out;
+  }
+  const std::size_t shard = (count + t - 1) / t;
+  parallel::parallel_for(t, t, [&](std::size_t k) {
+    const std::size_t first = k * shard;
+    const std::size_t last = std::min(count, first + shard);
+    if (first < last) run_shard(first, last);
+  });
+  return out;
+}
+
+std::vector<Flowpipe> TmVerifier::compute_batch(
+    const geom::Box* x0s, const nn::Controller* const* ctrls,
+    std::size_t count, std::size_t width, std::size_t threads) const {
+  std::vector<TmBatchJob> jobs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs[i] = TmBatchJob{x0s[i], ctrls[i], nullptr};
+  }
+  std::vector<TmComputeResult> rs =
+      run_batch(jobs, /*symbolic=*/false, width, threads);
+  std::vector<Flowpipe> out;
+  out.reserve(count);
+  for (TmComputeResult& r : rs) out.push_back(std::move(r.fp));
+  return out;
+}
+
+std::vector<TmComputeResult> TmVerifier::compute_symbolic_batch(
+    const std::vector<TmBatchJob>& jobs, std::size_t width,
+    std::size_t threads) const {
+  return run_batch(jobs, /*symbolic=*/true, width, threads);
 }
 
 }  // namespace dwv::reach

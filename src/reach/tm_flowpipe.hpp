@@ -47,6 +47,21 @@ struct TmReachOptions {
   /// computed from the same cached power tables — sound and at least as
   /// tight, but results are only containment-comparable (DESIGN.md §10).
   poly::RangeMode range_mode = poly::RangeMode::kSeedIdentical;
+  /// Flow*-style symbolic remainder queue (DESIGN.md §12): keep validated
+  /// step remainders OUT of the Taylor-model channel as a queue of
+  /// (transport matrix, local remainder) pairs, transported through an
+  /// interval enclosure of each step's state sensitivity and concretized
+  /// only where boxes are needed. Sound and typically tighter than the
+  /// default interval-remainder transport (it preserves the rotation
+  /// structure box hulls destroy), but results are only
+  /// containment-comparable with queue-off runs — hence off by default and
+  /// salted into cache keys. Requires dynamics with `state_jacobian`
+  /// (polynomial vector fields); silently off otherwise.
+  bool symbolic_remainder = false;
+  /// Queue capacity before a flush-to-interval (compare ReachNN's
+  /// setQueueSize(1000)). Larger keeps more structure; each queued entry
+  /// costs one n-by-n interval matrix product per step.
+  std::size_t sym_queue_size = 1000;
 };
 
 /// One validated integration step: enclosure over [0, h] and at t = h.
@@ -57,6 +72,10 @@ struct TmStepResult {
   /// the functional enclosure `tube_range` is the box hull of. Kept so the
   /// branch-and-refine prefix reuse can restrict them to sub-domains.
   taylor::TmVec tube_tm;
+  /// Input flag: when false, the step skips materializing `tube_tm`
+  /// (leaving it untouched) — for drivers that are not recording a
+  /// symbolic prefix. Everything else is unaffected.
+  bool want_tube_tm = true;
   bool ok = false;
   std::string failure;
 };
@@ -120,6 +139,15 @@ struct TmComputeResult {
   std::shared_ptr<const TmSymbolicPrefix> prefix;
 };
 
+/// One cell of a batched TM computation: an initial box, its controller,
+/// and (optionally) a parent prefix to replay, exactly as in
+/// `compute_symbolic`.
+struct TmBatchJob {
+  geom::Box x0;
+  const nn::Controller* ctrl = nullptr;
+  const TmSymbolicPrefix* parent = nullptr;
+};
+
 /// Verifier built on the TM flowpipe.
 class TmVerifier final : public Verifier {
  public:
@@ -154,10 +182,45 @@ class TmVerifier final : public Verifier {
       const geom::Box& x0, const nn::Controller& ctrl,
       const TmSymbolicPrefix* parent = nullptr) const;
 
+  /// Lockstep-batched `compute`: pushes `count` sibling cells through the
+  /// integrator period-by-period over a pool of `width` lanes (0 picks
+  /// `interval::lanes::kWidth`). Each lane owns a persistent TmEnv/scratch
+  /// with its hot range-bounding domains pinned (poly::RangeEngine
+  /// streaming profile), so a batch pays the per-cell allocation and
+  /// power-table cold start once per lane instead of once per cell; a lane
+  /// that retires its cell picks up the next unstarted one with warm
+  /// buffers. Results are bit-identical to per-cell `compute` at every
+  /// width, count, and lane backend (including ragged tails and
+  /// DWV_LANES=scalar): cross-cell lane state is limited to scratch
+  /// buffers every step overwrites and the range engine, whose caching is
+  /// bit-invisible by contract (DESIGN.md §10).
+  ///
+  /// `threads` shards the cells into contiguous lane pools run by
+  /// `parallel::parallel_for` (0 = auto via `DWV_THREADS`; default 1 keeps
+  /// the driver on the calling thread for callers that parallelize above
+  /// it). Cells are independent and results land in index-addressed slots,
+  /// so every thread count produces the same bits.
+  std::vector<Flowpipe> compute_batch(const geom::Box* x0s,
+                                      const nn::Controller* const* ctrls,
+                                      std::size_t count, std::size_t width = 0,
+                                      std::size_t threads = 1) const;
+
+  /// Batched `compute_symbolic`: same lockstep driver, with per-cell prefix
+  /// recording and optional parent replay per job.
+  std::vector<TmComputeResult> compute_symbolic_batch(
+      const std::vector<TmBatchJob>& jobs, std::size_t width = 0,
+      std::size_t threads = 1) const;
+
  private:
+  struct Lane;  // per-lane driver state machine (tm_flowpipe.cpp)
+
   Flowpipe run(const geom::Box& x0, const nn::Controller& ctrl,
                TmSymbolicPrefix* record,
                const TmSymbolicPrefix* parent) const;
+
+  std::vector<TmComputeResult> run_batch(const std::vector<TmBatchJob>& jobs,
+                                         bool symbolic, std::size_t width,
+                                         std::size_t threads) const;
 
   ode::SystemPtr sys_;
   ode::ReachAvoidSpec spec_;

@@ -29,6 +29,20 @@ TaylorModel tm_add_const(const TaylorModel& a, double c) {
 
 void tm_truncate_inplace(const TmEnv& env, TaylorModel& tm) {
   TmScratch& s = env.scratch();
+  if (s.rem_tape.mode == RemTape::kReplay) {
+    // The poly (and hence its truncation tail) is bitwise-identical to the
+    // recorded pass, so the taped tail range is the exact value the sweep
+    // would recompute. The poly itself is left untouched.
+    tm.rem += s.rem_tape.next();
+    return;
+  }
+  if (s.poly_only) {
+    // The truncation itself is polynomial-channel work; only ranging the
+    // swept-away pieces feeds the (dead) remainder, so the sweeps fuse into
+    // one discard pass.
+    tm.poly.truncate_discard(env.order, env.cutoff);
+    return;
+  }
   tm.poly.split_by_degree_into(env.order, s.dropped);
   Interval extra(0.0);
   if (!s.dropped.is_zero()) extra += env.poly_range(s.dropped);
@@ -36,6 +50,7 @@ void tm_truncate_inplace(const TmEnv& env, TaylorModel& tm) {
     tm.poly.prune_small_into(env.cutoff, s.small);
     if (!s.small.is_zero()) extra += env.poly_range(s.small);
   }
+  if (s.rem_tape.mode == RemTape::kRecord) s.rem_tape.push(extra);
   tm.rem += extra;
 }
 
@@ -47,10 +62,28 @@ TaylorModel tm_truncate(const TmEnv& env, TaylorModel tm) {
 void tm_mul_into(const TmEnv& env, const TaylorModel& a, const TaylorModel& b,
                  TaylorModel& out) {
   assert(&out != &a && &out != &b);
+  TmScratch& s = env.scratch();
+  if (s.rem_tape.mode == RemTape::kReplay) {
+    const Interval ra = s.rem_tape.next();
+    const Interval rb = s.rem_tape.next();
+    out.rem = ra * b.rem + rb * a.rem + a.rem * b.rem;
+    tm_truncate_inplace(env, out);
+    return;
+  }
+  if (s.poly_only) {
+    Poly::mul_into(a.poly, b.poly, out.poly, s.pscratch);
+    out.rem = Interval(0.0);
+    tm_truncate_inplace(env, out);
+    return;
+  }
   // (pa + Ia)(pb + Ib) = pa pb + pa Ib + pb Ia + Ia Ib.
-  Poly::mul_into(a.poly, b.poly, out.poly, env.scratch().pscratch);
+  Poly::mul_into(a.poly, b.poly, out.poly, s.pscratch);
   const Interval ra = env.poly_range(a.poly);
   const Interval rb = env.poly_range(b.poly);
+  if (s.rem_tape.mode == RemTape::kRecord) {
+    s.rem_tape.push(ra);
+    s.rem_tape.push(rb);
+  }
   out.rem = ra * b.rem + rb * a.rem + a.rem * b.rem;
   tm_truncate_inplace(env, out);
 }
@@ -66,12 +99,18 @@ void tm_pow_into(const TmEnv& env, const TaylorModel& a, std::uint32_t n,
                  TaylorModel& out) {
   assert(&out != &a);
   TmScratch& s = env.scratch();
+  // In replay mode the copies below move only the remainder: the poly
+  // channel is never read (tm_mul_into takes its operand ranges from the
+  // tape) and output polys are dead.
+  const bool rp = s.rem_tape.mode == RemTape::kReplay;
   switch (n) {
     case 0:
-      out.assign_constant(env.nvars(), 1.0);
+      if (rp) out.rem = Interval(0.0);
+      else out.assign_constant(env.nvars(), 1.0);
       return;
     case 1:
-      out = a;
+      if (rp) out.rem = a.rem;
+      else out = a;
       return;
     case 2:
       tm_mul_into(env, a, a, out);
@@ -85,13 +124,15 @@ void tm_pow_into(const TmEnv& env, const TaylorModel& a, std::uint32_t n,
       break;
   }
   // Square-and-multiply; tm_mul truncates, so each squaring is truncated.
-  s.pow_base = a;
+  if (rp) s.pow_base.rem = a.rem;
+  else s.pow_base = a;
   bool has_r = false;
   std::uint32_t k = n;
   while (k > 0) {
     if (k & 1u) {
       if (!has_r) {
-        out = s.pow_base;
+        if (rp) out.rem = s.pow_base.rem;
+        else out = s.pow_base;
         has_r = true;
       } else {
         tm_mul_into(env, out, s.pow_base, s.pow_tmp);
@@ -120,18 +161,29 @@ void tm_eval_poly_into(const TmEnv& env, const poly::Poly& f,
                        const TmVec& args, TaylorModel& out) {
   assert(f.nvars() == args.size());
   TmScratch& s = env.scratch();
-  s.acc.assign_constant(env.nvars(), 0.0);
+  // Replay: same op sequence (f's terms and exponents fix the loop shape),
+  // remainder arithmetic only; the poly adds are dead in replay because
+  // every consumer takes its poly-derived constants from the tape.
+  const bool rp = s.rem_tape.mode == RemTape::kReplay;
+  if (rp) s.acc.rem = Interval(0.0);
+  else s.acc.assign_constant(env.nvars(), 0.0);
   for (const auto& [key, c] : f.terms()) {
-    s.term.assign_constant(env.nvars(), c);
+    if (rp) s.term.rem = Interval(0.0);
+    else s.term.assign_constant(env.nvars(), c);
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::uint32_t e = poly::key_exp(key, f.nvars(), i);
-      if (e > 0) {
+      if (e == 1) {
+        // a^1 is a; multiplying by the argument directly skips tm_pow's
+        // copy of it (the mul reads the same operand values either way).
+        tm_mul_into(env, s.term, args[i], s.mul_out);
+        std::swap(s.term, s.mul_out);
+      } else if (e > 1) {
         tm_pow_into(env, args[i], e, s.pow_out);
         tm_mul_into(env, s.term, s.pow_out, s.mul_out);
         std::swap(s.term, s.mul_out);
       }
     }
-    Poly::add_into(s.acc.poly, s.term.poly, s.add_out.poly);
+    if (!rp) Poly::add_into(s.acc.poly, s.term.poly, s.add_out.poly);
     s.add_out.rem = s.acc.rem + s.term.rem;
     std::swap(s.acc, s.add_out);
   }
@@ -150,6 +202,12 @@ void tm_integrate_time_into(const TmEnv& env, const TaylorModel& tm,
                             std::size_t time_var, TaylorModel& out) {
   assert(time_var < env.nvars());
   assert(&out != &tm);
+  if (env.scratch().rem_tape.mode == RemTape::kReplay) {
+    const double rtmax = env.dom[time_var].mag();
+    out.rem = interval::hull(Interval(0.0), tm.rem * Interval(rtmax));
+    tm_truncate_inplace(env, out);
+    return;
+  }
   const std::size_t nv = tm.poly.nvars();
   out.poly.reset(nv);
   const std::uint64_t unit = 1ull << poly::key_shift(nv, time_var);
@@ -167,8 +225,12 @@ void tm_integrate_time_into(const TmEnv& env, const TaylorModel& tm,
     out.poly.push_term(key + unit, q);
   }
   // integral_0^tau e dtau' for |tau| <= tmax: contained in hull(0, rem*tmax).
-  const double tmax = env.dom[time_var].mag();
-  out.rem = interval::hull(Interval(0.0), tm.rem * Interval(tmax));
+  if (env.scratch().poly_only) {
+    out.rem = Interval(0.0);
+  } else {
+    const double tmax = env.dom[time_var].mag();
+    out.rem = interval::hull(Interval(0.0), tm.rem * Interval(tmax));
+  }
   tm_truncate_inplace(env, out);
 }
 
@@ -210,6 +272,36 @@ TaylorModel tm_subst_var(const TmEnv& env, const TaylorModel& tm,
   TaylorModel r;
   tm_subst_var_into(env, tm, var, c, r);
   return r;
+}
+
+void tm_subst_last_into(const TmEnv& env, const TaylorModel& tm, double c,
+                        TaylorModel& out) {
+  const std::size_t nv = tm.poly.nvars();
+  assert(nv >= 1);
+  assert(env.dom[nv - 1].contains(c) && "substitution outside domain");
+  assert(&out != &tm);
+  const std::size_t new_nv = nv - 1;
+  out.poly.reset(new_nv);
+  poly::PolyScratch& ps = env.scratch().pscratch;
+  std::vector<poly::Term>& buf = ps.prod;
+  buf.clear();
+  const std::uint32_t new_bits = poly::key_bits(new_nv);
+  for (const auto& [key, coeff] : tm.poly.terms()) {
+    // Same repeated-multiplication power as tm_subst_var_into.
+    double scale = 1.0;
+    const std::uint32_t e = poly::key_exp(key, nv, nv - 1);
+    for (std::uint32_t k = 0; k < e; ++k) scale *= c;
+    // Re-pack without the substituted (least significant) field. Dropping a
+    // field widens the per-field layout, so no exponent can overflow.
+    std::uint64_t k2 = 0;
+    for (std::size_t i = 0; i < new_nv; ++i) {
+      k2 = (k2 << new_bits) |
+           static_cast<std::uint64_t>(poly::key_exp(key, nv, i));
+    }
+    buf.push_back({k2, coeff * scale});
+  }
+  Poly::coalesce_into(buf, out.poly);
+  out.rem = tm.rem;
 }
 
 double tm_eval_mid(const TaylorModel& tm, const linalg::Vec& x) {

@@ -101,6 +101,44 @@ struct TaylorModel {
 /// Vector of Taylor models (one per state/output dimension).
 using TmVec = std::vector<TaylorModel>;
 
+/// Remainder-replay tape (DESIGN.md section 12). Every interval constant a
+/// TM kernel's remainder formula consumes — operand poly ranges in
+/// tm_mul_into, truncation-tail ranges in tm_truncate_inplace — depends
+/// only on the polynomial channel, never on the input remainders. So when
+/// a computation is re-run with bitwise-identical polynomials and only
+/// different remainders (the Picard validation loop does exactly this),
+/// one recorded pass captures those constants and later passes replay the
+/// remainder arithmetic from the tape, skipping polynomial multiplication
+/// and range bounding entirely. The replay executes the same interval-op
+/// sequence a full evaluation would, with the same operand values, so the
+/// results are bit-identical by construction.
+///
+/// Kernels leave the output polynomial untouched in replay mode; the
+/// driver is responsible for materializing any output poly it still needs
+/// (reach::tm_integrate_step copies the converged fixpoint polynomial).
+struct RemTape {
+  enum Mode : int { kOff = 0, kRecord = 1, kReplay = 2 };
+  /// Opt-in switch read by reach::tm_integrate_step (set by streaming
+  /// drivers such as TmVerifier's lockstep lane pool); the kernels only
+  /// look at `mode`.
+  bool enabled = false;
+  int mode = kOff;
+  std::vector<interval::Interval> consts;
+  std::size_t pos = 0;  ///< replay cursor
+
+  void start_record() {
+    consts.clear();
+    mode = kRecord;
+  }
+  void start_replay() {
+    pos = 0;
+    mode = kReplay;
+  }
+  void stop() { mode = kOff; }
+  void push(interval::Interval v) { consts.push_back(v); }
+  interval::Interval next() { return consts[pos++]; }
+};
+
 /// Reusable buffers for allocation-free TM arithmetic. Owned by a TmEnv and
 /// handed to every `*_into` kernel through env.scratch(). Buffer ownership
 /// is static (each kernel touches a fixed, disjoint subset — see DESIGN.md
@@ -134,6 +172,23 @@ struct TmScratch {
   TaylorModel diff;
   TaylorModel subst;
 
+  /// Remainder-replay tape shared by the TM kernels (record/replay of the
+  /// remainder-channel constants; see RemTape).
+  RemTape rem_tape;
+  /// When set, the TM kernels compute only the polynomial channel: the
+  /// remainder arithmetic — and, crucially, the range queries feeding it —
+  /// is skipped and output remainders are zeroed. Sound only while the
+  /// remainders are dead (the Picard polynomial-fixpoint passes, which
+  /// zero them between passes) AND the dynamics' polynomial outputs never
+  /// read remainders (TmDynamics::replay_safe); the polynomial bits are
+  /// unchanged either way.
+  bool poly_only = false;
+  /// Streaming lanes: Picard pass index at which the polynomial fixpoint
+  /// converged on the previous step. Structural (the tau-degree saturates
+  /// at the order), so it is a near-perfect predictor of where remainder
+  /// recording has to start; 0 until first observed (record everything).
+  std::size_t conv_pred = 0;
+
   // Flowpipe-step workspace (reach::tm_integrate_step).
   TmVec x0;
   TmVec u;
@@ -146,6 +201,10 @@ struct TmScratch {
   TmVec validated;
   std::vector<interval::Interval> rem_j;
   std::vector<interval::Interval> d_range;
+  /// Per-component range of the defect polynomial P(cand)_i - cand_i.poly;
+  /// fixed across validation attempts (only the remainder guess changes),
+  /// so streaming lanes compute it once per step and reuse it.
+  std::vector<interval::Interval> diff_poly_range;
 
   /// The step's time-extended environment; its scratch borrows from the
   /// owner env's (aliasing pointer — no ownership cycle).
@@ -220,6 +279,16 @@ TaylorModel tm_subst_var(const TmEnv& env, const TaylorModel& tm,
 /// In-place substitution: out must not alias tm.
 void tm_subst_var_into(const TmEnv& env, const TaylorModel& tm,
                        std::size_t var, double c, TaylorModel& out);
+
+/// Fused tm_subst_var(last var, c) + Poly::drop_last_var_into: substitutes
+/// the last variable at `c` and re-encodes the result over nvars-1
+/// variables in one term walk. Bit-identical to the two-step sequence
+/// (clearing the least-significant field keeps the term stream sorted, and
+/// the re-pack to the wider per-field layout is order- and
+/// equality-preserving, so the coalesce sees the same adjacency). out must
+/// not alias tm; out's poly gets tm.poly.nvars() - 1 variables.
+void tm_subst_last_into(const TmEnv& env, const TaylorModel& tm, double c,
+                        TaylorModel& out);
 
 /// Point evaluation of the polynomial part (center of the enclosure).
 double tm_eval_mid(const TaylorModel& tm, const linalg::Vec& x);

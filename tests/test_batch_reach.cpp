@@ -19,6 +19,7 @@
 #include "interval/lanes.hpp"
 #include "nn/controller.hpp"
 #include "ode/benchmarks.hpp"
+#include "ode/expr_system.hpp"
 #include "parallel/work_steal.hpp"
 #include "poly/range_engine.hpp"
 #include "reach/batch.hpp"
@@ -266,6 +267,242 @@ TEST(BatchVerifier, CacheStatsMatchScalarSequence) {
   EXPECT_EQ(sgot.misses, sref.misses);
   EXPECT_EQ(sgot.insertions, sref.insertions);
   EXPECT_EQ(sgot.evictions, sref.evictions);
+}
+
+// --- TmVerifier lockstep batch vs scalar compute --------------------------
+
+reach::TmVerifier osc_tm_verifier(const ode::Benchmark& bm,
+                                  const reach::TmReachOptions& opt = {}) {
+  return reach::TmVerifier(bm.system, bm.spec,
+                           std::make_shared<reach::PolarAbstraction>(), opt);
+}
+
+void tm_batch_matches_scalar(bool force_scalar, bool symbolic_remainder) {
+  ForceScalarGuard g(force_scalar);
+  auto bm = ode::make_oscillator_benchmark();
+  bm.spec.steps = 6;
+  bm.spec.stop_at_goal = false;
+  const auto ctrl = osc_mlp();
+  reach::TmReachOptions opt;
+  opt.symbolic_remainder = symbolic_remainder;
+  const reach::TmVerifier v = osc_tm_verifier(bm, opt);
+  for (std::size_t count : {1ul, 3ul, 4ul, 13ul}) {
+    const std::vector<geom::Box> cells = varied_cells(bm.spec.x0, count);
+    std::vector<reach::Flowpipe> ref;
+    std::vector<const nn::Controller*> ctrls;
+    for (const geom::Box& c : cells) {
+      ref.push_back(v.compute(c, ctrl));
+      ctrls.push_back(&ctrl);
+    }
+    for (std::size_t width : {0ul, 1ul, 4ul}) {
+      const std::vector<reach::Flowpipe> got =
+          v.compute_batch(cells.data(), ctrls.data(), count, width);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        expect_flowpipe_eq(got[i], ref[i]);
+    }
+  }
+}
+
+TEST(TmBatch, FlowpipesBitIdenticalSimd) {
+  tm_batch_matches_scalar(false, false);
+}
+
+TEST(TmBatch, FlowpipesBitIdenticalForcedScalar) {
+  tm_batch_matches_scalar(true, false);
+}
+
+TEST(TmBatch, FlowpipesBitIdenticalSymbolicRemainder) {
+  tm_batch_matches_scalar(false, true);
+}
+
+// Thread sharding must not change bits: cells land in index-addressed
+// slots regardless of which pool integrates them.
+TEST(TmBatch, ThreadCountBitIdentical) {
+  auto bm = ode::make_oscillator_benchmark();
+  bm.spec.steps = 6;
+  bm.spec.stop_at_goal = false;
+  const auto ctrl = osc_mlp();
+  const reach::TmVerifier v = osc_tm_verifier(bm);
+  const std::vector<geom::Box> cells = varied_cells(bm.spec.x0, 9);
+  std::vector<const nn::Controller*> ctrls(cells.size(), &ctrl);
+  const std::vector<reach::Flowpipe> ref =
+      v.compute_batch(cells.data(), ctrls.data(), cells.size(), 4, 1);
+  for (std::size_t threads : {2ul, 4ul}) {
+    const std::vector<reach::Flowpipe> got =
+        v.compute_batch(cells.data(), ctrls.data(), cells.size(), 4, threads);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      expect_flowpipe_eq(got[i], ref[i]);
+  }
+}
+
+// Ragged-tail audit: a goal-stopped cell retires its lane after one
+// period, the lane picks up a tail cell with warm buffers — the finished
+// short flowpipe must survive, and every neighbor must stay byte-identical
+// to the scalar runs.
+TEST(TmBatch, EarlyRetiredCellDoesNotClobberNeighbors) {
+  auto bm = ode::make_oscillator_benchmark();
+  bm.spec.steps = 6;
+  bm.spec.stop_at_goal = true;
+  const auto ctrl = osc_mlp();
+  const reach::TmVerifier v = osc_tm_verifier(bm);
+  std::vector<geom::Box> cells = varied_cells(bm.spec.x0, 6);
+  // Goal = [-0.05,0.05]^2: this cell stops at the first period.
+  cells.insert(cells.begin() + 2,
+               geom::Box{Interval(-0.01, 0.01), Interval(-0.01, 0.01)});
+  std::vector<reach::Flowpipe> ref;
+  std::vector<const nn::Controller*> ctrls;
+  for (const geom::Box& c : cells) {
+    ref.push_back(v.compute(c, ctrl));
+    ctrls.push_back(&ctrl);
+  }
+  ASSERT_LT(ref[2].step_sets.size(), ref[0].step_sets.size());
+  const std::vector<reach::Flowpipe> got =
+      v.compute_batch(cells.data(), ctrls.data(), cells.size(), 4);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    expect_flowpipe_eq(got[i], ref[i]);
+}
+
+// Restart-budget exhaustion mid-horizon: with a tightened divergence
+// bound, some cells die partway through the horizon while neighbors
+// finish. The dead cell's partial flowpipe (the PR 1 final_flowpipe
+// guard) and every survivor must match the scalar rerun bit for bit.
+TEST(TmBatch, ExhaustedCellMidHorizonMatchesScalar) {
+  auto bm = ode::make_oscillator_benchmark();
+  bm.spec.steps = 8;
+  bm.spec.stop_at_goal = false;
+  const auto ctrl = osc_mlp();
+  // Mixed positions: the x0-corner cells reach the 0.7 divergence bound
+  // mid-horizon (step ~4); the origin-adjacent cells (Van der Pol grows
+  // slowly near the unstable equilibrium) survive the full 8 steps.
+  const std::vector<geom::Box> cells{
+      geom::Box{Interval(-0.51, -0.49), Interval(0.49, 0.51)},
+      geom::Box{Interval(-0.02, -0.01), Interval(0.01, 0.02)},
+      geom::Box{Interval(-0.50, -0.495), Interval(0.50, 0.505)},
+      geom::Box{Interval(0.015, 0.025), Interval(-0.02, -0.01)},
+      geom::Box{Interval(-0.05, -0.04), Interval(0.04, 0.05)},
+  };
+  reach::TmReachOptions opt;
+  opt.divergence_bound = 0.7;
+  const reach::TmVerifier v = osc_tm_verifier(bm, opt);
+  std::vector<reach::Flowpipe> ref;
+  std::vector<const nn::Controller*> ctrls;
+  bool any_invalid_mid = false, any_valid = false;
+  for (const geom::Box& c : cells) {
+    ref.push_back(v.compute(c, ctrl));
+    ctrls.push_back(&ctrl);
+    if (!ref.back().valid && ref.back().step_sets.size() > 1)
+      any_invalid_mid = true;
+    if (ref.back().valid) any_valid = true;
+  }
+  // The mixed scenario must actually occur (a cell dying mid-horizon next
+  // to survivors) or the guard proves nothing.
+  ASSERT_TRUE(any_invalid_mid && any_valid);
+  for (std::size_t width : {2ul, 4ul}) {
+    const std::vector<reach::Flowpipe> got =
+        v.compute_batch(cells.data(), ctrls.data(), cells.size(), width);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      expect_flowpipe_eq(got[i], ref[i]);
+  }
+}
+
+// Cache-aware batching over the TM driver at a capacity SMALLER than the
+// batch, with intra-batch duplicate keys: the scalar lookup/insert/evict
+// stat transcript must be replayed exactly (the dropped-fallback bugfix).
+TEST(TmBatch, CacheStatsMatchScalarAtSmallCapacity) {
+  auto bm = ode::make_oscillator_benchmark();
+  bm.spec.steps = 5;
+  bm.spec.stop_at_goal = false;
+  const auto ctrl = osc_mlp();
+  std::vector<geom::Box> cells = varied_cells(bm.spec.x0, 5);
+  cells.push_back(cells[1]);  // intra-batch duplicate
+  cells.push_back(cells[3]);
+
+  const auto make = [&]() {
+    reach::FlowpipeCache::Config cfg;
+    cfg.capacity = 2;  // smaller than the batch width below
+    cfg.shards = 1;
+    return reach::CachingVerifier(
+        std::make_shared<reach::TmVerifier>(
+            bm.system, bm.spec, std::make_shared<reach::PolarAbstraction>(),
+            reach::TmReachOptions{}),
+        cfg);
+  };
+
+  const auto scalar_cv = make();
+  std::vector<reach::Flowpipe> ref;
+  for (const geom::Box& c : cells) ref.push_back(scalar_cv.compute(c, ctrl));
+  const reach::CacheStats sref = scalar_cv.cache()->stats();
+  EXPECT_GT(sref.evictions, 0u);
+
+  const auto batch_cv = make();
+  const reach::BatchVerifier bv(&batch_cv, 4);
+  ASSERT_TRUE(bv.batched());
+  const std::vector<reach::Flowpipe> got = bv.compute(cells, ctrl);
+  const reach::CacheStats sgot = batch_cv.cache()->stats();
+
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    expect_flowpipe_eq(got[i], ref[i]);
+  EXPECT_EQ(sgot.hits, sref.hits);
+  EXPECT_EQ(sgot.misses, sref.misses);
+  EXPECT_EQ(sgot.insertions, sref.insertions);
+  EXPECT_EQ(sgot.evictions, sref.evictions);
+}
+
+// compute_symbolic_batch with per-job parents: replayed children must
+// reproduce the sequential compute_symbolic replay bit for bit.
+TEST(TmBatch, SymbolicBatchPrefixReplayMatchesSequential) {
+  auto bm = ode::make_oscillator_benchmark();
+  bm.spec.steps = 6;
+  bm.spec.stop_at_goal = false;
+  const auto ctrl = osc_mlp();
+  const reach::TmVerifier v = osc_tm_verifier(bm);
+  const auto parent = v.compute_symbolic(bm.spec.x0, ctrl);
+  ASSERT_TRUE(parent.fp.valid) << parent.fp.failure;
+  ASSERT_NE(parent.prefix, nullptr);
+
+  const std::vector<geom::Box> cells = varied_cells(bm.spec.x0, 5);
+  std::vector<reach::TmBatchJob> jobs;
+  std::vector<reach::TmComputeResult> ref;
+  for (const geom::Box& c : cells) {
+    jobs.push_back({c, &ctrl, parent.prefix.get()});
+    ref.push_back(v.compute_symbolic(c, ctrl, parent.prefix.get()));
+  }
+  for (std::size_t width : {1ul, 3ul}) {
+    const std::vector<reach::TmComputeResult> got =
+        v.compute_symbolic_batch(jobs, width);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      expect_flowpipe_eq(got[i].fp, ref[i].fp);
+  }
+}
+
+// Expression-tree dynamics are not replay-safe: the batched driver must
+// keep the full remainder channel live for them and still match scalar.
+TEST(TmBatch, ExprDynamicsBatchMatchesScalar) {
+  auto bm = ode::make_pendulum_benchmark();
+  bm.spec.steps = 5;
+  bm.spec.stop_at_goal = false;
+  const nn::LinearController ctrl(linalg::Mat{{-1.0, -0.5}});
+  const reach::TmVerifier v(bm.system, bm.spec,
+                            std::make_shared<reach::LinearAbstraction>(),
+                            reach::TmReachOptions{});
+  const std::vector<geom::Box> cells = varied_cells(bm.spec.x0, 5);
+  std::vector<reach::Flowpipe> ref;
+  std::vector<const nn::Controller*> ctrls;
+  for (const geom::Box& c : cells) {
+    ref.push_back(v.compute(c, ctrl));
+    ctrls.push_back(&ctrl);
+  }
+  const std::vector<reach::Flowpipe> got =
+      v.compute_batch(cells.data(), ctrls.data(), cells.size(), 3);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    expect_flowpipe_eq(got[i], ref[i]);
 }
 
 // --- work-stealing search vs level-synchronous search --------------------

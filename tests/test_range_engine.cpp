@@ -356,6 +356,70 @@ TEST(RangeEngine, CenteredFormStepIsContainedInSeedStep) {
   }
 }
 
+// Pinned-domain streaming profile: identical bits to the classic path on
+// a randomized query stream mixing pinned, unpinned, and re-pinned
+// domains, in both range modes, with growth past the pre-extended cap.
+TEST(RangeEngine, PinnedDomainIsBitIdenticalToClassicPath) {
+  std::mt19937_64 rng(20260808);
+  for (const RangeMode mode :
+       {RangeMode::kSeedIdentical, RangeMode::kCenteredForm}) {
+    RangeEngine pinned;
+    RangeEngine classic;
+    const RangeOptions opt{mode};
+    const std::size_t nvars = 3;
+    IVec dom_a = random_domain(rng, nvars);
+    IVec dom_b = random_domain(rng, nvars);
+    pinned.pin_domain(dom_a, 2);  // low cap: forces mid-stream row growth
+    pinned.pin_domain(dom_b, 2);
+    for (int iter = 0; iter < 600; ++iter) {
+      const Poly p = random_poly(rng, nvars, 1 + rng() % 10, 1 + rng() % 5);
+      const IVec& dom = (rng() % 3 == 0) ? dom_b : dom_a;
+      const Interval a = pinned.eval_range(p, dom, opt);
+      const Interval b = classic.eval_range(p, dom, opt);
+      ASSERT_TRUE(bit_equal(a, b))
+          << "pinned drifted from classic at iter " << iter << ": " << a
+          << " vs " << b;
+      if (iter % 50 == 17) {
+        // Interleave an unpinned domain: must fall through unchanged and
+        // must not disturb the pins.
+        const IVec other = random_domain(rng, nvars);
+        ASSERT_TRUE(bit_equal(pinned.eval_range(p, other, opt),
+                              classic.eval_range(p, other, opt)));
+      }
+      if (iter == 300) {
+        // Mutate + re-pin: the pin must follow the new bits.
+        dom_a = random_domain(rng, nvars);
+        pinned.pin_domain(dom_a, 2);
+      }
+    }
+    EXPECT_GT(pinned.stats().pin_hits, 0u);
+    pinned.unpin_all();
+    const Poly p = random_poly(rng, nvars, 6, 3);
+    EXPECT_TRUE(bit_equal(pinned.eval_range(p, dom_a, opt),
+                          classic.eval_range(p, dom_a, opt)));
+  }
+}
+
+// Pinned tables are exempt from MRU eviction: churning through many
+// distinct domains must not invalidate a pin's table.
+TEST(RangeEngine, PinnedTableSurvivesTableChurn) {
+  std::mt19937_64 rng(42);
+  RangeEngine engine;
+  RangeEngine classic;
+  const std::size_t nvars = 2;
+  const IVec dom = random_domain(rng, nvars);
+  engine.pin_domain(dom, 4);
+  const Poly p = random_poly(rng, nvars, 8, 3);
+  const Interval expect = classic.eval_range(p, dom);
+  for (int churn = 0; churn < 20; ++churn) {
+    const IVec other = random_domain(rng, nvars);
+    (void)engine.eval_range(p, other);
+    ASSERT_TRUE(bit_equal(engine.eval_range(p, dom), expect));
+  }
+  const auto& st = engine.stats();
+  EXPECT_GE(st.pin_hits, 20u);
+}
+
 // Worker threads with copied TmEnvs own private engines (no sharing, no
 // races); run under TSan via the `parallel` ctest label.
 TEST(RangeEngine, CopiedEnvEnginesAreThreadPrivate) {

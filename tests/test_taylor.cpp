@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <random>
 
 #include "taylor/activations.hpp"
@@ -232,6 +234,54 @@ TEST(Activations, AffineCombination) {
   TmVec in{TaylorModel::variable(env, 0), TaylorModel::variable(env, 1)};
   const TaylorModel a = tm_affine(env, in, Vec{2.0, -1.0}, 0.5);
   EXPECT_NEAR(tm_eval_mid(a, Vec{0.3, 0.4}), 2.0 * 0.3 - 0.4 + 0.5, 1e-12);
+}
+
+// --- tm_pow dispatch boundary --------------------------------------------
+
+void expect_tm_bits(const TaylorModel& a, const TaylorModel& b) {
+  ASSERT_EQ(a.poly.terms().size(), b.poly.terms().size());
+  for (std::size_t i = 0; i < a.poly.terms().size(); ++i) {
+    EXPECT_EQ(a.poly.terms()[i].key, b.poly.terms()[i].key);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.poly.terms()[i].coeff),
+              std::bit_cast<std::uint64_t>(b.poly.terms()[i].coeff));
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.rem.lo()),
+            std::bit_cast<std::uint64_t>(b.rem.lo()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.rem.hi()),
+            std::bit_cast<std::uint64_t>(b.rem.hi()));
+}
+
+// Pins the documented dispatch (taylor_model.hpp): n <= 3 reproduces the
+// legacy repeated-multiplication chain bit for bit — n = 3 specifically
+// the LEFT-to-right ((a*a)*a), not square-and-multiply's a*(a*a), whose
+// operand order rounds differently — while n >= 4 is the documented
+// square-and-multiply form. Callers relying on the boundary:
+// tm_eval_poly_into (exponents >= 2 after the e == 1 elision) and
+// ExprTmDynamics powers (any n, including 0 and 1).
+TEST(TaylorModel, PowDispatchBoundaryBitIdentical) {
+  const TmEnv env = make_env(2);
+  TaylorModel a = tm_add_const(
+      tm_add(TaylorModel::variable(env, 0),
+             tm_scale(tm_mul(env, TaylorModel::variable(env, 0),
+                             TaylorModel::variable(env, 1)),
+                      0.25)),
+      0.3);
+  a.rem = Interval(-1e-3, 2e-3);  // asymmetric: order-sensitive rounding
+
+  const TaylorModel one = TaylorModel::constant(env, 1.0);
+  expect_tm_bits(tm_pow(env, a, 0), one);
+  expect_tm_bits(tm_pow(env, a, 1), a);
+
+  const TaylorModel sq = tm_mul(env, a, a);
+  expect_tm_bits(tm_pow(env, a, 2), sq);
+
+  const TaylorModel cube_legacy = tm_mul(env, sq, a);
+  expect_tm_bits(tm_pow(env, a, 3), cube_legacy);
+
+  // n = 4: (a^2)^2; n = 5: a * (a^2)^2 (square-and-multiply shapes).
+  const TaylorModel sq2 = tm_mul(env, sq, sq);
+  expect_tm_bits(tm_pow(env, a, 4), sq2);
+  expect_tm_bits(tm_pow(env, a, 5), tm_mul(env, a, sq2));
 }
 
 }  // namespace

@@ -48,20 +48,37 @@ def main(argv):
     checked = 0
     failed = False
     for key in sorted(baseline):
-        if not key.endswith("_speedup"):
-            continue
-        checked += 1
-        ref = baseline[key]
-        val = current.get(key)
-        if val is None:
-            print(f"FAIL {key}: missing from current results")
-            failed = True
-            continue
-        ok = val >= threshold * ref
-        mark = "ok  " if ok else "FAIL"
-        print(f"{mark} {key}: {val:.3f}x (baseline {ref:.3f}x, "
-              f"floor {threshold * ref:.3f}x)")
-        failed = failed or not ok
+        if key.endswith("_speedup"):
+            checked += 1
+            ref = baseline[key]
+            val = current.get(key)
+            if val is None:
+                print(f"FAIL {key}: missing from current results")
+                failed = True
+                continue
+            ok = val >= threshold * ref
+            mark = "ok  " if ok else "FAIL"
+            print(f"{mark} {key}: {val:.3f}x (baseline {ref:.3f}x, "
+                  f"floor {threshold * ref:.3f}x)")
+            failed = failed or not ok
+        elif key.endswith("_tightness_ratio"):
+            # Enclosure-width ratios (queued / conventional): smaller is
+            # tighter. Hard cap at 1.0 (the queued mode's contract), plus
+            # the same relative-regression guard as the speedups — the
+            # ratio may not creep up past baseline/threshold.
+            checked += 1
+            ref = baseline[key]
+            val = current.get(key)
+            if val is None:
+                print(f"FAIL {key}: missing from current results")
+                failed = True
+                continue
+            ceiling = min(1.0, ref / threshold)
+            ok = val <= ceiling
+            mark = "ok  " if ok else "FAIL"
+            print(f"{mark} {key}: {val:.3f} (baseline {ref:.3f}, "
+                  f"ceiling {ceiling:.3f})")
+            failed = failed or not ok
 
     if checked == 0:
         print("FAIL: baseline contains no *_speedup keys to check")

@@ -31,6 +31,12 @@
 //                             the per-phase timing split (implies --cache)
 //   --reuse-prefix            (verify) child cells of the X_I search reuse
 //                             the parent's symbolic flowpipe prefix
+//   --sym-rem                 symbolic remainder queue for TM verifiers
+//                             (Flow*-style; sound, typically tighter, only
+//                             containment-comparable with queue-off runs)
+//   --sym-queue N             queue capacity before a flush-to-interval
+//                             (default 1000, as in ReachNN; implies
+//                             --sym-rem)
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -96,9 +102,23 @@ ode::Benchmark make_benchmark(const std::string& name) {
   throw std::runtime_error("unknown benchmark: " + name);
 }
 
+// --sym-rem / --sym-queue N → TmReachOptions symbolic remainder queue
+// (DESIGN.md §12). --sym-queue implies --sym-rem; the default queue size
+// matches ReachNN's setQueueSize(1000).
+reach::TmReachOptions tm_options(const Args& args) {
+  reach::TmReachOptions opt;
+  if (args.options.count("--sym-rem") || args.options.count("--sym-queue")) {
+    opt.symbolic_remainder = true;
+    opt.sym_queue_size =
+        static_cast<std::size_t>(args.get_long("--sym-queue", 1000));
+  }
+  return opt;
+}
+
 reach::VerifierPtr make_verifier(const ode::Benchmark& bench,
                                  const std::string& kind,
-                                 const nn::Controller* ctrl) {
+                                 const nn::Controller* ctrl,
+                                 const reach::TmReachOptions& tm_opt) {
   std::string k = kind;
   const bool linear_ctrl =
       dynamic_cast<const nn::LinearController*>(ctrl) != nullptr;
@@ -129,7 +149,7 @@ reach::VerifierPtr make_verifier(const ode::Benchmark& bench,
     throw std::runtime_error("unknown verifier: " + k);
   }
   return std::make_shared<reach::TmVerifier>(bench.system, bench.spec, abs,
-                                             reach::TmReachOptions{});
+                                             tm_opt);
 }
 
 nn::ControllerPtr default_controller(const ode::Benchmark& bench,
@@ -214,7 +234,8 @@ int cmd_learn(const Args& args) {
   nn::ControllerPtr ctrl = default_controller(
       bench, static_cast<std::uint64_t>(args.get_long("--seed", 1)));
   const auto verifier =
-      make_verifier(bench, args.get("--verifier", ""), ctrl.get());
+      make_verifier(bench, args.get("--verifier", ""), ctrl.get(),
+                    tm_options(args));
   const core::LearnerOptions opt = learner_options(bench, args);
 
   std::printf("benchmark %s, verifier %s, metric %s, seed %llu\n",
@@ -252,7 +273,8 @@ int cmd_verify(const Args& args) {
   }
   const nn::ControllerPtr ctrl = nn::load_controller_file(path);
   reach::VerifierPtr verifier =
-      make_verifier(bench, args.get("--verifier", ""), ctrl.get());
+      make_verifier(bench, args.get("--verifier", ""), ctrl.get(),
+                    tm_options(args));
   std::shared_ptr<reach::FlowpipeCache> cache;
   if (args.options.count("--cache") || args.options.count("--cache-stats")) {
     auto cached = std::make_shared<const reach::CachingVerifier>(verifier);
