@@ -1,0 +1,162 @@
+// Benchmark for the forward-mode gradient learner (DESIGN.md section 13):
+// analytic dual-pass ascent vs the SPSA baseline on the ACC benchmark
+// through the SAME TmVerifier configuration. Reported speedups are
+// same-run ratios (both learners timed in this process), so the keys
+// transfer across machines for the CI regression gate. The SPSA-fallback
+// bit-identity contract is asserted inline — the bench FAILS (nonzero
+// exit) if requesting --grad on an unsupported configuration changes the
+// learned parameters by a single bit, or if either ACC learner fails to
+// converge.
+//
+//   $ ./bench_grad_learn
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/learner.hpp"
+#include "nn/controller.hpp"
+#include "ode/benchmarks.hpp"
+#include "reach/control_abstraction.hpp"
+#include "reach/tm_flowpipe.hpp"
+
+using namespace dwv;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Results {
+  std::vector<std::pair<std::string, double>> rows;
+
+  void add(const std::string& name, double value, const char* unit) {
+    rows.emplace_back(name, value);
+    std::printf("%-28s %12.3f %s\n", name.c_str(), value, unit);
+  }
+
+  void write_json(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) return;
+    std::fprintf(f, "{\n  \"bench\": \"grad_learn\",\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.3f%s\n", rows[i].first.c_str(),
+                   rows[i].second, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+};
+
+int g_fail = 0;
+
+// The gradient-supported learning configuration benchmarked by
+// tests/test_grad.cpp: ACC through the TM engine with a linear feedback
+// abstraction, geometric metric feasibility as the success criterion (the
+// TM flowpipe's velocity spread never fits the 1-wide goal band from the
+// raw initial box, so containment certification is exercised separately by
+// the CLI-default path).
+core::LearnerOptions acc_options(bool grad) {
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kGeometric;
+  opt.require_containment = false;
+  opt.max_iters = 400;
+  opt.step_size = 0.5;
+  opt.perturbation = 0.05;
+  opt.gradient = core::GradientMode::kSpsaAveraged;
+  opt.spsa_samples = 2;
+  opt.restarts = 3;
+  opt.seed = 1;
+  opt.grad = grad;
+  return opt;
+}
+
+core::LearnResult run_acc(bool grad, double* seconds) {
+  const auto bench = ode::make_acc_benchmark();
+  const auto verifier = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec, std::make_shared<reach::LinearAbstraction>(),
+      reach::TmReachOptions{});
+  const core::Learner learner(verifier, bench.spec, acc_options(grad));
+  nn::LinearController ctrl(linalg::Mat(1, 2));
+  const double t0 = now_seconds();
+  core::LearnResult res = learner.learn(ctrl);
+  *seconds = now_seconds() - t0;
+  return res;
+}
+
+// SPSA bit-identity guard: an unsupported configuration (MLP controller
+// above the tangent direction cap) with opt.grad set must fall back to a
+// bit-for-bit identical SPSA run.
+std::vector<double> learn_mlp_params(bool grad) {
+  const auto bench = ode::make_oscillator_benchmark();
+  const auto verifier = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec, std::make_shared<reach::PolarAbstraction>(),
+      reach::TmReachOptions{});
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kGeometric;
+  opt.require_containment = false;
+  opt.max_iters = 6;
+  opt.restarts = 1;
+  opt.seed = 3;
+  opt.grad = grad;
+  const core::Learner learner(verifier, bench.spec, opt);
+  nn::MlpController ctrl(std::vector<std::size_t>{2, 4, 1}, 2.0,
+                         nn::Activation::kTanh, nn::Activation::kTanh);
+  std::mt19937_64 rng(7);
+  ctrl.init_random(rng, 0.4);
+  (void)learner.learn(ctrl);
+  const linalg::Vec p = ctrl.params();
+  return std::vector<double>(p.begin(), p.end());
+}
+
+}  // namespace
+
+int main() {
+  Results results;
+
+  double spsa_s = 0.0, grad_s = 0.0;
+  const core::LearnResult spsa = run_acc(false, &spsa_s);
+  const core::LearnResult grad = run_acc(true, &grad_s);
+  if (!spsa.success || !grad.success) {
+    std::printf("FAIL: ACC learn success spsa=%d grad=%d\n",
+                (int)spsa.success, (int)grad.success);
+    ++g_fail;
+  }
+
+  results.add("spsa_learn_seconds", spsa_s, "s");
+  results.add("grad_learn_seconds", grad_s, "s");
+  results.add("grad_learn_speedup", spsa_s / grad_s, "x");
+  results.add("spsa_verifier_calls", (double)spsa.verifier_calls, "calls");
+  results.add("grad_verifier_calls", (double)grad.verifier_calls, "calls");
+  results.add("grad_calls_speedup",
+              (double)spsa.verifier_calls / (double)grad.verifier_calls, "x");
+  results.add("grad_calls_per_iter",
+              (double)grad.verifier_calls / (double)(grad.iterations + 1),
+              "calls/iter");
+
+  const std::vector<double> p_spsa = learn_mlp_params(false);
+  const std::vector<double> p_grad_req = learn_mlp_params(true);
+  bool identical = p_spsa.size() == p_grad_req.size();
+  for (std::size_t i = 0; identical && i < p_spsa.size(); ++i) {
+    identical = std::bit_cast<std::uint64_t>(p_spsa[i]) ==
+                std::bit_cast<std::uint64_t>(p_grad_req[i]);
+  }
+  if (!identical) {
+    std::printf("FAIL: --grad fallback changed the SPSA result bits\n");
+    ++g_fail;
+  }
+  results.add("spsa_fallback_bit_identical", identical ? 1.0 : 0.0, "bool");
+
+  results.write_json("BENCH_grad_learn.json");
+  if (g_fail > 0) {
+    std::printf("bench_grad_learn: %d FAILURE(S)\n", g_fail);
+    return 1;
+  }
+  return 0;
+}

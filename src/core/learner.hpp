@@ -16,6 +16,10 @@
 #include "reach/cache.hpp"
 #include "reach/verifier.hpp"
 
+namespace dwv::reach {
+class TmVerifier;
+}
+
 namespace dwv::core {
 
 enum class MetricKind { kGeometric, kWasserstein };
@@ -83,6 +87,20 @@ struct LearnerOptions {
   bool cache = false;
   std::size_t cache_capacity = 4096;  ///< resident flowpipes when caching
   std::size_t cache_shards = 16;      ///< lock stripes (contention knob)
+  /// Analytic forward-mode gradients (reach::TmGradient): one dual verifier
+  /// pass per iteration yields the flowpipe AND the exact metric gradient
+  /// w.r.t. the controller parameters, replacing the 2 * spsa_samples probe
+  /// calls of the difference method. The non-Adam ascent exploits the two
+  /// separate metric gradients: it climbs d_u until the pipe is safe, then
+  /// climbs d_g with the safety-eroding gradient component projected out,
+  /// line-searching and then marching along each direction with cheap
+  /// scalar probe evaluations (counted as verifier calls) so one dual pass
+  /// serves several parameter updates. Requires a TmVerifier in its default
+  /// range mode with polynomial dynamics and a linear or polynomial
+  /// controller (and exact EMD for the Wasserstein metric); unsupported
+  /// combinations print a warning to stderr and fall back to the configured
+  /// SPSA mode. When false, the SPSA path runs exactly as before.
+  bool grad = false;
   WassersteinOptions wopt;
 
   /// Returns a copy with out-of-range fields clamped into their documented
@@ -138,6 +156,18 @@ class Learner {
     bool feasible = false;
   };
   MetricPair measure(const reach::Flowpipe& fp) const;
+
+  /// The TmVerifier the gradient engine would differentiate through (the
+  /// inner verifier when wrapped in a CachingVerifier); null when the
+  /// verifier is not a TmVerifier.
+  const reach::TmVerifier* grad_target() const;
+
+  /// Analytic-gradient variant of learn() (opt_.grad with a supported
+  /// configuration): same restart/ascent/bookkeeping structure, but each
+  /// iteration's gradient comes from one dual flowpipe pass instead of
+  /// SPSA probe pairs.
+  LearnResult learn_grad(nn::Controller& ctrl,
+                         const reach::TmVerifier& tv) const;
 
   reach::VerifierPtr verifier_;
   ode::ReachAvoidSpec spec_;

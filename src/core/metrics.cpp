@@ -133,6 +133,21 @@ GeometricMetrics geometric_metrics(const Flowpipe& fp,
           geometric_goal_distance(fp, spec)};
 }
 
+double goal_containment_margin(const Flowpipe& fp,
+                               const ReachAvoidSpec& spec) {
+  double m = -std::numeric_limits<double>::infinity();
+  if (!fp.valid) return m;
+  for (const auto& step : fp.step_sets) {
+    double s = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < step.dim(); ++i) {
+      s = std::min(s, std::min(spec.goal[i].hi() - step[i].hi(),
+                               step[i].lo() - spec.goal[i].lo()));
+    }
+    m = std::max(m, s);
+  }
+  return m;
+}
+
 WassersteinMetrics wasserstein_metrics(const Flowpipe& fp,
                                        const ReachAvoidSpec& spec,
                                        const WassersteinOptions& opt) {

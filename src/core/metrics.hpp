@@ -32,6 +32,16 @@ struct GeometricMetrics {
 GeometricMetrics geometric_metrics(const reach::Flowpipe& fp,
                                    const ode::ReachAvoidSpec& spec);
 
+/// Goal-containment margin: max over step sets of the smallest face gap to
+/// the goal box (min over dims of min(goal.hi - hi, lo - goal.lo)). A
+/// positive margin certifies goal containment in the sense of
+/// analyze_flowpipe (some whole step set inside Xg); unlike the overlap
+/// measure d_g it keeps growing as the step set contracts INTO the goal,
+/// so it is the right ascent objective for require_containment runs.
+/// -infinity for invalid/empty flowpipes.
+double goal_containment_margin(const reach::Flowpipe& fp,
+                               const ode::ReachAvoidSpec& spec);
+
 struct WassersteinOptions {
   /// Grid resolution per dimension for the uniform discretizations.
   std::size_t grid = 5;

@@ -46,6 +46,29 @@ void PolyTmDynamics::eval_into(const TmEnv& env, const TmVec& args,
   }
 }
 
+ExprTmDynamics::ExprTmDynamics(std::vector<ode::ExprPtr> f)
+    : f_(std::move(f)) {
+  const std::size_t n = f_.size();
+  dfdx_.reserve(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dfdx_.push_back(f_[i]->derivative(j));
+    }
+  }
+}
+
+bool ExprTmDynamics::state_jacobian(const interval::IVec& xu_box,
+                                    sym::IMat& out) const {
+  const std::size_t n = f_.size();
+  if (out.n != n) out = sym::IMat(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.at(i, j) = dfdx_[i * n + j]->eval(xu_box);
+    }
+  }
+  return true;
+}
+
 TaylorModel ExprTmDynamics::eval_expr(const TmEnv& env, const ode::Expr& e,
                                       const TmVec& args) {
   using ode::ExprOp;

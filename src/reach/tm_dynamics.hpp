@@ -80,10 +80,17 @@ class PolyTmDynamics final : public TmDynamics {
 /// Expression-tree vector field (sin/cos/tanh/exp nodes supported).
 class ExprTmDynamics final : public TmDynamics {
  public:
-  explicit ExprTmDynamics(std::vector<ode::ExprPtr> f) : f_(std::move(f)) {}
+  explicit ExprTmDynamics(std::vector<ode::ExprPtr> f);
   std::size_t state_dim() const override { return f_.size(); }
   taylor::TmVec eval(const taylor::TmEnv& env,
                      const taylor::TmVec& args) const override;
+  bool has_state_jacobian() const override { return true; }
+  /// Interval evaluation of the symbolic derivative trees (built once at
+  /// construction, like PolyTmDynamics' derivative polynomials), so
+  /// expression-parsed systems support the symbolic remainder queue
+  /// instead of silently falling back to the conventional recurrence.
+  bool state_jacobian(const interval::IVec& xu_box,
+                      sym::IMat& out) const override;
 
   /// Sound TM enclosure of a single expression at TM arguments.
   static taylor::TaylorModel eval_expr(const taylor::TmEnv& env,
@@ -92,6 +99,8 @@ class ExprTmDynamics final : public TmDynamics {
 
  private:
   std::vector<ode::ExprPtr> f_;
+  /// df_i/dx_j over (x..., u...), row major over the state block.
+  std::vector<ode::ExprPtr> dfdx_;
 };
 
 }  // namespace dwv::reach

@@ -211,6 +211,15 @@ class TmVerifier final : public Verifier {
       const std::vector<TmBatchJob>& jobs, std::size_t width = 0,
       std::size_t threads = 1) const;
 
+  // Configuration accessors for drivers that re-run this verifier's exact
+  // pipeline with extra channels (reach::TmGradient mirrors the scalar
+  // compute() path with forward-mode tangents riding along).
+  const TmReachOptions& options() const { return opt_; }
+  const ode::ReachAvoidSpec& spec() const { return spec_; }
+  const ode::SystemPtr& system() const { return sys_; }
+  const ControlAbstractionPtr& abstraction() const { return abs_; }
+  const TmDynamicsPtr& dynamics() const { return dynamics_; }
+
  private:
   struct Lane;  // per-lane driver state machine (tm_flowpipe.cpp)
 

@@ -293,9 +293,11 @@ TEST(SymRemainderFlowpipe, QueuedNoWiderThanConventional) {
   }
 }
 
-// Expression-tree dynamics have no state_jacobian: the queue silently
-// stays off, so queued options must reproduce queue-off bit for bit.
-TEST(SymRemainderFlowpipe, ExprDynamicsFallBackToConventional) {
+// Expression-tree dynamics build their state Jacobian from the symbolic
+// derivative trees (Expr::derivative + interval evaluation), so the queue
+// engages instead of silently reproducing the conventional recurrence —
+// the pre-fix behavior this test used to pin down.
+TEST(SymRemainderFlowpipe, ExprDynamicsEngageTheQueue) {
   auto bench = ode::make_pendulum_benchmark();
   bench.spec.steps = 6;
   bench.spec.stop_at_goal = false;
@@ -309,14 +311,28 @@ TEST(SymRemainderFlowpipe, ExprDynamicsFallBackToConventional) {
                         std::make_shared<reach::LinearAbstraction>(), on);
   const Flowpipe f_off = v_off.compute(bench.spec.x0, ctrl);
   const Flowpipe f_on = v_on.compute(bench.spec.x0, ctrl);
-  EXPECT_EQ(f_off.valid, f_on.valid);
+  ASSERT_TRUE(f_off.valid) << f_off.failure;
+  ASSERT_TRUE(f_on.valid) << f_on.failure;
   ASSERT_EQ(f_off.step_sets.size(), f_on.step_sets.size());
-  for (std::size_t k = 0; k < f_off.step_sets.size(); ++k) {
-    for (std::size_t d = 0; d < f_off.step_sets[k].dim(); ++d) {
-      EXPECT_EQ(f_off.step_sets[k][d].lo(), f_on.step_sets[k][d].lo());
-      EXPECT_EQ(f_off.step_sets[k][d].hi(), f_on.step_sets[k][d].hi());
+  // Queued enclosures stay sound and no wider than conventional ones.
+  const geom::Box& last_on = f_on.step_sets.back();
+  const geom::Box& last_off = f_off.step_sets.back();
+  for (std::size_t d = 0; d < last_on.dim(); ++d) {
+    EXPECT_LE(last_on[d].width(), last_off[d].width()) << "dim " << d;
+  }
+  // Engagement guard: bit-identical pipes would mean the queue silently
+  // stayed off for expression dynamics (the old bug).
+  bool any_diff = false;
+  for (std::size_t k = 0; k < f_on.step_sets.size() && !any_diff; ++k) {
+    for (std::size_t d = 0; d < f_on.step_sets[k].dim(); ++d) {
+      if (f_on.step_sets[k][d].lo() != f_off.step_sets[k][d].lo() ||
+          f_on.step_sets[k][d].hi() != f_off.step_sets[k][d].hi()) {
+        any_diff = true;
+        break;
+      }
     }
   }
+  EXPECT_TRUE(any_diff) << "queue never engaged on expression dynamics";
 }
 
 // Queue-on and queue-off verifiers must never alias in a flowpipe cache.

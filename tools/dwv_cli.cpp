@@ -37,6 +37,11 @@
 //   --sym-queue N             queue capacity before a flush-to-interval
 //                             (default 1000, as in ReachNN; implies
 //                             --sym-rem)
+//   --grad                    (learn) analytic forward-mode gradients
+//                             through the TM verifier (one dual pass per
+//                             iteration instead of SPSA probe pairs);
+//                             unsupported configurations warn on stderr
+//                             and fall back to SPSA unchanged
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -200,7 +205,32 @@ core::LearnerOptions learner_options(const ode::Benchmark& bench,
   opt.batch = batch_width(args);
   opt.cache = args.options.count("--cache") != 0 ||
               args.options.count("--cache-stats") != 0;
+  opt.grad = args.options.count("--grad") != 0;
   return opt;
+}
+
+// A --sym-rem request the verifier cannot honor used to be silently
+// ignored (the queue gates on TmDynamics::has_state_jacobian); surface
+// that decision so queue-on runs are never silently queue-off.
+void warn_if_sym_rem_ignored(const Args& args,
+                             const reach::VerifierPtr& verifier) {
+  if (!args.options.count("--sym-rem") && !args.options.count("--sym-queue")) {
+    return;
+  }
+  const auto* tv = dynamic_cast<const reach::TmVerifier*>(verifier.get());
+  if (tv == nullptr) {
+    std::fprintf(stderr,
+                 "dwv: warning: --sym-rem has no effect on verifier '%s' "
+                 "(not a Taylor-model verifier)\n",
+                 verifier->name().c_str());
+    return;
+  }
+  if (!tv->dynamics()->has_state_jacobian()) {
+    std::fprintf(stderr,
+                 "dwv: warning: --sym-rem requested but the dynamics "
+                 "provide no state Jacobian; the symbolic remainder queue "
+                 "stays off and results match a queue-off run bit for bit\n");
+  }
 }
 
 void print_cache_stats(const reach::CacheStats& s) {
@@ -236,6 +266,7 @@ int cmd_learn(const Args& args) {
   const auto verifier =
       make_verifier(bench, args.get("--verifier", ""), ctrl.get(),
                     tm_options(args));
+  warn_if_sym_rem_ignored(args, verifier);
   const core::LearnerOptions opt = learner_options(bench, args);
 
   std::printf("benchmark %s, verifier %s, metric %s, seed %llu\n",
@@ -275,6 +306,7 @@ int cmd_verify(const Args& args) {
   reach::VerifierPtr verifier =
       make_verifier(bench, args.get("--verifier", ""), ctrl.get(),
                     tm_options(args));
+  warn_if_sym_rem_ignored(args, verifier);
   std::shared_ptr<reach::FlowpipeCache> cache;
   if (args.options.count("--cache") || args.options.count("--cache-stats")) {
     auto cached = std::make_shared<const reach::CachingVerifier>(verifier);

@@ -1,0 +1,198 @@
+// grad_check — CI gate for the forward-mode gradient engine.
+//
+// Re-runs the registered (verifier, controller) scenarios of
+// tests/test_grad.cpp and compares every analytic metric gradient
+// (geometric d_u/d_g, Wasserstein w_goal/w_unsafe, goal-containment
+// margin) against Richardson-extrapolated central differences of the
+// scalar pipeline. Exits nonzero when any relative error exceeds 1e-6 or
+// when a dual value-channel bit differs from the scalar metric, so a
+// kernel change that silently skews the gradients fails the Release CI
+// leg even if no unit test exercises the broken path.
+//
+//   $ ./grad_check
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/grad_metrics.hpp"
+#include "nn/controller.hpp"
+#include "nn/poly_controller.hpp"
+#include "ode/benchmarks.hpp"
+#include "reach/control_abstraction.hpp"
+#include "reach/grad_flowpipe.hpp"
+#include "reach/tm_flowpipe.hpp"
+
+using namespace dwv;
+using linalg::Vec;
+
+namespace {
+
+// Gate: analytic vs Richardson-extrapolated FD, relative to the larger of
+// the two magnitudes (floored at 1). Matches tests/test_grad.cpp.
+constexpr double kGate = 1e-6;
+// The metrics are piecewise smooth with basin boundaries that can sit
+// exactly at a probed theta (endpoint-selection ties); h = 1e-5 keeps the
+// resulting O(h) one-sided curvature term below the gate.
+constexpr double kH = 1e-5;
+
+struct Scenario {
+  std::string name;
+  ode::Benchmark bench;
+  reach::ControlAbstractionPtr abs;
+  std::shared_ptr<nn::Controller> ctrl;
+  reach::TmReachOptions opt;
+};
+
+Scenario acc_linear(const Vec& theta) {
+  Scenario s;
+  s.name = "acc-linear";
+  s.bench = ode::make_acc_benchmark();
+  s.bench.spec.steps = 20;
+  s.bench.spec.stop_at_goal = false;
+  s.abs = std::make_shared<reach::LinearAbstraction>();
+  auto ctrl = std::make_shared<nn::LinearController>(2, 1);
+  ctrl->set_params(theta);
+  s.ctrl = ctrl;
+  return s;
+}
+
+Scenario vdp_poly(const Vec& theta) {
+  Scenario s;
+  s.name = "vdp-poly";
+  s.bench = ode::make_oscillator_benchmark();
+  s.bench.spec.steps = 10;
+  s.bench.spec.stop_at_goal = false;
+  s.abs = std::make_shared<reach::PolynomialAbstraction>();
+  auto ctrl = std::make_shared<nn::PolynomialController>(2, 1, 2);
+  ctrl->set_params(theta);
+  s.ctrl = ctrl;
+  return s;
+}
+
+std::vector<Scenario> all_scenarios() {
+  std::vector<Scenario> v;
+  v.push_back(acc_linear(Vec{-0.5, -1.2}));
+  v.push_back(acc_linear(Vec{0.0, 0.0}));  // tangent-only gain entries
+  v.push_back(vdp_poly(Vec{0.0, -0.4, 0.3, 0.0, 0.1, 0.0}));
+  return v;
+}
+
+struct MetricValues {
+  double d_u, d_g, w_goal, w_unsafe, margin;
+};
+
+MetricValues scalar_metrics_at(const Scenario& s, const reach::TmVerifier& v,
+                               const Vec& theta) {
+  auto probe = s.ctrl->clone();
+  probe->set_params(theta);
+  const reach::Flowpipe fp = v.compute(s.bench.spec.x0, *probe);
+  MetricValues m{};
+  if (fp.valid) {
+    const core::GeometricMetrics g = core::geometric_metrics(fp, s.bench.spec);
+    const core::WassersteinMetrics w =
+        core::wasserstein_metrics(fp, s.bench.spec, {});
+    m = {g.d_u, g.d_g, w.w_goal, w.w_unsafe,
+         core::goal_containment_margin(fp, s.bench.spec)};
+  } else {
+    const core::GeometricMetrics g = core::geometric_penalty(s.bench.spec, fp);
+    const core::WassersteinMetrics w =
+        core::wasserstein_penalty(s.bench.spec, fp);
+    m = {g.d_u, g.d_g, w.w_goal, w.w_unsafe, 0.0};
+  }
+  return m;
+}
+
+double rel_err(double analytic, double fd) {
+  const double scale = std::max({std::abs(analytic), std::abs(fd), 1.0});
+  return std::abs(analytic - fd) / scale;
+}
+
+int g_failures = 0;
+
+void check(const std::string& where, double analytic, double fd) {
+  const double e = rel_err(analytic, fd);
+  const bool ok = e < kGate;
+  if (!ok) ++g_failures;
+  std::printf("%s %-40s analytic %+.9e  fd %+.9e  rel %.3e\n",
+              ok ? "ok  " : "FAIL", where.c_str(), analytic, fd, e);
+}
+
+void check_value_bits(const std::string& where, double dual, double scalar) {
+  if (dual == scalar) return;  // bitwise for non-NaN metric values
+  ++g_failures;
+  std::printf("FAIL %-40s dual value %.17g != scalar %.17g\n", where.c_str(),
+              dual, scalar);
+}
+
+void run_scenario(const Scenario& s) {
+  const reach::TmVerifier v(s.bench.system, s.bench.spec, s.abs, s.opt);
+  if (const char* why = reach::TmGradient::unsupported_reason(v, *s.ctrl)) {
+    std::printf("FAIL %-40s unsupported: %s\n", s.name.c_str(), why);
+    ++g_failures;
+    return;
+  }
+  const reach::TmGradient engine(v);
+  const reach::GradFlowpipe gfp = engine.compute(s.bench.spec.x0, *s.ctrl);
+  if (!gfp.fp.valid) {
+    std::printf("FAIL %-40s flowpipe invalid: %s\n", s.name.c_str(),
+                gfp.fp.failure.c_str());
+    ++g_failures;
+    return;
+  }
+
+  const core::GeometricMetricsGrad gg =
+      core::geometric_metrics_grad(gfp, s.bench.spec);
+  const core::WassersteinMetricsGrad wg =
+      core::wasserstein_metrics_grad(gfp, s.bench.spec, {});
+  const core::MetricGrad cm =
+      core::goal_containment_margin_grad(gfp, s.bench.spec);
+
+  const Vec theta = s.ctrl->params();
+  const MetricValues base = scalar_metrics_at(s, v, theta);
+  check_value_bits(s.name + " d_u value", gg.d_u.value, base.d_u);
+  check_value_bits(s.name + " d_g value", gg.d_g.value, base.d_g);
+  check_value_bits(s.name + " w_goal value", wg.w_goal.value, base.w_goal);
+  check_value_bits(s.name + " w_unsafe value", wg.w_unsafe.value,
+                   base.w_unsafe);
+  check_value_bits(s.name + " margin value", cm.value, base.margin);
+
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    const auto central = [&](double step) {
+      Vec tp = theta, tm = theta;
+      tp[i] += step;
+      tm[i] -= step;
+      const MetricValues mp = scalar_metrics_at(s, v, tp);
+      const MetricValues mm = scalar_metrics_at(s, v, tm);
+      const double inv = 1.0 / (2.0 * step);
+      return MetricValues{(mp.d_u - mm.d_u) * inv, (mp.d_g - mm.d_g) * inv,
+                          (mp.w_goal - mm.w_goal) * inv,
+                          (mp.w_unsafe - mm.w_unsafe) * inv,
+                          (mp.margin - mm.margin) * inv};
+    };
+    const MetricValues d1 = central(kH);
+    const MetricValues d2 = central(kH / 2.0);
+    const auto rich = [](double a, double b) { return (4.0 * b - a) / 3.0; };
+    const std::string at = s.name + "[" + std::to_string(i) + "]";
+    check(at + " d(d_u)", gg.d_u.grad[i], rich(d1.d_u, d2.d_u));
+    check(at + " d(d_g)", gg.d_g.grad[i], rich(d1.d_g, d2.d_g));
+    check(at + " d(w_goal)", wg.w_goal.grad[i], rich(d1.w_goal, d2.w_goal));
+    check(at + " d(w_unsafe)", wg.w_unsafe.grad[i],
+          rich(d1.w_unsafe, d2.w_unsafe));
+    check(at + " d(margin)", cm.grad[i], rich(d1.margin, d2.margin));
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const Scenario& s : all_scenarios()) run_scenario(s);
+  if (g_failures > 0) {
+    std::printf("grad_check: %d FAILURE(S)\n", g_failures);
+    return 1;
+  }
+  std::printf("grad_check: all gradients within %.0e of finite differences\n",
+              kGate);
+  return 0;
+}
