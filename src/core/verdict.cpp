@@ -55,6 +55,7 @@ VerificationReport verify_controller(const reach::Verifier& verifier,
   VerificationReport rep;
   const reach::Flowpipe fp = verifier.compute(spec.x0, ctrl);
   rep.flowpipe_valid = fp.valid;
+  rep.tm_stats = fp.tm_stats;
   rep.facts = analyze_flowpipe(fp, spec);
 
   if (fp.valid && rep.facts.safe_certified && rep.facts.goal_certified) {

@@ -46,6 +46,9 @@ struct VerificationReport {
   FlowpipeFacts facts;
   bool flowpipe_valid = false;
   std::string detail;
+  /// Integration counters of the computed flowpipe (TM verifiers only;
+  /// zero otherwise). Surfaced by `dwv verify --verbose`.
+  reach::TmReachStats tm_stats;
 };
 VerificationReport verify_controller(const reach::Verifier& verifier,
                                      const ode::System& sys,

@@ -11,6 +11,40 @@
 
 namespace dwv::reach {
 
+/// Observability counters for a Taylor-model reach computation (filled by
+/// TmVerifier / TmGradient; zero for other verifiers). Pure bookkeeping:
+/// none of these feed back into the computation, so populating them is
+/// bit-invisible to the flowpipe itself.
+struct TmReachStats {
+  /// Accepted integration substeps (fixed grid: substeps x periods run).
+  std::size_t substeps = 0;
+  /// Adaptive rejects: substeps whose containment proof failed and were
+  /// retried at a smaller h / higher order.
+  std::size_t rejects = 0;
+  std::size_t order_escalations = 0;
+  std::size_t order_reductions = 0;
+  /// State re-initializations (remainder absorbed into a fresh affine
+  /// parameterization).
+  std::size_t reinits = 0;
+  /// Symbolic remainder queue flush-to-interval events.
+  std::size_t sym_flushes = 0;
+  /// Range of accepted step sizes (both zero when no step ran).
+  double h_min = 0.0;
+  double h_max = 0.0;
+
+  /// Books one accepted substep of size h.
+  void note_step(double h) {
+    if (substeps == 0) {
+      h_min = h;
+      h_max = h;
+    } else {
+      if (h < h_min) h_min = h;
+      if (h > h_max) h_max = h;
+    }
+    ++substeps;
+  }
+};
+
 struct Flowpipe {
   /// Over-approximation of the reachable set at control instants
   /// t = 0, delta, ..., steps*delta (size steps + 1).
@@ -28,6 +62,9 @@ struct Flowpipe {
   /// enclosure left the assumed state bounds); the verdict is then Unknown.
   bool valid = true;
   std::string failure;
+
+  /// Integration counters (TM verifiers only; see TmReachStats).
+  TmReachStats tm_stats;
 
   std::size_t steps() const {
     return step_sets.empty() ? 0 : step_sets.size() - 1;

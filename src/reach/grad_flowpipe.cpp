@@ -7,6 +7,7 @@
 
 #include "linalg/matrix.hpp"
 #include "nn/poly_controller.hpp"
+#include "reach/step_control.hpp"
 
 namespace dwv::reach {
 
@@ -87,16 +88,35 @@ void dual_integrate_step(const DualTmEnv& env_set, const DualTmVec& state,
   };
 
   // Polynomial fixpoint by iteration; pass remainders are zeroed between
-  // passes (both channels: perturbed runs zero theirs too).
+  // passes (both channels: perturbed runs zero theirs too). Adaptive runs
+  // mirror the scalar path's pass count and convergence index, but never
+  // break early: the tangent fixpoint can lag the value fixpoint, and the
+  // extra passes are value-channel no-ops (a converged pass maps (phi, 0)
+  // back to phi), so the value bits — and the conv_index signal the step
+  // controller reads — stay identical to the scalar driver's.
+  const std::size_t iters_eff =
+      opt.adaptive
+          ? std::max(opt.picard_iters,
+                     static_cast<std::size_t>(env_set.order) + 1)
+          : opt.picard_iters;
+  std::size_t conv_index = iters_eff;
   ss.phi.resize(n);
   for (std::size_t i = 0; i < n; ++i) ss.phi[i] = ss.x0[i];
-  for (std::size_t it = 0; it < opt.picard_iters; ++it) {
+  for (std::size_t it = 0; it < iters_eff; ++it) {
     picard(ss.phi, ss.picard_out);
+    if (opt.adaptive && conv_index == iters_eff) {
+      bool converged = true;
+      for (std::size_t i = 0; i < n && converged; ++i) {
+        converged = ss.picard_out[i].p.val.terms() == ss.phi[i].p.val.terms();
+      }
+      if (converged) conv_index = it;
+    }
     std::swap(ss.phi, ss.picard_out);
     for (auto& tm : ss.phi) {
       tm.rem = DualInterval::constant(Interval(0.0), nd);
     }
   }
+  res.conv_index = conv_index;
 
   // Remainder validation: find J with P(poly + J) inside poly + J. All
   // containment decisions are taken on the value channel.
@@ -109,6 +129,8 @@ void dual_integrate_step(const DualTmEnv& env_set, const DualTmVec& state,
 
   res.ok = false;
   res.failure.clear();
+  res.attempts = 0;
+  res.defect_rel = 0.0;
   for (std::size_t attempt = 0; attempt <= opt.max_inflations; ++attempt) {
     ss.cand.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -145,6 +167,15 @@ void dual_integrate_step(const DualTmEnv& env_set, const DualTmVec& state,
         taylor::dual_tm_subst_last_into(env, ss.validated[i], h,
                                         res.at_end[i]);
       }
+      // Step-controller signals, value channel only (same bits as scalar).
+      res.attempts = attempt;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double tube_rad = res.tube_range[i].v.rad();
+        if (tube_rad > 0.0) {
+          const double rel = ss.d_range[i].v.rad() / tube_rad;
+          if (rel > res.defect_rel) res.defect_rel = rel;
+        }
+      }
       res.ok = true;
       return;
     }
@@ -156,6 +187,7 @@ void dual_integrate_step(const DualTmEnv& env_set, const DualTmVec& state,
     }
   }
 
+  res.attempts = opt.max_inflations + 1;
   res.failure = "remainder validation failed (Picard operator not contracting)";
 }
 
@@ -442,28 +474,67 @@ GradFlowpipe TmGradient::compute(const geom::Box& x0,
   DualStepScratch ss;
   DualStepResult sr;
 
+  // The dual pass derives the adaptive schedule independently: the
+  // controller's signals come from the value channel, whose bits match the
+  // scalar driver's, so both drivers walk the identical (h, order) tape.
+  StepController sc;
+  sc.configure(opt_, spec_.delta);
+  sc.reset(&fp.tm_stats);
+
   for (std::size_t step = 0; step < spec_.steps; ++step) {
+    // Abstraction at the base order, mirroring the scalar driver.
+    if (opt_.adaptive) env.order = opt_.order;
     const DualTmVec u = dual_abstract(env, x, *abs_, ctrl);
 
     std::vector<DualInterval> period_hull;
     bool failed = false;
-    for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
-      dual_integrate_step(env, x, u, fd, h, opt_, ss, sr);
-      if (!sr.ok) {
-        fp.valid = false;
-        fp.failure = sr.failure;
-        failed = true;
-        break;
-      }
-      if (sub == 0) {
-        period_hull = sr.tube_range;
-      } else {
-        for (std::size_t i = 0; i < n; ++i) {
-          period_hull[i] =
-              interval::dual_hull(period_hull[i], sr.tube_range[i]);
+    if (opt_.adaptive) {
+      bool first = true;
+      sc.start_period();
+      while (!sc.period_done()) {
+        const StepDecision d = sc.next();
+        env.order = d.order;
+        dual_integrate_step(env, x, u, fd, d.h, opt_, ss, sr);
+        if (!sr.ok) {
+          if (sc.reject()) continue;
+          fp.valid = false;
+          fp.failure = sr.failure;
+          failed = true;
+          break;
         }
+        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel});
+        fp.tm_stats.note_step(d.h);
+        if (first) {
+          period_hull = sr.tube_range;
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            period_hull[i] =
+                interval::dual_hull(period_hull[i], sr.tube_range[i]);
+          }
+        }
+        first = false;
+        std::swap(x, sr.at_end);
       }
-      std::swap(x, sr.at_end);
+    } else {
+      for (std::size_t sub = 0; sub < opt_.substeps; ++sub) {
+        dual_integrate_step(env, x, u, fd, h, opt_, ss, sr);
+        if (!sr.ok) {
+          fp.valid = false;
+          fp.failure = sr.failure;
+          failed = true;
+          break;
+        }
+        fp.tm_stats.note_step(h);
+        if (sub == 0) {
+          period_hull = sr.tube_range;
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            period_hull[i] =
+                interval::dual_hull(period_hull[i], sr.tube_range[i]);
+          }
+        }
+        std::swap(x, sr.at_end);
+      }
     }
     if (failed) break;
 
@@ -504,6 +575,7 @@ GradFlowpipe TmGradient::compute(const geom::Box& x0,
       }
       if (reinit) {
         x = dual_reinitialize(env, x, out.step_sets_d.back());
+        ++fp.tm_stats.reinits;
       }
     }
   }

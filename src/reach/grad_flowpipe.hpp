@@ -51,6 +51,12 @@ struct DualStepResult {
   std::vector<interval::DualInterval> tube_range;
   bool ok = false;
   std::string failure;
+  /// Step-controller signals (see reach::StepSignals), computed from the
+  /// VALUE channel only — the same bits the scalar TmStepResult carries,
+  /// so the dual pass derives the identical adaptive schedule.
+  std::size_t attempts = 0;
+  std::size_t conv_index = 0;
+  double defect_rel = 0.0;
 };
 
 /// Scratch for dual_integrate_step (the dual analogue of the step buffers

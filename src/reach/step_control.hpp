@@ -1,0 +1,123 @@
+// Deterministic step-size / truncation-order controller for the TM
+// integrator (DESIGN.md §14). Decisions are pure functions of *computed*
+// signals — the remainder-validation attempt count, the Picard convergence
+// index, and the relative defect-range magnitude of the accepted step —
+// never of wall-clock or machine state, so the schedule is bit-identical
+// across the scalar driver, the lockstep lane pools (any width, thread
+// count, or lane backend), and the gradient dual pass (whose value channel
+// reproduces the same signal bits).
+//
+// Time is accounted in integer ticks: a control period is
+// substeps << max_halvings ticks, the base (fixed-grid) step is
+// 1 << max_halvings ticks, and every halving/doubling is exact integer
+// arithmetic. The floating h handed to the integrator is derived from the
+// tick count by one multiply and one divide, so h for the base step is
+// bit-identical to the fixed grid's delta/substeps and the period always
+// closes exactly at its end.
+//
+// Accept/reject semantics: a substep whose remainder validation fails is
+// REJECTED — the controller halves h (escalating the order once h bottoms
+// out) and the driver retries from the same state; a capped per-period
+// reject budget turns permanent failure into the same pipe failure the
+// fixed grid reports. Accepted substeps are recorded on a per-period
+// schedule tape (the `(h, order)` sequence) that the symbolic-prefix
+// machinery replays for child cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reach/flowpipe.hpp"
+
+namespace dwv::reach {
+
+struct TmReachOptions;
+
+/// One decided substep: tick count (exact), the floating step size derived
+/// from it, and the truncation order to integrate at.
+struct StepDecision {
+  double h = 0.0;
+  std::uint32_t order = 0;
+  std::uint64_t ticks = 0;
+};
+
+/// Signals of an accepted step, all computed by the integrator:
+///  - attempts: index of the remainder-validation attempt that proved
+///    containment (0 = the first guess held),
+///  - conv_index: Picard pass at which the polynomial fixpoint converged
+///    bitwise (picard-iteration count when never observed),
+///  - defect_rel: max over components of the defect-range radius relative
+///    to the tube-range radius — the contraction quality of the step.
+struct StepSignals {
+  std::size_t attempts = 0;
+  std::size_t conv_index = 0;
+  double defect_rel = 0.0;
+};
+
+class StepController {
+ public:
+  /// Captures the schedule parameters. With opt.adaptive == false the
+  /// controller still yields the fixed grid (base step every time), but
+  /// drivers bypass it entirely on that path.
+  void configure(const TmReachOptions& opt, double delta);
+
+  bool adaptive() const { return adaptive_; }
+  std::uint32_t order_max() const { return order_max_; }
+  /// Order the next decision will carry (drivers set the controller
+  /// abstraction's truncation order from this at period start).
+  std::uint32_t current_order() const { return cur_order_; }
+
+  /// New cell: back to the base step and configured order. `stats` (may be
+  /// null) receives reject/escalation counters; the driver itself books
+  /// accepted substeps via TmReachStats::note_step.
+  void reset(TmReachStats* stats);
+
+  void start_period();
+  bool period_done() const { return ticks_left_ == 0; }
+
+  /// The next substep to attempt: current step size clamped to what is
+  /// left of the period (the last step always closes the period exactly).
+  StepDecision next() const;
+
+  /// Containment proof failed at the last decision: halve h, escalating
+  /// the order once h is at its floor. Returns false when the per-period
+  /// reject budget is exhausted (caller fails the pipe with the step's
+  /// failure string, exactly like the fixed grid).
+  bool reject();
+
+  /// Commits an accepted substep: advances the period clock, appends to
+  /// the schedule tape, and adapts the next step from the signals.
+  void accept(const StepDecision& d, const StepSignals& sig);
+
+  /// Accepted decisions of the current period, in order (cleared by
+  /// start_period). The symbolic prefix records this as the replay tape.
+  const std::vector<StepDecision>& period_tape() const { return tape_; }
+
+ private:
+  double step_h(std::uint64_t ticks) const;
+
+  // Configuration.
+  bool adaptive_ = false;
+  double delta_ = 0.0;
+  double rtol_ = 0.0;
+  std::uint32_t order0_ = 0;
+  std::uint32_t order_min_ = 0;
+  std::uint32_t order_max_ = 0;
+  std::uint64_t base_ticks_ = 1;
+  std::uint64_t period_ticks_ = 1;
+  std::size_t reject_budget_ = 0;
+
+  // Cell-persistent state.
+  std::uint64_t cur_ticks_ = 1;
+  std::uint32_t cur_order_ = 0;
+  std::uint32_t cooldown_ = 0;  ///< accepts to wait before growing again
+
+  // Period state.
+  std::uint64_t ticks_left_ = 0;
+  std::size_t rejects_period_ = 0;
+  std::vector<StepDecision> tape_;
+
+  TmReachStats* stats_ = nullptr;
+};
+
+}  // namespace dwv::reach

@@ -6,11 +6,13 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "interval/lanes.hpp"
 #include "ode/expr_system.hpp"
 #include "parallel/pool.hpp"
 #include "reach/cache.hpp"
+#include "reach/step_control.hpp"
 #include "reach/sym_remainder.hpp"
 
 namespace dwv::reach {
@@ -239,29 +241,45 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
   // full-channel kernel sequence.
   const bool rem_dead = tape_on && f.replay_safe();
   bool tape_valid = false;  ///< tape's poly channel == (phi, u) composition
+  // Adaptive runs track convergence on every path (the break is a bitwise
+  // no-op — a converged pass maps (phi, 0) back to phi with the remainder
+  // re-zeroed — and conv_index feeds the step controller), and guarantee
+  // enough passes for the escalated orders the controller may pick
+  // (picard_iters >= order reaches the poly fixpoint).
+  const bool track_conv = tape_on || opt.adaptive;
+  const std::size_t iters_eff =
+      opt.adaptive
+          ? std::max(opt.picard_iters,
+                     static_cast<std::size_t>(env_set.order) + 1)
+          : opt.picard_iters;
+  std::size_t conv_index = iters_eff;
   s.phi.resize(n);
   for (std::size_t i = 0; i < n; ++i) s.phi[i] = s.x0[i];
-  for (std::size_t it = 0; it < opt.picard_iters; ++it) {
+  for (std::size_t it = 0; it < iters_eff; ++it) {
     const bool record = tape_on && it >= s.conv_pred;
     s.poly_only = rem_dead && !record;
     if (record) tape.start_record();
     picard(s.phi, s.picard_out);
     s.poly_only = false;
     bool converged = false;
-    if (tape_on) {
-      if (record) tape.stop();
+    if (record) tape.stop();
+    if (track_conv) {
       converged = true;
       for (std::size_t i = 0; i < n && converged; ++i)
         converged = s.picard_out[i].poly.terms() == s.phi[i].poly.terms();
       if (converged) {
-        s.conv_pred = it;
-        tape_valid = record;
+        conv_index = it;
+        if (tape_on) {
+          s.conv_pred = it;
+          tape_valid = record;
+        }
       }
     }
     std::swap(s.phi, s.picard_out);
     for (auto& tm : s.phi) tm.rem = Interval(0.0);
     if (converged) break;
   }
+  res.conv_index = conv_index;
 
   // Remainder validation: find J with P(poly + J) inside poly + J.
   s.rem_j.resize(n);
@@ -270,6 +288,8 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
 
   res.ok = false;
   res.failure.clear();
+  res.attempts = 0;
+  res.defect_rel = 0.0;
   // Every attempt evaluates the Picard operator at the same polynomials
   // (cand.poly is fixed to phi; only the remainder guess changes), so on
   // streaming lanes at most one attempt runs in full: either the fixpoint
@@ -342,6 +362,17 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
         res.tube_range[i] = taylor::tm_range(env, s.validated[i]);
         taylor::tm_subst_last_into(env, s.validated[i], h, res.at_end[i]);
       }
+      // Step-controller signals: which attempt proved containment, and the
+      // defect magnitude relative to the tube. Pure observation — nothing
+      // below reads them on the fixed path.
+      res.attempts = attempt;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double tube_rad = res.tube_range[i].rad();
+        if (tube_rad > 0.0) {
+          const double rel = s.d_range[i].rad() / tube_rad;
+          if (rel > res.defect_rel) res.defect_rel = rel;
+        }
+      }
       if (res.want_tube_tm) res.tube_tm = s.validated;
       res.ok = true;
       return;
@@ -353,6 +384,7 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
     }
   }
 
+  res.attempts = opt.max_inflations + 1;
   res.failure = "remainder validation failed (Picard operator not contracting)";
 }
 
@@ -369,6 +401,23 @@ TmDynamicsPtr dynamics_for(const ode::SystemPtr& sys) {
                   "dynamics; pass a TmDynamics explicitly");
   return nullptr;
 }
+
+// Entry validation: values that would silently corrupt a run (substeps = 0
+// makes every step h = delta/0 = inf, order = 0 leaves no polynomial
+// channel to iterate on) are rejected with a clear error instead.
+TmReachOptions validated(TmReachOptions opt) {
+  if (opt.substeps == 0) {
+    throw std::invalid_argument(
+        "TmReachOptions::substeps must be >= 1 (the step size is "
+        "delta / substeps)");
+  }
+  if (opt.order == 0) {
+    throw std::invalid_argument(
+        "TmReachOptions::order must be >= 1 (order 0 keeps no polynomial "
+        "channel)");
+  }
+  return opt;
+}
 }  // namespace
 
 TmVerifier::TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
@@ -376,7 +425,7 @@ TmVerifier::TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
     : sys_(std::move(sys)),
       spec_(std::move(spec)),
       abs_(std::move(abstraction)),
-      opt_(opt),
+      opt_(validated(opt)),
       dynamics_(dynamics_for(sys_)) {}
 
 TmVerifier::TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
@@ -385,13 +434,15 @@ TmVerifier::TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
     : sys_(std::move(sys)),
       spec_(std::move(spec)),
       abs_(std::move(abstraction)),
-      opt_(opt),
+      opt_(validated(opt)),
       dynamics_(std::move(dynamics)) {}
 
 std::string TmVerifier::name() const {
   std::ostringstream os;
   os << "tm-flowpipe(" << abs_->name() << ", order=" << opt_.order
-     << ", substeps=" << opt_.substeps << ')';
+     << ", substeps=" << opt_.substeps;
+  if (opt_.adaptive) os << ", adaptive";
+  os << ')';
   return os.str();
 }
 
@@ -424,6 +475,18 @@ std::uint64_t TmVerifier::cache_salt() const {
   // The symbolic remainder queue changes remainders (sound both ways, but
   // queue-on and queue-off pipes must never alias in a FlowpipeCache).
   w.push_back(opt_.symbolic_remainder ? 1 + opt_.sym_queue_size : 0);
+  // Adaptive schedules change remainders too (sound, containment-
+  // comparable only); every controller knob is part of the identity. The
+  // block is pushed only when adaptive is on so adaptive-off salts keep
+  // their historical bits.
+  if (opt_.adaptive) {
+    w.push_back(0xada97e57ull);
+    w.push_back(std::bit_cast<std::uint64_t>(opt_.adaptive_rtol));
+    w.push_back(opt_.adaptive_max_halvings);
+    w.push_back(opt_.adaptive_order_min);
+    w.push_back(opt_.adaptive_order_max);
+    w.push_back(opt_.adaptive_reject_budget);
+  }
   w.push_back(std::bit_cast<std::uint64_t>(spec_.delta));
   w.push_back(spec_.steps);
   w.push_back(spec_.stop_at_goal ? 1 : 0);
@@ -529,6 +592,16 @@ struct TmVerifier::Lane {
   sym::SymRemainderQueue srq;
   sym::IMat jac, a_step, a_tube;
 
+  // Adaptive step/order schedule (TmReachOptions::adaptive): decisions are
+  // pure functions of per-step computed signals, so every driver — and the
+  // gradient dual pass, whose value channel reproduces the same signal
+  // bits — derives the identical schedule independently. The controller
+  // persists across cells (cheap POD) but is reset per cell.
+  StepController sc;
+  bool streaming = false;
+  double pinned_h = 0.0;    ///< tau-domain width the streaming pin holds
+  std::uint32_t pin_cap = 0;
+
   // Per-cell state, reset by start().
   const nn::Controller* ctrl = nullptr;
   TmSymbolicPrefix* record = nullptr;
@@ -543,11 +616,19 @@ struct TmVerifier::Lane {
   bool was_recording = false;
   bool replaying = false;
   bool done = true;
+  // Schedule tape of the period being built (adaptive + recording only):
+  // consumed by finish_period into the symbolic prefix.
+  std::vector<double> h_tape;
+  std::vector<std::uint32_t> order_tape;
 
   void prime(const TmVerifier& verifier, bool stream) {
     v = &verifier;
     n = v->sys_->state_dim();
     h = v->spec_.delta / static_cast<double>(v->opt_.substeps);
+    sc.configure(v->opt_, v->spec_.delta);
+    streaming = stream;
+    pinned_h = h;
+    pin_cap = 2 * (v->opt_.adaptive ? sc.order_max() : v->opt_.order) + 2;
 
     env.dom = IVec(n, Interval(-1.0, 1.0));
     env.order = v->opt_.order;
@@ -572,7 +653,7 @@ struct TmVerifier::Lane {
       // the engine's general-purpose configuration because its env is
       // call-local and makes no domain-lifetime promise.
       taylor::TmScratch& s = env.scratch();
-      const std::uint32_t cap = 2 * v->opt_.order + 2;
+      const std::uint32_t cap = pin_cap;
       s.range.pin_domain(env.dom, cap);
       // Opt in to remainder-tape record/replay inside tm_integrate_step
       // (skips the redundant poly work of converged Picard passes and
@@ -616,6 +697,11 @@ struct TmVerifier::Lane {
     fp.step_sets.reserve(v->spec_.steps + 1);
     fp.interval_hulls.reserve(v->spec_.steps);
     fp.step_sets.push_back(x0);
+    // fp is a member (stable address): the stats pointer survives the
+    // std::move of fp at cell retirement, and the next start() re-points.
+    sc.reset(&fp.tm_stats);
+    h_tape.clear();
+    order_tape.clear();
 
     // Recording stops at the first re-initialization: afterwards the state
     // models no longer depend on the initial-set variables, so a child cell
@@ -636,6 +722,22 @@ struct TmVerifier::Lane {
     }
   }
 
+  // Adaptive streaming lanes: the scratch's time-extended domain is PINNED
+  // in the range engine (pointer identity fast path), so its tau width may
+  // only change through a re-pin — writing new bits under a stale pin
+  // would serve power rows for the old [0, h]. Pin maintenance is
+  // bit-invisible by the RangeEngine contract, so re-pin timing cannot
+  // change results. No-op on the scalar driver (no pins) and on the fixed
+  // grid (h never changes).
+  void set_step_h(double hs) {
+    if (!streaming || hs == pinned_h) return;
+    taylor::TmScratch& s = env.scratch();
+    TmEnv& et = s.env_time;
+    et.dom[n] = Interval(0.0, hs);
+    s.range.pin_domain(et.dom, pin_cap);
+    pinned_h = hs;
+  }
+
   // Books the period into the pipe, applies the stop/divergence/re-init
   // policy. Returns nonzero when the pipe is finished (1) or failed (2).
   int finish_period(const IVec& period_hull, std::vector<TmVec>&& tube_rec) {
@@ -645,6 +747,7 @@ struct TmVerifier::Lane {
     // rest of the pipeline sees gets it added back here.
     if (sym_on) end_range += srq.box();
     fp.step_sets.emplace_back(end_range);
+    if (sym_on) fp.tm_stats.sym_flushes = srq.flushes();
     if (recording) {
       if (sym_on) {
         // Materialize the queue into the recorded models so the prefix
@@ -652,10 +755,16 @@ struct TmVerifier::Lane {
         // cell's queue state.
         TmVec x_mat = x;
         for (std::size_t i = 0; i < n; ++i) x_mat[i].rem += srq.box()[i];
-        record->periods.push_back({std::move(tube_rec), std::move(x_mat)});
+        record->periods.push_back({std::move(tube_rec), std::move(x_mat),
+                                   std::move(h_tape),
+                                   std::move(order_tape)});
       } else {
-        record->periods.push_back({std::move(tube_rec), x});
+        record->periods.push_back(
+            {std::move(tube_rec), x, std::move(h_tape),
+             std::move(order_tape)});
       }
+      h_tape.clear();
+      order_tape.clear();
     }
 
     // Reach-avoid semantics: the run ends when the goal is provably
@@ -701,20 +810,35 @@ struct TmVerifier::Lane {
         }
         x = reinitialize(env, x, end_range);
         recording = false;
+        ++fp.tm_stats.reinits;
       }
     }
     return 0;
   }
 
   // One replayed period: a polynomial composition of the parent's recorded
-  // models instead of a Picard fixpoint + remainder validation.
+  // models instead of a Picard fixpoint + remainder validation. When the
+  // parent carries an adaptive schedule tape, each tube model is evaluated
+  // over its own tau domain [0, h[sub]] — the parent's models were
+  // validated per step, so a fixed-width tau would be unsound where the
+  // parent stepped shorter and loose where it stepped longer.
   void replay_period() {
     const TmSymbolicPrefix::Period& period = parent->periods[step];
+    const bool tape = !period.h.empty();
 
     IVec period_hull;
     std::vector<TmVec> tube_rec;
     if (recording) tube_rec.reserve(period.tube.size());
     for (std::size_t sub = 0; sub < period.tube.size(); ++sub) {
+      // env_time is lane-local and unpinned (its scratch is separate from
+      // the streaming env's), so mutating the tau domain here is safe. The
+      // truncation order follows the tape too: restricting an escalated
+      // model at a lower order would shave validated terms into the
+      // remainder.
+      if (tape) {
+        env_time.dom[n] = Interval(0.0, period.h[sub]);
+        env_time.order = period.order[sub];
+      }
       TmVec restricted(n);
       for (std::size_t i = 0; i < n; ++i) {
         restricted[i] = restrict_tm(env_time, period.tube[sub][i], args_time);
@@ -722,9 +846,17 @@ struct TmVerifier::Lane {
       const IVec range = taylor::tm_vec_range(env_time, restricted);
       period_hull = (sub == 0) ? range : interval::hull(period_hull, range);
       if (recording) tube_rec.push_back(std::move(restricted));
+      fp.tm_stats.note_step(tape ? period.h[sub] : h);
+    }
+    if (recording && tape) {
+      // Propagate the parent's tape so a grandchild replays the same
+      // schedule.
+      h_tape = period.h;
+      order_tape = period.order;
     }
 
     TmVec x_end(n);
+    if (tape) env.order = period.order.back();
     for (std::size_t i = 0; i < n; ++i) {
       x_end[i] = restrict_tm(env, period.at_end[i], args_set);
     }
@@ -748,7 +880,11 @@ struct TmVerifier::Lane {
   //
   // On success: a_step = exp(h J) (endpoint transport, applied to the
   // queue), q_tube = A_tube * Q (the deviation enclosure over the substep).
-  bool step_transport(const IVec& tube, const IVec& u_rng, IVec& q_tube) {
+  // `hs`/`order` are the substep's own step size and truncation order —
+  // fixed-grid callers pass the lane constants, adaptive callers the
+  // current decision (imat_exp already takes an arbitrary time interval).
+  bool step_transport(const IVec& tube, const IVec& u_rng, double hs,
+                      std::uint32_t order, IVec& q_tube) {
     const IVec& q = srq.box();
     double qmax = 0.0;
     for (std::size_t i = 0; i < n; ++i) qmax = std::max(qmax, q[i].mag());
@@ -757,7 +893,7 @@ struct TmVerifier::Lane {
       q_tube = IVec(n);
       return true;
     }
-    const std::uint32_t terms = v->opt_.order + 2;
+    const std::uint32_t terms = order + 2;
     const std::size_t m = u_rng.size();
     IVec xu(n + m);
     for (std::size_t k = 0; k < m; ++k) xu[n + k] = u_rng[k];
@@ -768,14 +904,14 @@ struct TmVerifier::Lane {
       if (!v->dynamics_->state_jacobian(xu, jac)) return false;
       // A larger kappa only grows the Jacobian domain, so once the series
       // tail diverges escalation cannot recover.
-      if (!sym::imat_exp(jac, Interval(0.0, h), terms, a_tube)) return false;
+      if (!sym::imat_exp(jac, Interval(0.0, hs), terms, a_tube)) return false;
       sym::imat_apply(a_tube, q, q_tube);
       bool inside = true;
       for (std::size_t i = 0; i < n && inside; ++i) {
         inside = q_tube[i].lo() > -dmag && q_tube[i].hi() < dmag;
       }
       if (!inside) continue;
-      return sym::imat_exp(jac, Interval(h), terms, a_step);
+      return sym::imat_exp(jac, Interval(hs), terms, a_step);
     }
     return false;
   }
@@ -797,7 +933,12 @@ struct TmVerifier::Lane {
       if (any) srq.push(incoming);
     }
 
-    // The controller must see the full enclosure, queue included.
+    // The controller must see the full enclosure, queue included. The
+    // abstraction always runs at the configured base order — escalated
+    // orders apply to the integration steps only (u is an input whose own
+    // degree is independent of the step truncation), keeping the per-period
+    // abstraction cost identical to the fixed grid's.
+    if (v->opt_.adaptive) env.order = v->opt_.order;
     TmVec x_ctrl = x;
     for (std::size_t i = 0; i < n; ++i) x_ctrl[i].rem += srq.box()[i];
     const TmVec u = v->abs_->abstract(env, x_ctrl, *ctrl);
@@ -807,6 +948,77 @@ struct TmVerifier::Lane {
     std::vector<TmVec> tube_rec;
     if (recording) tube_rec.reserve(v->opt_.substeps);
     sr.want_tube_tm = recording;
+    if (v->opt_.adaptive) {
+      bool first = true;
+      sc.start_period();
+      while (!sc.period_done()) {
+        const StepDecision d = sc.next();
+        env.order = d.order;
+        set_step_h(d.h);
+        tm_integrate_step(env, x, u, *v->dynamics_, d.h, v->opt_, sr);
+        if (!sr.ok) {
+          if (sc.reject()) continue;
+          fp.valid = false;
+          fp.failure = sr.failure;
+          done = true;
+          return;
+        }
+
+        IVec q_tube(n);
+        if (!srq.empty()) {
+          if (step_transport(sr.tube_range, u_rng, d.h, d.order, q_tube)) {
+            srq.transport(a_step);
+          } else {
+            // Same concretize-and-redo fallback as the fixed grid below;
+            // the redo itself may reject into a smaller retry (sound: the
+            // concretization only moved the queue box into x).
+            for (std::size_t i = 0; i < n; ++i) x[i].rem += srq.box()[i];
+            srq.clear();
+            q_tube = IVec(n);
+            tm_integrate_step(env, x, u, *v->dynamics_, d.h, v->opt_, sr);
+            if (!sr.ok) {
+              if (sc.reject()) continue;
+              fp.valid = false;
+              fp.failure = sr.failure;
+              done = true;
+              return;
+            }
+          }
+        }
+
+        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel});
+        fp.tm_stats.note_step(d.h);
+
+        IVec tube_eff = sr.tube_range;
+        tube_eff += q_tube;
+        period_hull =
+            first ? tube_eff : interval::hull(period_hull, tube_eff);
+        first = false;
+        std::swap(x, sr.at_end);
+
+        // Strip this substep's validated local remainder into the queue.
+        {
+          IVec rloc(n);
+          bool any = false;
+          for (std::size_t i = 0; i < n; ++i) {
+            rloc[i] = x[i].rem;
+            x[i].rem = Interval(0.0);
+            any = any || rloc[i].lo() != 0.0 || rloc[i].hi() != 0.0;
+          }
+          if (any) srq.push(rloc);
+        }
+
+        if (recording) {
+          for (std::size_t i = 0; i < n; ++i) sr.tube_tm[i].rem += q_tube[i];
+          tube_rec.push_back(std::move(sr.tube_tm));
+          h_tape.push_back(d.h);
+          order_tape.push_back(d.order);
+        }
+      }
+      ++step;
+      if (finish_period(period_hull, std::move(tube_rec)) != 0) done = true;
+      return;
+    }
     for (std::size_t sub = 0; sub < v->opt_.substeps; ++sub) {
       tm_integrate_step(env, x, u, *v->dynamics_, h, v->opt_, sr);
       if (!sr.ok) {
@@ -818,7 +1030,7 @@ struct TmVerifier::Lane {
 
       IVec q_tube(n);
       if (!srq.empty()) {
-        if (step_transport(sr.tube_range, u_rng, q_tube)) {
+        if (step_transport(sr.tube_range, u_rng, h, v->opt_.order, q_tube)) {
           srq.transport(a_step);
         } else {
           // Transport unavailable (dynamics norm beyond the tail bound):
@@ -838,6 +1050,7 @@ struct TmVerifier::Lane {
         }
       }
 
+      fp.tm_stats.note_step(h);
       IVec tube_eff = sr.tube_range;
       tube_eff += q_tube;
       period_hull =
@@ -874,12 +1087,48 @@ struct TmVerifier::Lane {
       integrate_period_sym();
       return;
     }
+    // Abstraction at the base order (see integrate_period_sym).
+    if (v->opt_.adaptive) env.order = v->opt_.order;
     const TmVec u = v->abs_->abstract(env, x, *ctrl);
 
     IVec period_hull;
     std::vector<TmVec> tube_rec;
     if (recording) tube_rec.reserve(v->opt_.substeps);
     sr.want_tube_tm = recording;  // the tube models only feed the prefix
+    if (v->opt_.adaptive) {
+      bool first = true;
+      sc.start_period();
+      while (!sc.period_done()) {
+        const StepDecision d = sc.next();
+        env.order = d.order;
+        set_step_h(d.h);
+        tm_integrate_step(env, x, u, *v->dynamics_, d.h, v->opt_, sr);
+        if (!sr.ok) {
+          // Rejected: retry the same state at a halved step (or escalated
+          // order), until the per-period budget turns this into the same
+          // failure the fixed grid reports.
+          if (sc.reject()) continue;
+          fp.valid = false;
+          fp.failure = sr.failure;
+          done = true;
+          return;
+        }
+        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel});
+        fp.tm_stats.note_step(d.h);
+        period_hull = first ? sr.tube_range
+                            : interval::hull(period_hull, sr.tube_range);
+        first = false;
+        std::swap(x, sr.at_end);
+        if (recording) {
+          tube_rec.push_back(std::move(sr.tube_tm));
+          h_tape.push_back(d.h);
+          order_tape.push_back(d.order);
+        }
+      }
+      ++step;
+      if (finish_period(period_hull, std::move(tube_rec)) != 0) done = true;
+      return;
+    }
     for (std::size_t sub = 0; sub < v->opt_.substeps; ++sub) {
       tm_integrate_step(env, x, u, *v->dynamics_, h, v->opt_, sr);
       if (!sr.ok) {
@@ -888,6 +1137,7 @@ struct TmVerifier::Lane {
         done = true;
         return;
       }
+      fp.tm_stats.note_step(h);
       period_hull = (sub == 0) ? sr.tube_range
                                : interval::hull(period_hull, sr.tube_range);
       std::swap(x, sr.at_end);

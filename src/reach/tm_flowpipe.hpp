@@ -62,6 +62,30 @@ struct TmReachOptions {
   /// setQueueSize(1000)). Larger keeps more structure; each queued entry
   /// costs one n-by-n interval matrix product per step.
   std::size_t sym_queue_size = 1000;
+  /// Adaptive step-size and order control (reach::StepController,
+  /// DESIGN.md §14): pick each substep's h and truncation order from the
+  /// previous step's computed signals, with accept/reject semantics on
+  /// containment-proof failure. Off by default — the fixed
+  /// delta/substeps grid above stays bit-identical to the historical
+  /// path. When on, results are deterministic and bit-identical across
+  /// the scalar, batched, and gradient drivers at any width/thread
+  /// count/lane backend, but only containment-comparable with
+  /// adaptive-off runs — hence salted into cache keys.
+  bool adaptive = false;
+  /// Target relative defect (defect-range radius over tube radius) per
+  /// accepted substep. Steps whose predicted doubled-h defect stays below
+  /// this grow; steps breaching it shrink.
+  double adaptive_rtol = 1e-2;
+  /// Halvings below the base step delta/substeps the controller may take
+  /// (the tick resolution of the schedule tape).
+  std::uint32_t adaptive_max_halvings = 6;
+  /// Truncation-order band the controller may roam in; 0 picks
+  /// max(2, order - 1) / order + 2 respectively.
+  std::uint32_t adaptive_order_min = 0;
+  std::uint32_t adaptive_order_max = 0;
+  /// Rejected (containment-proof-failed) substeps tolerated per control
+  /// period before the pipe fails like the fixed grid would.
+  std::size_t adaptive_reject_budget = 8;
 };
 
 /// One validated integration step: enclosure over [0, h] and at t = h.
@@ -78,6 +102,17 @@ struct TmStepResult {
   bool want_tube_tm = true;
   bool ok = false;
   std::string failure;
+
+  // Controller signals of the step (reach::StepSignals semantics),
+  // computed on every path — scalar, streaming, and the gradient dual
+  // pass reproduce the same bits. attempts is the index of the
+  // remainder-validation attempt that proved containment; conv_index the
+  // Picard pass at which the polynomial fixpoint converged bitwise
+  // (picard-iteration count when never observed); defect_rel the largest
+  // defect-range radius relative to the tube-range radius.
+  std::size_t attempts = 0;
+  std::size_t conv_index = 0;
+  double defect_rel = 0.0;
 };
 
 /// Integrates x' = f(x, u) for tau in [0, h] with u held constant (as TMs
@@ -125,6 +160,13 @@ struct TmSymbolicPrefix {
     std::vector<taylor::TmVec> tube;
     /// Validated state models at the period end, over the set vars.
     taylor::TmVec at_end;
+    /// Adaptive schedule tape, aligned with `tube`: the step size (and
+    /// truncation order) each substep was validated at. Empty on the
+    /// fixed grid, where every substep uses delta/substeps — a child cell
+    /// replaying this period restricts tau to [0, h[sub]] so the tube
+    /// ranges stay sound under per-step h.
+    std::vector<double> h;
+    std::vector<std::uint32_t> order;
   };
   std::vector<Period> periods;
   geom::Box x0;  ///< the initial box the models are parameterized over
@@ -152,7 +194,10 @@ struct TmBatchJob {
 class TmVerifier final : public Verifier {
  public:
   /// Builds the TM dynamics from the system: polynomial face when
-  /// available, expression trees for an ode::ExprSystem.
+  /// available, expression trees for an ode::ExprSystem. Both
+  /// constructors validate the options and throw std::invalid_argument
+  /// for meaningless values (substeps = 0 would make h = delta/0
+  /// infinite, order = 0 leaves no polynomial channel).
   TmVerifier(ode::SystemPtr sys, ode::ReachAvoidSpec spec,
              ControlAbstractionPtr abstraction, TmReachOptions opt = {});
   /// Explicit dynamics (custom TmDynamics implementations).

@@ -11,15 +11,23 @@ vs naive measured on the SAME machine in the SAME run. A ratio more than
 20% below the committed one means the engine's relative advantage shrank —
 a genuine code regression, not runner noise.
 
-Usage: check_bench_regression.py [--threshold R] <baseline.json> <current.json>
+Usage: check_bench_regression.py [--threshold R] [--history FILE]
+                                 <baseline.json> <current.json>
 
 --threshold sets the allowed fraction of the baseline ratio (default 0.8,
 i.e. at most a 20% relative regression). End-to-end benches that time whole
 search/learn runs carry more scheduler noise than the tight microbench
 loops and use a looser floor.
+
+--history appends one JSON line per invocation to FILE: the benchmark file
+name, every checked key with its current and baseline value, and the gate
+verdict. The file is JSONL so successive CI runs accumulate a perf
+time-series that survives baseline bumps (each bump resets the *committed*
+numbers, but the history keeps the raw trail).
 """
 
 import json
+import os
 import sys
 
 # Default: current speedup must stay within 20% of the committed baseline.
@@ -28,17 +36,22 @@ THRESHOLD = 0.8
 
 def main(argv):
     threshold = THRESHOLD
+    history_path = None
     args = argv[1:]
-    if args and args[0] == "--threshold":
-        if len(args) < 2:
-            print(f"usage: {argv[0]} [--threshold R] <baseline.json> "
-                  f"<current.json>")
+    usage = (f"usage: {argv[0]} [--threshold R] [--history FILE] "
+             f"<baseline.json> <current.json>")
+    while args and args[0].startswith("--"):
+        if args[0] == "--threshold" and len(args) >= 2:
+            threshold = float(args[1])
+            args = args[2:]
+        elif args[0] == "--history" and len(args) >= 2:
+            history_path = args[1]
+            args = args[2:]
+        else:
+            print(usage)
             return 2
-        threshold = float(args[1])
-        args = args[2:]
     if len(args) != 2:
-        print(f"usage: {argv[0]} [--threshold R] <baseline.json> "
-              f"<current.json>")
+        print(usage)
         return 2
     with open(args[0]) as f:
         baseline = json.load(f)
@@ -47,6 +60,7 @@ def main(argv):
 
     checked = 0
     failed = False
+    record = {}
     for key in sorted(baseline):
         if key.endswith("_speedup"):
             checked += 1
@@ -56,6 +70,7 @@ def main(argv):
                 print(f"FAIL {key}: missing from current results")
                 failed = True
                 continue
+            record[key] = {"current": val, "baseline": ref}
             ok = val >= threshold * ref
             mark = "ok  " if ok else "FAIL"
             print(f"{mark} {key}: {val:.3f}x (baseline {ref:.3f}x, "
@@ -73,12 +88,23 @@ def main(argv):
                 print(f"FAIL {key}: missing from current results")
                 failed = True
                 continue
+            record[key] = {"current": val, "baseline": ref}
             ceiling = min(1.0, ref / threshold)
             ok = val <= ceiling
             mark = "ok  " if ok else "FAIL"
             print(f"{mark} {key}: {val:.3f} (baseline {ref:.3f}, "
                   f"ceiling {ceiling:.3f})")
             failed = failed or not ok
+
+    if history_path is not None and record:
+        line = {
+            "bench": os.path.basename(args[1]),
+            "threshold": threshold,
+            "passed": not failed,
+            "keys": record,
+        }
+        with open(history_path, "a") as f:
+            f.write(json.dumps(line, sort_keys=True) + "\n")
 
     if checked == 0:
         print("FAIL: baseline contains no *_speedup keys to check")

@@ -37,6 +37,21 @@
 //   --sym-queue N             queue capacity before a flush-to-interval
 //                             (default 1000, as in ReachNN; implies
 //                             --sym-rem)
+//   --substeps N              TM integration substeps per control period
+//                             (default 2; must be >= 1)
+//   --order N                 TM truncation order (default 3; must be >= 1)
+//   --adaptive                adaptive step-size / order control for TM
+//                             verifiers (DESIGN.md §14): per-substep h and
+//                             order are chosen from computed signals, with
+//                             accept/reject retries; deterministic and
+//                             bit-identical across threads, batch widths,
+//                             and lane backends
+//   --adaptive-rtol X         relative defect tolerance steering the
+//                             adaptive controller (default 1e-2; implies
+//                             --adaptive)
+//   --verbose                 print TM integration counters (substeps, h
+//                             range, rejects, order changes, reinits,
+//                             symbolic-queue flushes)
 //   --grad                    (learn) analytic forward-mode gradients
 //                             through the TM verifier (one dual pass per
 //                             iteration instead of SPSA probe pairs);
@@ -76,6 +91,11 @@ struct Args {
     const auto it = options.find(key);
     return it == options.end() ? dflt : std::strtol(it->second.c_str(),
                                                     nullptr, 10);
+  }
+  double get_double(const std::string& key, double dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : std::strtod(it->second.c_str(),
+                                                    nullptr);
   }
 };
 
@@ -117,7 +137,25 @@ reach::TmReachOptions tm_options(const Args& args) {
     opt.sym_queue_size =
         static_cast<std::size_t>(args.get_long("--sym-queue", 1000));
   }
+  opt.substeps = static_cast<std::uint32_t>(
+      args.get_long("--substeps", static_cast<long>(opt.substeps)));
+  opt.order = static_cast<std::uint32_t>(
+      args.get_long("--order", static_cast<long>(opt.order)));
+  if (args.options.count("--adaptive") ||
+      args.options.count("--adaptive-rtol")) {
+    opt.adaptive = true;
+    opt.adaptive_rtol = args.get_double("--adaptive-rtol", opt.adaptive_rtol);
+  }
   return opt;
+}
+
+void print_tm_stats(const reach::TmReachStats& s) {
+  if (s.substeps == 0) return;  // not a TM verifier run
+  std::printf(
+      "tm: %zu substeps, h in [%g, %g], %zu rejects, %zu order escalations, "
+      "%zu order reductions, %zu reinits, %zu sym flushes\n",
+      s.substeps, s.h_min, s.h_max, s.rejects, s.order_escalations,
+      s.order_reductions, s.reinits, s.sym_flushes);
 }
 
 reach::VerifierPtr make_verifier(const ode::Benchmark& bench,
@@ -279,6 +317,9 @@ int cmd_learn(const Args& args) {
               res.success ? "CONVERGED" : "did not converge",
               res.iterations, res.verifier_calls, res.verifier_seconds);
   if (args.options.count("--cache-stats")) print_cache_stats(res.cache_stats);
+  if (args.options.count("--verbose")) {
+    print_tm_stats(res.final_flowpipe.tm_stats);
+  }
   if (!res.success) return 1;
 
   const sim::McStats mc = sim::monte_carlo_rates(
@@ -319,6 +360,7 @@ int cmd_verify(const Args& args) {
       *verifier, *bench.system, *ctrl, bench.spec);
   std::printf("verdict: %s (%s)\n", core::to_string(rep.verdict).c_str(),
               rep.detail.c_str());
+  if (args.options.count("--verbose")) print_tm_stats(rep.tm_stats);
   if (rep.verdict != core::Verdict::kReachAvoid &&
       rep.facts.safe_certified) {
     // Try the initial-set search: goal-reaching may hold for part of X0.
