@@ -1,0 +1,193 @@
+// Persistent flowpipe cache benchmark (DESIGN.md §15): cold vs warm ACC
+// learning with `LearnerOptions::cache_dir` set. The first run computes
+// every flowpipe and appends it to the on-disk tier; the second run (fresh
+// Learner, fresh verifier, fresh process state) replays the identical
+// deterministic call sequence and is served from disk. Contracts asserted
+// inline (nonzero exit on failure):
+//  - bit-identity: the warm run's learned parameters and final flowpipe
+//    equal the cold run's bit for bit, and the warm run computes NOTHING
+//    (0 cache misses);
+//  - warm speedup >= 3x wall clock;
+//  - salt separation: a differently-configured verifier over the SAME
+//    directory starts cold (its salt names different shard files).
+// Results are written to BENCH_persist_cache.json; CI gates the
+// `persist_warm_speedup` key via tools/check_bench_regression.py.
+//
+//   $ ./bench_persist_cache
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/learner.hpp"
+#include "nn/controller.hpp"
+#include "ode/benchmarks.hpp"
+#include "reach/cache.hpp"
+#include "reach/serialize.hpp"
+#include "reach/tm_flowpipe.hpp"
+
+using namespace dwv;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Results {
+  std::vector<std::pair<std::string, double>> rows;
+
+  void add(const std::string& name, double value, const char* unit) {
+    rows.emplace_back(name, value);
+    std::printf("%-36s %12.3f %s\n", name.c_str(), value, unit);
+  }
+
+  void write_json(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) return;
+    std::fprintf(f, "{\n  \"bench\": \"persist_cache\",\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.3f%s\n", rows[i].first.c_str(),
+                   rows[i].second, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+};
+
+int g_fail = 0;
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::printf("CONTRACT FAILURE: %s\n", what);
+    ++g_fail;
+  }
+}
+
+bool bits_eq(const linalg::Vec& a, const linalg::Vec& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  }
+  return true;
+}
+
+reach::ser::Bytes pipe_bytes(const reach::Flowpipe& fp) {
+  reach::ser::Writer w;
+  reach::ser::put(w, fp);
+  return w.take();
+}
+
+// The deterministic ACC learning configuration of bench_grad_learn: TM
+// engine over the linear feedback abstraction, SPSA ascent. Determinism is
+// what makes a warm replay possible — the second run issues the exact same
+// (x0, theta) sequence, so every verifier call is a cache lookup.
+core::LearnerOptions acc_options(const std::string& cache_dir) {
+  core::LearnerOptions opt;
+  opt.metric = core::MetricKind::kGeometric;
+  opt.require_containment = false;
+  opt.max_iters = 120;
+  opt.step_size = 0.5;
+  opt.perturbation = 0.05;
+  opt.gradient = core::GradientMode::kSpsaAveraged;
+  opt.spsa_samples = 2;
+  opt.restarts = 2;
+  opt.seed = 1;
+  opt.cache_dir = cache_dir;
+  return opt;
+}
+
+struct RunResult {
+  core::LearnResult learn;
+  linalg::Vec params;
+  double seconds = 0.0;
+};
+
+RunResult run_acc_learn(const std::string& cache_dir,
+                        const reach::TmReachOptions& topt = {}) {
+  const auto bench = ode::make_acc_benchmark();
+  const auto verifier = std::make_shared<reach::TmVerifier>(
+      bench.system, bench.spec, std::make_shared<reach::LinearAbstraction>(),
+      topt);
+  const core::Learner learner(verifier, bench.spec, acc_options(cache_dir));
+  nn::LinearController ctrl(linalg::Mat(1, 2));
+  RunResult r;
+  const double t0 = now_seconds();
+  r.learn = learner.learn(ctrl);
+  r.seconds = now_seconds() - t0;
+  r.params = ctrl.params();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("persistent flowpipe cache benchmarks\n");
+  std::printf("------------------------------------\n");
+  Results out;
+
+  const std::string dir = "bench_persist_cache.dir";
+  std::filesystem::remove_all(dir);
+
+  // Cold: every verifier call computes and is appended to the disk tier.
+  const RunResult cold = run_acc_learn(dir);
+  require(cold.learn.cache_stats.disk_hits == 0, "cold run has no disk hits");
+  require(cold.learn.cache_stats.disk_entries > 0,
+          "cold run persisted its flowpipes");
+  std::printf(
+      "cold: %zu verifier calls, %llu records persisted (%llu bytes)\n",
+      cold.learn.verifier_calls,
+      static_cast<unsigned long long>(cold.learn.cache_stats.disk_entries),
+      static_cast<unsigned long long>(
+          cold.learn.cache_stats.disk_bytes_written));
+
+  // Warm: a fresh learner over the same directory replays the identical
+  // call sequence entirely from cache — zero misses, identical result.
+  const RunResult warm = run_acc_learn(dir);
+  require(warm.learn.cache_stats.misses == 0, "warm run computes nothing");
+  require(warm.learn.cache_stats.disk_hits > 0, "warm run reads the disk tier");
+  require(warm.learn.success == cold.learn.success,
+          "warm verdict == cold verdict");
+  require(warm.learn.iterations == cold.learn.iterations,
+          "warm iteration count == cold iteration count");
+  require(bits_eq(warm.params, cold.params),
+          "warm learned parameters bit-identical to cold");
+  require(pipe_bytes(warm.learn.final_flowpipe) ==
+              pipe_bytes(cold.learn.final_flowpipe),
+          "warm final flowpipe bit-identical to cold");
+
+  const double speedup = cold.seconds / warm.seconds;
+  require(speedup >= 3.0, "warm learn >= 3x faster than cold");
+
+  // Salt separation: the same directory under a different verifier
+  // configuration (higher TM order -> different cache_salt) is cold.
+  reach::TmReachOptions other;
+  other.order = 4;
+  const RunResult salted = run_acc_learn(dir, other);
+  require(salted.learn.cache_stats.disk_hits == 0,
+          "different verifier config never reads the other salt's records");
+  require(salted.learn.cache_stats.misses > 0,
+          "different verifier config recomputes from scratch");
+
+  out.add("persist_cold_seconds", cold.seconds, "s");
+  out.add("persist_warm_seconds", warm.seconds, "s");
+  out.add("persist_warm_speedup", speedup, "x");
+  out.add("persist_warm_disk_hits",
+          static_cast<double>(warm.learn.cache_stats.disk_hits), "hits");
+  out.add("persist_disk_megabytes",
+          1e-6 * static_cast<double>(cold.learn.cache_stats.disk_bytes_written),
+          "MB");
+
+  std::filesystem::remove_all(dir);
+  out.write_json("BENCH_persist_cache.json");
+  std::printf("\nwrote BENCH_persist_cache.json%s\n",
+              g_fail ? " (CONTRACT FAILURES!)" : "");
+  return g_fail == 0 ? 0 : 1;
+}

@@ -41,10 +41,11 @@ Learner::Learner(reach::VerifierPtr verifier, ode::ReachAvoidSpec spec,
   if (const auto* cv =
           dynamic_cast<const reach::CachingVerifier*>(verifier_.get())) {
     cache_ = cv->cache();
-  } else if (opt_.cache) {
+  } else if (opt_.cache || !opt_.cache_dir.empty()) {
     reach::FlowpipeCache::Config cfg;
     cfg.capacity = opt_.cache_capacity;
     cfg.shards = opt_.cache_shards;
+    cfg.dir = opt_.cache_dir;
     auto cached =
         std::make_shared<const reach::CachingVerifier>(verifier_, cfg);
     cache_ = cached->cache();

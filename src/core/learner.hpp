@@ -87,6 +87,11 @@ struct LearnerOptions {
   bool cache = false;
   std::size_t cache_capacity = 4096;  ///< resident flowpipes when caching
   std::size_t cache_shards = 16;      ///< lock stripes (contention knob)
+  /// Persistent cache directory (DESIGN.md §15): non-empty adds the
+  /// on-disk tier behind the memory tier, so a second learn of the same
+  /// configuration warm-starts from the previous run's flowpipes (same
+  /// bit-identity contract as the memory tier). Implies `cache`.
+  std::string cache_dir;
   /// Analytic forward-mode gradients (reach::TmGradient): one dual verifier
   /// pass per iteration yields the flowpipe AND the exact metric gradient
   /// w.r.t. the controller parameters, replacing the 2 * spsa_samples probe

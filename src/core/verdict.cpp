@@ -93,4 +93,33 @@ VerificationReport verify_controller(const reach::Verifier& verifier,
   return rep;
 }
 
+void put(reach::ser::Writer& w, const VerificationReport& v) {
+  w.u8(static_cast<std::uint8_t>(v.verdict));
+  w.u8(v.facts.safe_certified ? 1 : 0);
+  w.u8(v.facts.goal_certified ? 1 : 0);
+  w.u64(v.facts.goal_step);
+  w.u8(v.facts.touches_unsafe ? 1 : 0);
+  w.u8(v.facts.touches_goal ? 1 : 0);
+  w.u8(v.flowpipe_valid ? 1 : 0);
+  w.str(v.detail);
+  reach::ser::put(w, v.tm_stats);
+}
+
+bool get(reach::ser::Reader& r, VerificationReport& out) {
+  const std::uint8_t verdict = r.u8();
+  if (!r.ok() || verdict > static_cast<std::uint8_t>(Verdict::kUnknown)) {
+    r.fail();
+    return false;
+  }
+  out.verdict = static_cast<Verdict>(verdict);
+  out.facts.safe_certified = r.u8() != 0;
+  out.facts.goal_certified = r.u8() != 0;
+  out.facts.goal_step = static_cast<std::size_t>(r.u64());
+  out.facts.touches_unsafe = r.u8() != 0;
+  out.facts.touches_goal = r.u8() != 0;
+  out.flowpipe_valid = r.u8() != 0;
+  out.detail = r.str();
+  return reach::ser::get(r, out.tm_stats) && r.ok();
+}
+
 }  // namespace dwv::core

@@ -8,6 +8,7 @@
 #include "ode/spec.hpp"
 #include "ode/system.hpp"
 #include "reach/flowpipe.hpp"
+#include "reach/serialize.hpp"
 #include "reach/verifier.hpp"
 
 namespace dwv::core {
@@ -56,5 +57,13 @@ VerificationReport verify_controller(const reach::Verifier& verifier,
                                      const ode::ReachAvoidSpec& spec,
                                      std::size_t counterexample_samples = 200,
                                      std::uint64_t seed = 1234);
+
+/// Binary serialization of a report in the reach/serialize.hpp format
+/// (DESIGN.md §15) — the record type the verification-as-a-service daemon
+/// will persist alongside flowpipes. Same contract as the reach
+/// serializers: put() writes exact bits, get() validates and returns
+/// false on malformed input.
+void put(reach::ser::Writer& w, const VerificationReport& v);
+bool get(reach::ser::Reader& r, VerificationReport& out);
 
 }  // namespace dwv::core

@@ -37,6 +37,16 @@ class Polygon2d {
   static Polygon2d from_box(const Box& b);
   /// Rectangle [x0,x1] x [y0,y1].
   static Polygon2d rect(double x0, double x1, double y0, double y1);
+  /// Adopts `vs` verbatim as the stored hull, skipping the convex-hull
+  /// normalization of the public constructor. For deserializing polygons
+  /// this class previously produced: re-running the hull on stored
+  /// vertices may rotate the start point or drop collinear ones, so a
+  /// round-trip through the constructor would not be bit-identical.
+  static Polygon2d from_hull_vertices(std::vector<P2> vs) {
+    Polygon2d p;
+    p.vs_ = std::move(vs);
+    return p;
+  }
 
   bool empty() const { return vs_.empty(); }
   std::size_t size() const { return vs_.size(); }

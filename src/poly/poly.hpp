@@ -17,6 +17,7 @@
 // than 64 variables can only represent constants.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <ostream>
@@ -123,6 +124,18 @@ class Poly {
   static Poly constant(std::size_t nvars, double c);
   /// The coordinate polynomial x_i.
   static Poly variable(std::size_t nvars, std::size_t i);
+  /// Adopts `terms` verbatim (must be sorted by key strictly ascending, in
+  /// this nvars layout). The deserialization hook: a stored term vector is
+  /// re-adopted without re-sorting or zero-dropping, so the round-tripped
+  /// polynomial carries exactly the bits that were written.
+  static Poly from_sorted_terms(std::size_t nvars, std::vector<Term> terms) {
+    Poly p(nvars);
+    assert(std::is_sorted(
+        terms.begin(), terms.end(),
+        [](const Term& a, const Term& b) { return a.key < b.key; }));
+    p.terms_ = std::move(terms);
+    return p;
+  }
 
   std::size_t nvars() const { return nvars_; }
   bool is_zero() const { return terms_.empty(); }

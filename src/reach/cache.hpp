@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -30,20 +31,33 @@ namespace dwv::reach {
 
 /// Plain-value snapshot of the cache counters (see FlowpipeCache::stats).
 struct CacheStats {
+  /// In-memory tier hits (the value was resident).
   std::uint64_t hits = 0;
+  /// Misses of BOTH tiers (the verifier had to compute).
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t insertions = 0;
-  /// Wall time spent inside cache bookkeeping (lookups + inserts).
+  /// Persistent-tier counters (all zero without a --cache-dir tier).
+  /// A disk hit deserializes the record and backfills the memory tier, so
+  /// later lookups of the same key count under `hits`.
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_bytes_read = 0;
+  std::uint64_t disk_bytes_written = 0;
+  /// Records indexed on disk (live keys, not raw log records).
+  std::uint64_t disk_entries = 0;
+  /// Wall time spent inside cache bookkeeping (lookups + inserts,
+  /// including disk serialization and I/O).
   double overhead_seconds = 0.0;
   /// Wall time spent in the wrapped verifier on misses — the per-phase
   /// split: total verify time = overhead + miss_compute (+ ~0 on hits).
   double miss_compute_seconds = 0.0;
 
-  std::uint64_t lookups() const { return hits + misses; }
+  std::uint64_t lookups() const { return hits + disk_hits + misses; }
   double hit_rate() const {
     const std::uint64_t n = lookups();
-    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+    return n == 0 ? 0.0
+                  : static_cast<double>(hits + disk_hits) /
+                        static_cast<double>(n);
   }
 };
 
@@ -58,6 +72,21 @@ struct FlowpipeCacheConfig {
   std::size_t capacity = 4096;
   /// Lock stripes; more shards = less contention under the thread pool.
   std::size_t shards = 16;
+  /// Directory of the persistent tier (DESIGN.md §15); empty = memory
+  /// only. Opening scans the directory's shard logs (corrupt, truncated,
+  /// or version/salt-mismatched content degrades to a cold start, never an
+  /// error), every insert appends, and a memory-tier miss consults the
+  /// disk index before computing. I/O errors on the WRITE path (unwritable
+  /// directory, disk full) throw std::runtime_error — a persistent cache
+  /// that silently runs cold would break the warm-start contract.
+  std::string dir;
+  /// Salt naming this configuration's shard files: records produced under
+  /// different verifier fingerprints / range modes / adaptive options live
+  /// in different files and can never alias. CachingVerifier defaults it
+  /// to its key seed (verifier name + cache_salt) when left 0.
+  std::uint64_t disk_salt = 0;
+  /// Shard-log fan-out of the persistent tier.
+  std::size_t disk_shards = 8;
 };
 
 class FlowpipeCache {
@@ -76,11 +105,20 @@ class FlowpipeCache {
       return id == o.id && hash == o.hash && words == o.words;
     }
   };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
 
   static Key make_key(std::uint64_t id, const geom::Box& x0,
                       const linalg::Vec& params);
 
+  /// Opens the persistent tier when cfg.dir is set (creating the
+  /// directory); throws std::runtime_error when the directory cannot be
+  /// created or its shard logs cannot be opened for writing.
   explicit FlowpipeCache(Config cfg = {});
+  ~FlowpipeCache();
 
   /// Returns a copy of the cached pipe and refreshes its LRU position.
   /// Pending placeholders (see insert_pending) count as misses: a racing
@@ -113,19 +151,17 @@ class FlowpipeCache {
 
   CacheStats stats() const;
   void reset_stats();
+  /// Drops the MEMORY tier only; the persistent tier keeps its records
+  /// (use compact_cache_dir / filesystem removal to manage the disk).
   void clear();
   std::size_t size() const;
   std::size_t capacity() const { return cfg_.capacity; }
+  bool has_disk_tier() const { return disk_ != nullptr; }
 
   /// Accounting hook for the time the caller spent computing a miss.
   void add_miss_compute_seconds(double s);
 
  private:
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return static_cast<std::size_t>(k.hash);
-    }
-  };
   struct Entry {
     Key key;
     Flowpipe fp;
@@ -143,17 +179,50 @@ class FlowpipeCache {
     return *shards_[key.hash % shards_.size()];
   }
 
+  /// Inserts `fp` into the memory tier under the shard lock (the shared
+  /// tail of insert() and the disk-hit backfill), returning evictions.
+  std::uint64_t mem_insert(const Key& key, const Flowpipe& fp);
+  /// Probes the persistent tier; deserializes on hit. Never throws —
+  /// corrupt or unreadable records are a miss.
+  std::optional<Flowpipe> disk_fetch(const Key& key);
+  /// Appends (key, fp) to the persistent tier unless the key is already
+  /// on disk; throws std::runtime_error on write failure.
+  void disk_append(const Key& key, const Flowpipe& fp);
+
   Config cfg_;
   std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  struct DiskTier;
+  std::unique_ptr<DiskTier> disk_;
 
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
   mutable std::atomic<std::uint64_t> insertions_{0};
+  mutable std::atomic<std::uint64_t> disk_hits_{0};
+  mutable std::atomic<std::uint64_t> disk_bytes_read_{0};
+  mutable std::atomic<std::uint64_t> disk_bytes_written_{0};
   mutable std::atomic<std::uint64_t> overhead_ns_{0};
   mutable std::atomic<std::uint64_t> miss_compute_ns_{0};
 };
+
+/// Offline compaction of a persistent cache directory (`dwv
+/// cache-compact`): rewrites every shard log to its live records (last
+/// valid record per key, first-seen order), drops corrupt or truncated
+/// tails, and deletes stale-format files of this cache's magic. Each
+/// rewritten log is published by atomic rename, so a crash mid-compaction
+/// leaves the original file intact. Run it offline — a concurrently
+/// appending process would lose appends made after the rewrite's snapshot.
+struct CacheCompactionStats {
+  std::size_t files = 0;            ///< shard logs rewritten
+  std::size_t stale_files_deleted = 0;
+  std::size_t records_kept = 0;
+  std::size_t records_dropped = 0;  ///< superseded duplicates + corrupt
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+};
+CacheCompactionStats compact_cache_dir(const std::string& dir);
 
 /// Word-at-a-time mix over a word stream; the canonical hash used for
 /// cache keys. Only ever used to pick shards/buckets — keys still compare

@@ -1,5 +1,6 @@
 #include "reach/grad_flowpipe.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -131,6 +132,7 @@ void dual_integrate_step(const DualTmEnv& env_set, const DualTmVec& state,
   res.failure.clear();
   res.attempts = 0;
   res.defect_rel = 0.0;
+  res.max_poly_terms = 0;
   for (std::size_t attempt = 0; attempt <= opt.max_inflations; ++attempt) {
     ss.cand.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -169,12 +171,15 @@ void dual_integrate_step(const DualTmEnv& env_set, const DualTmVec& state,
       }
       // Step-controller signals, value channel only (same bits as scalar).
       res.attempts = attempt;
+      res.max_poly_terms = 0;
       for (std::size_t i = 0; i < n; ++i) {
         const double tube_rad = res.tube_range[i].v.rad();
         if (tube_rad > 0.0) {
           const double rel = ss.d_range[i].v.rad() / tube_rad;
           if (rel > res.defect_rel) res.defect_rel = rel;
         }
+        res.max_poly_terms =
+            std::max(res.max_poly_terms, ss.validated[i].p.val.term_count());
       }
       res.ok = true;
       return;
@@ -478,7 +483,7 @@ GradFlowpipe TmGradient::compute(const geom::Box& x0,
   // controller's signals come from the value channel, whose bits match the
   // scalar driver's, so both drivers walk the identical (h, order) tape.
   StepController sc;
-  sc.configure(opt_, spec_.delta);
+  sc.configure(opt_, spec_.delta, n);
   sc.reset(&fp.tm_stats);
 
   for (std::size_t step = 0; step < spec_.steps; ++step) {
@@ -502,7 +507,8 @@ GradFlowpipe TmGradient::compute(const geom::Box& x0,
           failed = true;
           break;
         }
-        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel});
+        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel,
+                      sr.max_poly_terms});
         fp.tm_stats.note_step(d.h);
         if (first) {
           period_hull = sr.tube_range;

@@ -57,6 +57,10 @@ struct DualStepResult {
   std::size_t attempts = 0;
   std::size_t conv_index = 0;
   double defect_rel = 0.0;
+  /// Largest term count over the validated VALUE polynomials — the dual
+  /// kernels keep the value channel's term vector identical to the scalar
+  /// pipeline's, so this matches TmStepResult::max_poly_terms bitwise.
+  std::size_t max_poly_terms = 0;
 };
 
 /// Scratch for dual_integrate_step (the dual analogue of the step buffers

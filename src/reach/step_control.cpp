@@ -7,8 +7,10 @@
 
 namespace dwv::reach {
 
-void StepController::configure(const TmReachOptions& opt, double delta) {
+void StepController::configure(const TmReachOptions& opt, double delta,
+                               std::size_t state_dim) {
   adaptive_ = opt.adaptive;
+  nvars_time_ = state_dim == 0 ? 0 : state_dim + 1;
   delta_ = delta;
   rtol_ = opt.adaptive_rtol;
   order0_ = opt.order;
@@ -42,6 +44,19 @@ void StepController::start_period() {
   ticks_left_ = period_ticks_;
   rejects_period_ = 0;
   tape_.clear();
+}
+
+std::uint64_t StepController::dense_basis(std::uint32_t order) const {
+  // C(nvars_time_ + order, order) by the multiplicative rule; exact integer
+  // arithmetic (deterministic across platforms), saturating far above any
+  // term count a real run produces.
+  std::uint64_t b = 1;
+  for (std::uint32_t i = 1; i <= order; ++i) {
+    const std::uint64_t num = nvars_time_ + i;
+    if (b > (1ull << 48) / num) return 1ull << 48;  // saturate
+    b = b * num / i;
+  }
+  return b;
 }
 
 double StepController::step_h(std::uint64_t ticks) const {
@@ -88,6 +103,19 @@ void StepController::accept(const StepDecision& d, const StepSignals& sig) {
   const double pred2 =
       sig.defect_rel * std::exp2(static_cast<double>(d.order) + 1.0);
 
+  // An order escalation is only PROFITABLE while the polynomial channel is
+  // sparse: a dense state component at order p+1 carries
+  // ~(nvars+p+1)/(p+1) times the terms of order p, and the quadratic
+  // kernels turn that into a severalfold per-step cost (the oscillator's
+  // tanh MLP measured ~2.7x per order) — more than any halved step count
+  // or accuracy margin buys back. Affine-sparse channels (linear dynamics
+  // and controllers) escalate freely; dense ones settle on the base grid,
+  // whose accuracy is already the fixed grid's.
+  const bool escalation_cheap =
+      nvars_time_ == 0 || sig.poly_terms == 0 ||
+      2 * static_cast<std::uint64_t>(sig.poly_terms) <=
+          dense_basis(cur_order_);
+
   if (sig.defect_rel > rtol_ || sig.attempts >= 3) {
     // The accepted step is past the tolerance (or validation needed
     // repeated inflation to prove it — one extra attempt is routine for a
@@ -100,7 +128,8 @@ void StepController::accept(const StepDecision& d, const StepSignals& sig) {
     // goes below base. At the base step, buy accuracy with the order.
     if (cur_ticks_ > base_ticks_) {
       cur_ticks_ >>= 1;
-    } else if (cur_ticks_ == base_ticks_ && cur_order_ < order_max_) {
+    } else if (cur_ticks_ == base_ticks_ && cur_order_ < order_max_ &&
+               escalation_cheap) {
       ++cur_order_;
       if (stats_) ++stats_->order_escalations;
     }
@@ -114,11 +143,13 @@ void StepController::accept(const StepDecision& d, const StepSignals& sig) {
     return;
   }
   if (cur_ticks_ < period_ticks_) {
-    if (pred2 <= rtol_) {
-      // Grow in h-p balance: doubling h multiplies the truncation tail by
-      // 2^(p+1), one more order divides it by ~1/h — escalating alongside
-      // the doubling keeps the grown step at least as accurate as the two
-      // base steps it replaces (the tightness contract the bench gates).
+    // Growing is an h-p balanced move: doubling h multiplies the
+    // truncation tail by 2^(p+1), one more order divides it by ~1/h —
+    // escalating alongside the doubling keeps the grown step at least as
+    // accurate as the two base steps it replaces (the tightness contract
+    // the bench gates). Growth therefore requires the escalation to pay
+    // for itself, same predicate as above.
+    if (pred2 <= rtol_ && escalation_cheap) {
       cur_ticks_ = std::min(cur_ticks_ << 1, period_ticks_);
       if (cur_order_ < order_max_) {
         ++cur_order_;

@@ -52,14 +52,26 @@ struct StepSignals {
   std::size_t attempts = 0;
   std::size_t conv_index = 0;
   double defect_rel = 0.0;
+  /// Largest term count over the accepted step's validated state
+  /// polynomials — the cost signal of the polynomial channel. Growing the
+  /// step escalates the truncation order (h-p balance), and an order bump
+  /// multiplies the per-step arithmetic severalfold when the channel is
+  /// dense; the controller only grows while the channel is sparse enough
+  /// that the escalated step is predicted cheaper than the two steps it
+  /// replaces. 0 (never filled) is treated as sparse.
+  std::size_t poly_terms = 0;
 };
 
 class StepController {
  public:
-  /// Captures the schedule parameters. With opt.adaptive == false the
+  /// Captures the schedule parameters. `state_dim` is the dimension of the
+  /// integrated state (the Taylor models live over state_dim set variables
+  /// plus tau), sizing the dense-basis budget the grow gate compares term
+  /// counts against; 0 disables the gate. With opt.adaptive == false the
   /// controller still yields the fixed grid (base step every time), but
   /// drivers bypass it entirely on that path.
-  void configure(const TmReachOptions& opt, double delta);
+  void configure(const TmReachOptions& opt, double delta,
+                 std::size_t state_dim = 0);
 
   bool adaptive() const { return adaptive_; }
   std::uint32_t order_max() const { return order_max_; }
@@ -95,9 +107,13 @@ class StepController {
 
  private:
   double step_h(std::uint64_t ticks) const;
+  /// C(nvars_time_ + order, order): the dense polynomial basis size at
+  /// `order` — the term budget a fully dense state component would fill.
+  std::uint64_t dense_basis(std::uint32_t order) const;
 
   // Configuration.
   bool adaptive_ = false;
+  std::size_t nvars_time_ = 0;  ///< state_dim + 1 (tau); 0 = gate off
   double delta_ = 0.0;
   double rtol_ = 0.0;
   std::uint32_t order0_ = 0;

@@ -290,6 +290,7 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
   res.failure.clear();
   res.attempts = 0;
   res.defect_rel = 0.0;
+  res.max_poly_terms = 0;
   // Every attempt evaluates the Picard operator at the same polynomials
   // (cand.poly is fixed to phi; only the remainder guess changes), so on
   // streaming lanes at most one attempt runs in full: either the fixpoint
@@ -366,12 +367,15 @@ void tm_integrate_step(const TmEnv& env_set, const TmVec& state,
       // defect magnitude relative to the tube. Pure observation — nothing
       // below reads them on the fixed path.
       res.attempts = attempt;
+      res.max_poly_terms = 0;
       for (std::size_t i = 0; i < n; ++i) {
         const double tube_rad = res.tube_range[i].rad();
         if (tube_rad > 0.0) {
           const double rel = s.d_range[i].rad() / tube_rad;
           if (rel > res.defect_rel) res.defect_rel = rel;
         }
+        res.max_poly_terms =
+            std::max(res.max_poly_terms, s.validated[i].poly.term_count());
       }
       if (res.want_tube_tm) res.tube_tm = s.validated;
       res.ok = true;
@@ -625,7 +629,7 @@ struct TmVerifier::Lane {
     v = &verifier;
     n = v->sys_->state_dim();
     h = v->spec_.delta / static_cast<double>(v->opt_.substeps);
-    sc.configure(v->opt_, v->spec_.delta);
+    sc.configure(v->opt_, v->spec_.delta, n);
     streaming = stream;
     pinned_h = h;
     pin_cap = 2 * (v->opt_.adaptive ? sc.order_max() : v->opt_.order) + 2;
@@ -986,7 +990,8 @@ struct TmVerifier::Lane {
           }
         }
 
-        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel});
+        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel,
+                      sr.max_poly_terms});
         fp.tm_stats.note_step(d.h);
 
         IVec tube_eff = sr.tube_range;
@@ -1113,7 +1118,8 @@ struct TmVerifier::Lane {
           done = true;
           return;
         }
-        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel});
+        sc.accept(d, {sr.attempts, sr.conv_index, sr.defect_rel,
+                      sr.max_poly_terms});
         fp.tm_stats.note_step(d.h);
         period_hull = first ? sr.tube_range
                             : interval::hull(period_hull, sr.tube_range);

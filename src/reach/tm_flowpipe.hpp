@@ -113,6 +113,11 @@ struct TmStepResult {
   std::size_t attempts = 0;
   std::size_t conv_index = 0;
   double defect_rel = 0.0;
+  /// Largest term count over the validated state polynomials — the cost
+  /// signal the controller's grow gate compares against the dense basis.
+  /// Term counts of validated polys are part of the value channel, so the
+  /// signal is bit-identical across scalar/batch/dual drivers.
+  std::size_t max_poly_terms = 0;
 };
 
 /// Integrates x' = f(x, u) for tau in [0, h] with u held constant (as TMs

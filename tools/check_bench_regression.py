@@ -24,6 +24,11 @@ name, every checked key with its current and baseline value, and the gate
 verdict. The file is JSONL so successive CI runs accumulate a perf
 time-series that survives baseline bumps (each bump resets the *committed*
 numbers, but the history keeps the raw trail).
+
+--floor KEY=VALUE (repeatable) additionally pins an ABSOLUTE minimum for a
+speedup key, independent of the committed baseline. Relative thresholds
+drift with every baseline bump; a floor encodes a hard promise ("adaptive
+never loses more than 5% on the oscillator") that survives them.
 """
 
 import json
@@ -37,15 +42,20 @@ THRESHOLD = 0.8
 def main(argv):
     threshold = THRESHOLD
     history_path = None
+    floors = {}
     args = argv[1:]
     usage = (f"usage: {argv[0]} [--threshold R] [--history FILE] "
-             f"<baseline.json> <current.json>")
+             f"[--floor KEY=VALUE ...] <baseline.json> <current.json>")
     while args and args[0].startswith("--"):
         if args[0] == "--threshold" and len(args) >= 2:
             threshold = float(args[1])
             args = args[2:]
         elif args[0] == "--history" and len(args) >= 2:
             history_path = args[1]
+            args = args[2:]
+        elif args[0] == "--floor" and len(args) >= 2 and "=" in args[1]:
+            key, _, value = args[1].partition("=")
+            floors[key] = float(value)
             args = args[2:]
         else:
             print(usage)
@@ -71,10 +81,11 @@ def main(argv):
                 failed = True
                 continue
             record[key] = {"current": val, "baseline": ref}
-            ok = val >= threshold * ref
+            lo = max(threshold * ref, floors.get(key, 0.0))
+            ok = val >= lo
             mark = "ok  " if ok else "FAIL"
             print(f"{mark} {key}: {val:.3f}x (baseline {ref:.3f}x, "
-                  f"floor {threshold * ref:.3f}x)")
+                  f"floor {lo:.3f}x)")
             failed = failed or not ok
         elif key.endswith("_tightness_ratio"):
             # Enclosure-width ratios (queued / conventional): smaller is

@@ -3,6 +3,8 @@
 //   dwv learn    <benchmark> [options]   run Algorithm 1 and save the result
 //   dwv verify   <benchmark> [options]   verify a saved controller
 //   dwv simulate <benchmark> [options]   Monte-Carlo SC/GR of a controller
+//   dwv cache-compact --cache-dir DIR    rewrite a persistent cache to its
+//                                        live records (offline)
 //   dwv list                             list the built-in benchmarks
 //
 // Benchmarks: acc, oscillator, sys3d, b1, b2, b3, b4.
@@ -29,6 +31,13 @@
 //                             (bit-identical results, fewer re-computations)
 //   --cache-stats             print cache hit/miss/eviction counters and
 //                             the per-phase timing split (implies --cache)
+//   --cache-dir DIR           persistent flowpipe cache (DESIGN.md §15):
+//                             adds an on-disk tier behind the memory tier
+//                             so a re-run of the same configuration warm-
+//                             starts from the previous run's flowpipes,
+//                             bit for bit (implies --cache). Corrupt or
+//                             stale records degrade to a cold start; an
+//                             unwritable directory is an error (exit 1)
 //   --reuse-prefix            (verify) child cells of the X_I search reuse
 //                             the parent's symbolic flowpipe prefix
 //   --sym-rem                 symbolic remainder queue for TM verifiers
@@ -109,8 +118,8 @@ std::size_t batch_width(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dwv <learn|verify|simulate|list> [benchmark] "
-               "[--option value]...\n"
+               "usage: dwv <learn|verify|simulate|cache-compact|list> "
+               "[benchmark] [--option value]...\n"
                "see the header of tools/dwv_cli.cpp for details\n");
   return 2;
 }
@@ -243,6 +252,7 @@ core::LearnerOptions learner_options(const ode::Benchmark& bench,
   opt.batch = batch_width(args);
   opt.cache = args.options.count("--cache") != 0 ||
               args.options.count("--cache-stats") != 0;
+  opt.cache_dir = args.get("--cache-dir", "");
   opt.grad = args.options.count("--grad") != 0;
   return opt;
 }
@@ -281,6 +291,16 @@ void print_cache_stats(const reach::CacheStats& s) {
       static_cast<unsigned long long>(s.evictions));
   std::printf("cache: %.3fs bookkeeping overhead, %.3fs miss compute\n",
               s.overhead_seconds, s.miss_compute_seconds);
+  if (s.disk_hits != 0 || s.disk_entries != 0 ||
+      s.disk_bytes_written != 0) {
+    std::printf(
+        "disk:  %llu hits, %llu records, %llu bytes read, "
+        "%llu bytes written\n",
+        static_cast<unsigned long long>(s.disk_hits),
+        static_cast<unsigned long long>(s.disk_entries),
+        static_cast<unsigned long long>(s.disk_bytes_read),
+        static_cast<unsigned long long>(s.disk_bytes_written));
+  }
   const linalg::ZohCacheStats z = linalg::zoh_cache_stats();
   std::printf("zoh:   %llu hits / %llu lookups\n",
               static_cast<unsigned long long>(z.hits),
@@ -349,8 +369,12 @@ int cmd_verify(const Args& args) {
                     tm_options(args));
   warn_if_sym_rem_ignored(args, verifier);
   std::shared_ptr<reach::FlowpipeCache> cache;
-  if (args.options.count("--cache") || args.options.count("--cache-stats")) {
-    auto cached = std::make_shared<const reach::CachingVerifier>(verifier);
+  if (args.options.count("--cache") || args.options.count("--cache-stats") ||
+      args.options.count("--cache-dir")) {
+    reach::FlowpipeCache::Config cfg;
+    cfg.dir = args.get("--cache-dir", "");
+    auto cached =
+        std::make_shared<const reach::CachingVerifier>(verifier, cfg);
     cache = cached->cache();
     verifier = std::move(cached);
   }
@@ -377,6 +401,23 @@ int cmd_verify(const Args& args) {
     print_cache_stats(cache->stats());
   }
   return rep.verdict == core::Verdict::kReachAvoid ? 0 : 1;
+}
+
+int cmd_cache_compact(const Args& args) {
+  const std::string dir = args.get("--cache-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "cache-compact requires --cache-dir DIR\n");
+    return 2;
+  }
+  const reach::CacheCompactionStats s = reach::compact_cache_dir(dir);
+  std::printf(
+      "compacted %zu shard logs: %zu records kept, %zu dropped, "
+      "%zu stale files deleted\n",
+      s.files, s.records_kept, s.records_dropped, s.stale_files_deleted);
+  std::printf("%llu -> %llu bytes\n",
+              static_cast<unsigned long long>(s.bytes_before),
+              static_cast<unsigned long long>(s.bytes_after));
+  return 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -420,6 +461,7 @@ int main(int argc, char** argv) {
 
   try {
     if (args.command == "list") return cmd_list();
+    if (args.command == "cache-compact") return cmd_cache_compact(args);
     if (args.benchmark.empty()) return usage();
     if (args.command == "learn") return cmd_learn(args);
     if (args.command == "verify") return cmd_verify(args);
