@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "core/verdict.hpp"
 #include "parallel/pool.hpp"
@@ -131,10 +133,21 @@ InitialSetResult search_work_steal(const reach::Verifier& verifier,
 
 }  // namespace
 
+void validate_search_depth(std::size_t max_depth) {
+  if (max_depth > kMaxSearchDepth) {
+    throw std::invalid_argument(
+        "InitialSetOptions::max_depth = " + std::to_string(max_depth) +
+        " exceeds " + std::to_string(kMaxSearchDepth) +
+        ": 64-bit heap sequence numbers (2s / 2s+1 per bisection) would "
+        "wrap and alias distinct cells");
+  }
+}
+
 InitialSetResult search_initial_set(const reach::Verifier& verifier,
                                     const ode::ReachAvoidSpec& spec,
                                     const nn::Controller& ctrl,
                                     const InitialSetOptions& opt) {
+  validate_search_depth(opt.max_depth);
   InitialSetResult res;
 
   // Parent-prefix reuse needs the symbolic TmVerifier interface; unwrap
@@ -215,6 +228,35 @@ InitialSetResult search_initial_set(const reach::Verifier& verifier,
 
   res.coverage = total_volume > 0.0 ? certified_volume / total_volume : 0.0;
   return res;
+}
+
+void put(reach::ser::Writer& w, const InitialSetResult& v) {
+  w.u64(v.certified.size());
+  for (const geom::Box& b : v.certified) reach::ser::put(w, b);
+  w.u64(v.rejected.size());
+  for (const geom::Box& b : v.rejected) reach::ser::put(w, b);
+  w.f64(v.coverage);
+  w.u64(v.verifier_calls);
+}
+
+bool get(reach::ser::Reader& r, InitialSetResult& out) {
+  out = InitialSetResult{};
+  // A serialized box is at least a u64 dimension count (8 bytes).
+  std::uint64_t n = r.count(8);
+  if (!r.ok()) return false;
+  out.certified.resize(static_cast<std::size_t>(n));
+  for (geom::Box& b : out.certified) {
+    if (!reach::ser::get(r, b)) return false;
+  }
+  n = r.count(8);
+  if (!r.ok()) return false;
+  out.rejected.resize(static_cast<std::size_t>(n));
+  for (geom::Box& b : out.rejected) {
+    if (!reach::ser::get(r, b)) return false;
+  }
+  out.coverage = r.f64();
+  out.verifier_calls = static_cast<std::size_t>(r.u64());
+  return r.ok();
 }
 
 }  // namespace dwv::core

@@ -11,12 +11,27 @@
 
 #include "nn/controller.hpp"
 #include "ode/spec.hpp"
+#include "reach/serialize.hpp"
 #include "reach/verifier.hpp"
 
 namespace dwv::core {
 
+/// Upper bound on InitialSetOptions::max_depth. Cells carry 64-bit heap
+/// sequence numbers (root 1, children 2s and 2s+1), so a cell at depth d
+/// has seq in [2^d, 2^(d+1)); past depth 62 the child sequence 2s+1 can
+/// wrap std::uint64_t and two different cells would silently merge under
+/// one sequence number. Every search entry point validates the bound and
+/// throws std::invalid_argument instead.
+inline constexpr std::size_t kMaxSearchDepth = 62;
+
+/// Throws std::invalid_argument when max_depth > kMaxSearchDepth (the
+/// shared entry-point check of search_initial_set and the sharded driver).
+void validate_search_depth(std::size_t max_depth);
+
 struct InitialSetOptions {
   /// Maximum bisection depth (a cell at depth d has volume |X0| / 2^d).
+  /// Must be <= kMaxSearchDepth (heap sequence numbers are 64-bit; see
+  /// above) — search_initial_set throws std::invalid_argument otherwise.
   std::size_t max_depth = 4;
   /// Also require per-cell safety certification (safety already holds for
   /// all of X0 when Algorithm 1 succeeded, so this is usually redundant).
@@ -74,5 +89,11 @@ InitialSetResult search_initial_set(const reach::Verifier& verifier,
                                     const ode::ReachAvoidSpec& spec,
                                     const nn::Controller& ctrl,
                                     const InitialSetOptions& opt = {});
+
+/// Binary serialization of a search result (DESIGN.md §15 format rules:
+/// exact IEEE-754 bit patterns, so put/get round-trips byte-identically).
+/// get() validates counts/boxes and returns false on malformed input.
+void put(reach::ser::Writer& w, const InitialSetResult& v);
+bool get(reach::ser::Reader& r, InitialSetResult& out);
 
 }  // namespace dwv::core

@@ -210,7 +210,7 @@ FlowpipeCache::FlowpipeCache(Config cfg) : cfg_(std::move(cfg)) {
   // warm-start contract. Unreadable CONTENT only degrades to cold.
   auto tier = std::make_unique<DiskTier>();
   tier->dir = cfg_.dir;
-  tier->salt = cfg_.disk_salt;
+  tier->salt = cfg_.disk_salt ^ cfg_.disk_salt_mix;
   {
     std::error_code ec;
     std::filesystem::create_directories(cfg_.dir, ec);

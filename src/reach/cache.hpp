@@ -85,6 +85,15 @@ struct FlowpipeCacheConfig {
   /// in different files and can never alias. CachingVerifier defaults it
   /// to its key seed (verifier name + cache_salt) when left 0.
   std::uint64_t disk_salt = 0;
+  /// XOR-folded into the effective disk salt AFTER disk_salt is resolved
+  /// (explicit or CachingVerifier-derived). Lets co-operating processes —
+  /// e.g. the K shard processes of `dwv search --shard i/K` — share one
+  /// cache directory without interleaving appends into the same shard
+  /// logs: each process mixes a distinct value and therefore owns its own
+  /// salted log files, while a later run that mixes the same value reads
+  /// that process's records back. 0 = no mixing (the default, and the
+  /// byte-compatible behaviour for all pre-existing cache directories).
+  std::uint64_t disk_salt_mix = 0;
   /// Shard-log fan-out of the persistent tier.
   std::size_t disk_shards = 8;
 };

@@ -2,10 +2,13 @@
 //
 //   dwv learn    <benchmark> [options]   run Algorithm 1 and save the result
 //   dwv verify   <benchmark> [options]   verify a saved controller
+//   dwv search   <benchmark> [options]   sharded/checkpointable X_I search
+//                                        (Algorithm 2 at scale; DESIGN.md §16)
 //   dwv simulate <benchmark> [options]   Monte-Carlo SC/GR of a controller
 //   dwv cache-compact --cache-dir DIR    rewrite a persistent cache to its
 //                                        live records (offline)
 //   dwv list                             list the built-in benchmarks
+//                                        (name, dimension, X0, goal box)
 //
 // Benchmarks: acc, oscillator, sys3d, b1, b2, b3, b4.
 // Common options:
@@ -66,6 +69,29 @@
 //                             iteration instead of SPSA probe pairs);
 //                             unsupported configurations warn on stderr
 //                             and fall back to SPSA unchanged
+// Search options (dwv search; results are bit-identical at any sharding):
+//   --depth N                 maximum bisection depth (default 7; <= 62)
+//   --shards K                run K subtree shards in this process, each
+//                             with its own work-stealing pool (--threads
+//                             is the TOTAL budget, split across shards)
+//   --shard I/K               run ONLY subtree shard I of K (one process
+//                             of a K-process run; --threads is per
+//                             process); requires --out, merged later
+//   --shard-grain N           frontier cells per shard before the
+//                             deterministic prefix split (default 8)
+//   --merge F1,F2,...         merge K shard files into the final result
+//                             (bit-identical to a single-process run)
+//   --out FILE                write the result: a shard file under
+//                             --shard, the merged/complete search result
+//                             otherwise (same bits => same file bytes)
+//   --checkpoint FILE         append-only snapshot file; an existing
+//                             valid checkpoint of the same configuration
+//                             resumes the search (kill -9 safe: torn
+//                             tails are truncated, final bits identical)
+//   --checkpoint-every N      snapshot/progress cadence in cells
+//                             (default 256)
+//   --progress                print the growing certified coverage at
+//                             every round boundary (anytime output)
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -73,6 +99,8 @@
 
 #include "core/initial_set.hpp"
 #include "core/learner.hpp"
+#include "core/search_shard.hpp"
+#include "parallel/pool.hpp"
 #include "linalg/expm.hpp"
 #include "core/verdict.hpp"
 #include "nn/serialize.hpp"
@@ -118,7 +146,7 @@ std::size_t batch_width(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dwv <learn|verify|simulate|cache-compact|list> "
+               "usage: dwv <learn|verify|search|simulate|cache-compact|list> "
                "[benchmark] [--option value]...\n"
                "see the header of tools/dwv_cli.cpp for details\n");
   return 2;
@@ -307,13 +335,45 @@ void print_cache_stats(const reach::CacheStats& s) {
               static_cast<unsigned long long>(z.hits + z.misses));
 }
 
+// "[lo,hi]x[lo,hi]..." — compact box rendering for the benchmark listing
+// (goal boxes may leave dimensions unconstrained, which prints as inf).
+std::string fmt_box(const geom::Box& b) {
+  std::string s;
+  char buf[64];
+  for (std::size_t i = 0; i < b.dim(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s[%g,%g]", i == 0 ? "" : "x",
+                  b.bounds()[i].lo(), b.bounds()[i].hi());
+    s += buf;
+  }
+  return s;
+}
+
 int cmd_list() {
+  struct Row {
+    const char* name;
+    const char* desc;
+  };
+  // State dimension, X0, and goal box come from the registered benchmark
+  // itself, so the listing is enough to pick shard/depth settings for
+  // `dwv search` without reading the scenario source.
+  const Row rows[] = {
+      {"acc", "linear adaptive cruise control (DAC'22 paper)"},
+      {"oscillator", "Van der Pol oscillator (DAC'22 paper)"},
+      {"sys3d", "3-D numerical system, alias b5 (DAC'22 paper / ReachNN)"},
+      {"b1", "ReachNN suite benchmark 1"},
+      {"b2", "ReachNN suite benchmark 2"},
+      {"b3", "ReachNN suite benchmark 3"},
+      {"b4", "ReachNN suite benchmark 4"},
+      {"pendulum", "damped pendulum (expression-tree dynamics)"},
+  };
   std::printf("built-in benchmarks:\n");
-  std::printf("  acc         linear adaptive cruise control (DAC'22 paper)\n");
-  std::printf("  oscillator  Van der Pol oscillator (DAC'22 paper)\n");
-  std::printf("  sys3d (b5)  3-D numerical system (DAC'22 paper / ReachNN)\n");
-  std::printf("  b1..b4      remaining ReachNN suite instances\n");
-  std::printf("  pendulum    damped pendulum (expression-tree dynamics)\n");
+  for (const Row& row : rows) {
+    const ode::Benchmark bench = make_benchmark(row.name);
+    std::printf("  %-10s  %s\n", row.name, row.desc);
+    std::printf("  %-10s  dim %zu  X0 %s  goal %s\n", "",
+                bench.system->state_dim(), fmt_box(bench.spec.x0).c_str(),
+                fmt_box(bench.spec.goal).c_str());
+  }
   return 0;
 }
 
@@ -403,6 +463,155 @@ int cmd_verify(const Args& args) {
   return rep.verdict == core::Verdict::kReachAvoid ? 0 : 1;
 }
 
+// dwv search — the sharded/checkpointable/anytime X_I search driver.
+// Three modes sharing one configuration surface:
+//   (default)      in-process search, optionally over --shards K subtrees
+//   --shard I/K    one subtree of a K-process run, written to --out
+//   --merge a,b,.. ordered-replay merge of K shard files
+// All three produce bit-identical certified sets, so `cmp` on the --out
+// files IS the cross-mode correctness check (CI runs exactly that).
+int cmd_search(const Args& args) {
+  const ode::Benchmark bench = make_benchmark(args.benchmark);
+  const std::string path = args.get("--controller", "");
+  const nn::ControllerPtr ctrl =
+      path.empty()
+          ? default_controller(
+                bench, static_cast<std::uint64_t>(args.get_long("--seed", 1)))
+          : nn::load_controller_file(path);
+  reach::VerifierPtr verifier = make_verifier(
+      bench, args.get("--verifier", ""), ctrl.get(), tm_options(args));
+  warn_if_sym_rem_ignored(args, verifier);
+
+  core::ShardSearchOptions sopt;
+  sopt.base.max_depth =
+      static_cast<std::size_t>(args.get_long("--depth", 7));
+  sopt.base.batch = batch_width(args);
+  sopt.base.reuse_parent_prefix = args.options.count("--reuse-prefix") != 0;
+  sopt.shards = static_cast<std::size_t>(args.get_long("--shards", 1));
+  sopt.prefix_grain =
+      static_cast<std::size_t>(args.get_long("--shard-grain", 8));
+  sopt.checkpoint_file = args.get("--checkpoint", "");
+  sopt.checkpoint_every =
+      static_cast<std::size_t>(args.get_long("--checkpoint-every", 256));
+  if (args.options.count("--progress")) {
+    sopt.progress = [](const core::ShardSearchProgress& p) {
+      std::printf(
+          "progress: round %zu  coverage >= %.2f%%  (%zu certified, "
+          "%zu rejected, %zu pending, %zu calls)\n",
+          p.rounds, 100.0 * p.coverage, p.certified_cells, p.rejected_cells,
+          p.pending_cells, p.verifier_calls);
+      std::fflush(stdout);
+      return true;
+    };
+  }
+
+  const std::string shard_arg = args.get("--shard", "");
+  if (!shard_arg.empty()) {
+    std::size_t i = 0, k = 0;
+    if (std::sscanf(shard_arg.c_str(), "%zu/%zu", &i, &k) != 2 || k == 0 ||
+        i >= k) {
+      std::fprintf(stderr, "--shard expects I/K with I < K (got '%s')\n",
+                   shard_arg.c_str());
+      return 2;
+    }
+    sopt.shard_index = i;
+    sopt.shards = k;
+  }
+  const bool one_shard =
+      sopt.shard_index != core::ShardSearchOptions::kAllShards;
+
+  // --threads: total budget in-process (split across shards), per process
+  // under --shard (each of the K processes gets its own pool).
+  const std::size_t requested = parallel::resolve_threads(
+      static_cast<std::size_t>(args.get_long("--threads", 0)));
+  sopt.base.threads =
+      one_shard ? requested : std::max<std::size_t>(1, requested / sopt.shards);
+
+  std::shared_ptr<reach::FlowpipeCache> cache;
+  if (args.options.count("--cache") || args.options.count("--cache-stats") ||
+      args.options.count("--cache-dir")) {
+    reach::FlowpipeCache::Config cfg;
+    cfg.dir = args.get("--cache-dir", "");
+    if (one_shard && !cfg.dir.empty()) {
+      // Each shard process salts its own disk shard logs, so K processes
+      // can share one cache directory without interleaving appends.
+      cfg.disk_salt_mix = reach::hash_string(0x58495f5348415244ull, shard_arg);
+    }
+    auto cached = std::make_shared<const reach::CachingVerifier>(verifier, cfg);
+    cache = cached->cache();
+    verifier = std::move(cached);
+  }
+
+  const std::string out = args.get("--out", "");
+  const std::uint64_t fingerprint =
+      core::xi_search_fingerprint(*verifier, bench.spec, *ctrl, sopt.base);
+
+  const std::string merge_arg = args.get("--merge", "");
+  if (!merge_arg.empty()) {
+    std::vector<core::ShardResult> parts;
+    std::size_t start = 0;
+    while (start <= merge_arg.size()) {
+      const std::size_t comma = merge_arg.find(',', start);
+      const std::string file =
+          merge_arg.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+      if (!file.empty()) parts.push_back(core::load_shard_result_file(file));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    for (const core::ShardResult& p : parts) {
+      if (p.fingerprint != fingerprint) {
+        std::fprintf(stderr,
+                     "error: a shard file was produced by a different "
+                     "search configuration than this command line\n");
+        return 1;
+      }
+    }
+    const core::InitialSetResult res =
+        core::merge_shard_results(bench.spec, parts);
+    std::printf(
+        "merged %zu shards: %.1f%% of X0 certified (%zu cells, %zu "
+        "rejected, %zu verifier calls)\n",
+        parts.size(), 100.0 * res.coverage, res.certified.size(),
+        res.rejected.size(), res.verifier_calls);
+    if (!out.empty()) core::save_initial_set_result_file(out, fingerprint, res);
+    return 0;
+  }
+
+  if (one_shard) {
+    if (out.empty()) {
+      std::fprintf(stderr, "--shard requires --out FILE (the shard result "
+                           "to merge later)\n");
+      return 2;
+    }
+    const core::ShardResult sr =
+        core::search_initial_set_shard(*verifier, bench.spec, *ctrl, sopt);
+    core::save_shard_result_file(out, sr);
+    std::printf("shard %u/%u: %zu terminal cells, %llu verifier calls%s\n",
+                sr.shard_index, sr.shards, sr.records.size(),
+                static_cast<unsigned long long>(sr.verifier_calls),
+                sr.complete ? "" : " (INCOMPLETE: cancelled)");
+    if (cache && args.options.count("--cache-stats")) {
+      print_cache_stats(cache->stats());
+    }
+    return 0;
+  }
+
+  const core::InitialSetResult res =
+      core::search_initial_set_sharded(*verifier, bench.spec, *ctrl, sopt);
+  std::printf(
+      "X_I search: %.1f%% of X0 certified (%zu cells, %zu rejected, "
+      "%zu verifier calls)\n",
+      100.0 * res.coverage, res.certified.size(), res.rejected.size(),
+      res.verifier_calls);
+  if (!out.empty()) core::save_initial_set_result_file(out, fingerprint, res);
+  if (cache && args.options.count("--cache-stats")) {
+    print_cache_stats(cache->stats());
+  }
+  return 0;
+}
+
 int cmd_cache_compact(const Args& args) {
   const std::string dir = args.get("--cache-dir", "");
   if (dir.empty()) {
@@ -465,6 +674,7 @@ int main(int argc, char** argv) {
     if (args.benchmark.empty()) return usage();
     if (args.command == "learn") return cmd_learn(args);
     if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "search") return cmd_search(args);
     if (args.command == "simulate") return cmd_simulate(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
